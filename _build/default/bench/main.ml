@@ -1,0 +1,601 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (§4) plus the §3.2 overhead claims and the §4.4
+   network-adaptivity argument, and runs bechamel microbenchmarks of
+   the core kernels.
+
+   Usage: dune exec bench/main.exe [-- section ...]
+   Sections: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 table4
+             table5 overhead adaptive micro (default: all). *)
+
+open Coign_util
+open Coign_core
+open Coign_apps
+open Coign_sim
+
+let network = Coign_netsim.Network.ethernet_10
+
+let note fmt = Printf.printf fmt
+
+let section_header title paper =
+  Printf.printf "\n%s\n%s\n(paper reference: %s)\n" title (String.make (String.length title) '=') paper
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the scenario suite                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section_header "Table 1: Profiling Scenarios" "Table 1";
+  let t = Tablefmt.create [ ("Scenario", Tablefmt.Left); ("Description", Tablefmt.Left) ] in
+  List.iter (fun (_, id, desc) -> Tablefmt.add_row t [ id; desc ]) Suite.table1;
+  print_string (Tablefmt.render t)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2 and 3: classifier accuracy                                 *)
+(* ------------------------------------------------------------------ *)
+
+let classifier_row (r : Classifier_eval.row) =
+  [
+    (match r.Classifier_eval.cr_depth with
+    | None -> Classifier.kind_description r.Classifier_eval.cr_kind
+    | Some d -> string_of_int d);
+    string_of_int r.Classifier_eval.cr_profiled_classifications;
+    string_of_int r.Classifier_eval.cr_new_in_bigone;
+    Tablefmt.cell_float ~decimals:1 r.Classifier_eval.cr_avg_instances;
+    Tablefmt.cell_float ~decimals:3 r.Classifier_eval.cr_avg_correlation;
+  ]
+
+let table2 () =
+  section_header "Table 2: Classifier Accuracy (Octarine)" "Table 2";
+  let t =
+    Tablefmt.create
+      [
+        ("Instance Classifier", Tablefmt.Left); ("Profiled Cls.", Tablefmt.Right);
+        ("New (bigone) Cls.", Tablefmt.Right); ("Inst./Cls.", Tablefmt.Right);
+        ("Avg. Correlation", Tablefmt.Right);
+      ]
+  in
+  List.iter (fun r -> Tablefmt.add_row t (classifier_row r)) (Classifier_eval.table2 Octarine.app);
+  print_string (Tablefmt.render t);
+  note
+    "Expected shape: Incremental all-new/worst correlation; IFCB most\n\
+     classifications; ST fewest and least accurate of the context family.\n"
+
+let table3 () =
+  section_header "Table 3: IFCB Accuracy as a Function of Stack Depth (Octarine)" "Table 3";
+  let t =
+    Tablefmt.create
+      [
+        ("Stack-Walk Depth", Tablefmt.Left); ("Profiled Cls.", Tablefmt.Right);
+        ("New (bigone) Cls.", Tablefmt.Right); ("Inst./Cls.", Tablefmt.Right);
+        ("Avg. Correlation", Tablefmt.Right);
+      ]
+  in
+  let rows = Classifier_eval.table3 Octarine.app in
+  List.iteri
+    (fun i r ->
+      let row = classifier_row r in
+      let row = if i = List.length rows - 1 then "Complete" :: List.tl row else row in
+      Tablefmt.add_row t row)
+    rows;
+  print_string (Tablefmt.render t);
+  note "Expected shape: classifications and correlation rise with depth, then saturate.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4-8: distributions                                          *)
+(* ------------------------------------------------------------------ *)
+
+let distribution_figure ~title ~paper ~expect app (sc : App.scenario) =
+  section_header title paper;
+  let row = Experiment.run_scenario ~network app sc in
+  Printf.printf
+    "Coign places %d of %d component instances on the server\n\
+     (%d of %d instance classifications; predicted communication %.3f s).\n"
+    row.Experiment.server_instances row.Experiment.total_instances
+    row.Experiment.server_classifications row.Experiment.node_count
+    (row.Experiment.distribution.Analysis.predicted_comm_us /. 1e6);
+  let t =
+    Tablefmt.create
+      [ ("Server-side component class", Tablefmt.Left); ("Classifications", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun (cls, n) -> Tablefmt.add_row t [ cls; string_of_int n ])
+    (Experiment.server_class_histogram row);
+  print_string (Tablefmt.render t);
+  note "%s\n" expect
+
+let fig4 () =
+  distribution_figure ~title:"Figure 4: PhotoDraw Distribution" ~paper:"Figure 4"
+    ~expect:
+      "Paper: 8 of 295 on the server (the document reader and seven property\n\
+       sets); sprite caches held to the client by non-distributable interfaces."
+    Photodraw.app
+    (App.scenario Photodraw.app "p_oldmsr")
+
+let fig5 () =
+  distribution_figure ~title:"Figure 5: Octarine Distribution (35-page text document)"
+    ~paper:"Figure 5"
+    ~expect:
+      "Paper: 2 of 458 on the server (the document reader and the text-properties\n\
+       component); the GUI forest stays on the client."
+    Octarine.app Octarine.figure5
+
+let fig6 () =
+  section_header "Figure 6: Corporate Benefits Distribution" "Figure 6";
+  let app = Benefits.app in
+  let sc = App.scenario app "b_vueone" in
+  let row = Experiment.run_scenario ~network app sc in
+  let default =
+    Adps.execute_with_policy ~registry:app.App.app_registry
+      ~classifier:(Classifier.create Classifier.Ifcb)
+      ~policy:(Factory.By_class app.App.app_default_placement) ~network sc.App.sc_run
+  in
+  Printf.printf
+    "Of %d component instances, Coign places %d on the middle tier where the\n\
+     programmer placed %d (paper: 135 vs 187 of 196). Communication drops by %s.\n"
+    row.Experiment.total_instances row.Experiment.server_instances
+    default.Adps.es_server_instances
+    (Tablefmt.cell_pct row.Experiment.savings);
+  let t =
+    Tablefmt.create
+      [ ("Middle-tier component class (Coign)", Tablefmt.Left); ("Classifications", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun (cls, n) -> Tablefmt.add_row t [ cls; string_of_int n ])
+    (Experiment.server_class_histogram row);
+  print_string (Tablefmt.render t);
+  note
+    "Expected shape: caches and their row sets move to the client; the business\n\
+     logic and ODBC gateway stay on the middle tier.\n"
+
+let fig7 () =
+  distribution_figure ~title:"Figure 7: Octarine with Multi-page Table" ~paper:"Figure 7"
+    ~expect:"Paper: a single component of 476 on the server for the 5-page table."
+    Octarine.app
+    (App.scenario Octarine.app "o_oldtb0")
+
+let fig8 () =
+  distribution_figure ~title:"Figure 8: Octarine with Tables and Text" ~paper:"Figure 8"
+    ~expect:
+      "Paper: 281 of 786 on the server — the page-placement negotiation moves the\n\
+       text/table cluster beside the document data."
+    Octarine.app
+    (App.scenario Octarine.app "o_oldbth")
+
+(* ------------------------------------------------------------------ *)
+(* Tables 4 and 5: scenario sweep                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sweep = lazy (List.concat_map (fun app -> Experiment.run_app ~network app) Suite.all)
+
+let table4 () =
+  section_header "Table 4: Reduction in Communication Time" "Table 4";
+  let t =
+    Tablefmt.create
+      [
+        ("Scenario", Tablefmt.Left); ("Default (s)", Tablefmt.Right);
+        ("Coign (s)", Tablefmt.Right); ("Savings", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun (r : Experiment.row) ->
+      Tablefmt.add_row t
+        [
+          r.Experiment.row_id;
+          Tablefmt.cell_float (r.Experiment.default_comm_us /. 1e6);
+          Tablefmt.cell_float (r.Experiment.coign_comm_us /. 1e6);
+          Tablefmt.cell_pct r.Experiment.savings;
+        ])
+    (Lazy.force sweep);
+  print_string (Tablefmt.render t);
+  note
+    "Expected shape: Coign never worse than the default; ~99%% on large table\n\
+     documents, ~95%% on the 208-page text document, ~0%% on small/new documents,\n\
+     ~68%% on mixed text+tables, 5-35%% for PhotoDraw and Benefits.\n"
+
+let table5 () =
+  section_header "Table 5: Accuracy of Prediction Models" "Table 5";
+  let t =
+    Tablefmt.create
+      [
+        ("Scenario", Tablefmt.Left); ("Predicted (s)", Tablefmt.Right);
+        ("Measured (s)", Tablefmt.Right); ("Error", Tablefmt.Right);
+      ]
+  in
+  let worst = ref 0. in
+  List.iter
+    (fun (r : Experiment.row) ->
+      worst := Float.max !worst (Float.abs r.Experiment.prediction_error);
+      Tablefmt.add_row t
+        [
+          r.Experiment.row_id;
+          Tablefmt.cell_float (r.Experiment.predicted_total_us /. 1e6);
+          Tablefmt.cell_float (r.Experiment.measured_total_us /. 1e6);
+          Printf.sprintf "%+.0f%%" (r.Experiment.prediction_error *. 100.);
+        ])
+    (Lazy.force sweep);
+  print_string (Tablefmt.render t);
+  note "Worst absolute error: %.1f%% (paper: none above 8%%).\n" (!worst *. 100.)
+
+(* ------------------------------------------------------------------ *)
+(* §3.2 overhead                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let overhead () =
+  section_header "Instrumentation Overhead" "Sec. 3.2 (<=85% profiling, <3% distribution)";
+  let t =
+    Tablefmt.create
+      [
+        ("Scenario", Tablefmt.Left); ("Calls", Tablefmt.Right);
+        ("Prof. us/call", Tablefmt.Right); ("Distrib. us/call", Tablefmt.Right);
+        ("Prof. overhead", Tablefmt.Right); ("Distrib. overhead", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun id ->
+      let app, sc = Suite.find_scenario id in
+      let r = Overhead.measure app sc in
+      Tablefmt.add_row t
+        [
+          id;
+          string_of_int r.Overhead.intercepted_calls;
+          Tablefmt.cell_float ~decimals:2 r.Overhead.profiling_us_per_call;
+          Tablefmt.cell_float ~decimals:2 r.Overhead.distributed_us_per_call;
+          Tablefmt.cell_pct r.Overhead.profiling_overhead;
+          Tablefmt.cell_pct r.Overhead.distributed_overhead;
+        ])
+    [ "o_oldwp7"; "o_oldtb3"; "p_oldmsr"; "b_bigone" ];
+  print_string (Tablefmt.render t);
+  note
+    "Overheads are relative to modeled application time (wall-clock plus the\n\
+     compute the components charge), mirroring the paper's percentages over\n\
+     real application compute. Expected shape: profiling far heavier per call\n\
+     than distribution-time interception.\n"
+
+(* ------------------------------------------------------------------ *)
+(* §4.4 adaptivity                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let adaptive () =
+  section_header "Changing Scenarios and Distributions" "Sec. 4.4";
+  List.iter
+    (fun id ->
+      let app, sc = Suite.find_scenario id in
+      Printf.printf "\n%s re-analyzed against each network:\n" id;
+      let t =
+        Tablefmt.create
+          [
+            ("Network", Tablefmt.Left); ("Server classifications", Tablefmt.Right);
+            ("Predicted comm (s)", Tablefmt.Right);
+          ]
+      in
+      List.iter
+        (fun (a : Experiment.adaptive_row) ->
+          Tablefmt.add_row t
+            [
+              a.Experiment.ar_network;
+              string_of_int a.Experiment.ar_server_classifications;
+              Tablefmt.cell_float (a.Experiment.ar_predicted_comm_us /. 1e6);
+            ])
+        (Experiment.across_networks app sc);
+      print_string (Tablefmt.render t))
+    [ "o_oldbth"; "p_oldmsr" ];
+  note
+    "\nExpected shape: predicted communication falls monotonically with faster\n\
+     networks, and the chosen distribution itself shifts as the\n\
+     bandwidth-to-latency tradeoff moves.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section_header "Microbenchmarks (bechamel)" "Sec. 2 algorithm choice, Sec. 3.2 informer costs";
+  let open Bechamel in
+  let open Toolkit in
+  let make_graph n =
+    let rng = Prng.create 77L in
+    let g = Coign_flowgraph.Flow_network.create ~n in
+    for _ = 1 to n * 4 do
+      let a = Prng.int rng n and b = Prng.int rng n in
+      Coign_flowgraph.Flow_network.add_undirected g a b ~cap:(1 + Prng.int rng 10_000)
+    done;
+    g
+  in
+  let g200 = make_graph 150 in
+  let cut_test alg =
+    Test.make
+      ~name:(Coign_flowgraph.Mincut.algorithm_name alg)
+      (Staged.stage (fun () ->
+           ignore (Coign_flowgraph.Mincut.min_cut ~algorithm:alg g200 ~s:0 ~t:1)))
+  in
+  let itype =
+    Coign_com.Itype.declare "IBench"
+      [
+        Coign_idl.Idl_type.method_ ~ret:Coign_idl.Idl_type.Blob "m"
+          [
+            Coign_idl.Idl_type.param "a"
+              (Coign_idl.Idl_type.Array
+                 (Coign_idl.Idl_type.Struct
+                    [ ("x", Coign_idl.Idl_type.Str); ("y", Coign_idl.Idl_type.Int32);
+                      ("i", Coign_idl.Idl_type.Iface "IPeer") ]));
+          ];
+      ]
+  in
+  let arg =
+    Coign_idl.Value.Arr
+      (List.init 16 (fun i ->
+           Coign_idl.Value.Struct
+             [ ("x", Coign_idl.Value.Str (String.make 24 'x')); ("y", Coign_idl.Value.Int i);
+               ("i", Coign_idl.Value.Iface_ref i) ]))
+  in
+  let profiling_informer =
+    Test.make ~name:"profiling-informer"
+      (Staged.stage (fun () ->
+           ignore
+             (Informer.measure_call itype ~meth:0 ~ins:[ arg ] ~outs:[ arg ]
+                ~ret:(Coign_idl.Value.Blob 2_000))))
+  in
+  let distribution_informer =
+    Test.make ~name:"distribution-informer"
+      (Staged.stage (fun () ->
+           ignore (Informer.outgoing_handles itype ~meth:0 ~outs:[ arg ] ~ret:Coign_idl.Value.Null)))
+  in
+  let stack =
+    List.init 8 (fun i ->
+        Frame.make ~inst:i ~cls:(Printf.sprintf "K%d" i) ~classification:i ~iface:"I"
+          ~meth:"m")
+  in
+  let classifier_test kind =
+    let t = Classifier.create kind in
+    Test.make
+      ~name:("classify-" ^ Classifier.kind_name kind)
+      (Staged.stage (fun () -> ignore (Classifier.classify t ~cname:"D" ~stack)))
+  in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        cut_test Coign_flowgraph.Mincut.Relabel_to_front;
+        cut_test Coign_flowgraph.Mincut.Edmonds_karp;
+        cut_test Coign_flowgraph.Mincut.Dinic;
+        profiling_informer;
+        distribution_informer;
+        classifier_test Classifier.Ifcb;
+        classifier_test Classifier.St;
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let t = Tablefmt.create [ ("Kernel", Tablefmt.Left); ("ns/run", Tablefmt.Right) ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Tablefmt.add_row t [ name; Tablefmt.cell_float ~decimals:1 est ])
+    (List.sort compare !rows);
+  print_string (Tablefmt.render t);
+  note
+    "Expected shape: the exact lift-to-front algorithm is Theta(V^3) and trails\n\
+     the blocking-flow baselines as graphs grow — affordable only because ICC\n\
+     graphs have a few hundred classifications (why the paper could use an exact\n\
+     two-way algorithm). The distribution informer is 1-2 orders of magnitude\n\
+     cheaper than the profiling informer (the mechanism behind 85%% vs 3%%\n\
+     runtime overhead).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extensions the paper anticipates                                    *)
+(* ------------------------------------------------------------------ *)
+
+let multiway () =
+  section_header "Extension: Three-Machine Distribution (Benefits)"
+    "Sec. 2 future work (multi-way cuts)";
+  let app = Benefits.app in
+  let sc = App.scenario app "b_vueone" in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  let icc = Rte.icc rte in
+  let net = Coign_netsim.Net_profiler.profile (Prng.create 3L) network in
+  (* Two-way baseline (client vs everything else). *)
+  let constraints = Constraints.of_image app.App.app_image in
+  let two_way = Analysis.choose ~classifier ~icc ~constraints ~net () in
+  (* Three machines: front-end client, middle tier, database server. *)
+  let pins cname =
+    if String.equal cname "Benefits.ValidationRules" then
+      (* A programmer security constraint (paper Sec. 4.3): validation
+         must run on the trusted middle tier. *)
+      Some "middle"
+    else
+      match
+        Static_analysis.class_verdict
+          (Coign_image.Binary_image.class_api_refs app.App.app_image cname)
+      with
+      | Static_analysis.Pin_client -> Some "client"
+      | Static_analysis.Pin_server -> Some "database"
+      | Static_analysis.Free -> None
+  in
+  let mw =
+    Multiway_analysis.choose ~classifier ~icc
+      ~machines:[ "client"; "middle"; "database" ] ~pins ~net ()
+  in
+  Printf.printf "two-way cut: %d classifications off the client, %.3f s predicted comm\n"
+    two_way.Analysis.server_count (two_way.Analysis.predicted_comm_us /. 1e6);
+  Printf.printf "three-way (isolation heuristic): %.3f s predicted comm\n"
+    (mw.Multiway_analysis.predicted_comm_us /. 1e6);
+  let t =
+    Tablefmt.create [ ("Machine", Tablefmt.Left); ("Classifications", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun (m, n) -> Tablefmt.add_row t [ m; string_of_int n ])
+    (Multiway_analysis.machine_histogram mw);
+  print_string (Tablefmt.render t);
+  let by_machine = Hashtbl.create 8 in
+  Array.iteri
+    (fun c m ->
+      let cls = Classifier.class_of_classification classifier c in
+      let key = (mw.Multiway_analysis.machines.(m), cls) in
+      if not (Hashtbl.mem by_machine key) then Hashtbl.replace by_machine key ())
+    mw.Multiway_analysis.assignment;
+  List.iter
+    (fun machine ->
+      let classes =
+        Hashtbl.fold (fun (m, cls) () acc -> if m = machine then cls :: acc else acc)
+          by_machine []
+        |> List.sort_uniq compare
+      in
+      Printf.printf "  %s: %s\n" machine (String.concat ", " classes))
+    [ "client"; "middle"; "database" ];
+  note
+    "Expected shape: the ODBC gateway and the logic glued to its bulk row\n\
+     traffic isolate on the database machine; the constrained validation\n\
+     rules hold the middle tier; forms and caches serve the user from the\n\
+     client — a 3-tier deployment the two-way engine had to collapse.\n"
+
+let drift () =
+  section_header "Extension: Usage-Drift Detection" "Sec. 6 (automatic re-profiling)";
+  let app = Octarine.app in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let profile_sc = App.scenario app "o_oldwp0" in
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  profile_sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  let profile = Drift.of_icc (Rte.icc rte) in
+  let observe sc_id =
+    let sc = App.scenario app sc_id in
+    let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+    let rte =
+      Rte.install_distributed ~classifier
+        ~config:
+          {
+            Rte.dc_factory_policy = Factory.All_client;
+            dc_network = Coign_netsim.Network.loopback;
+            dc_jitter = 0.;
+            dc_seed = 1L;
+          }
+        ctx
+    in
+    sc.App.sc_run ctx;
+    Rte.uninstall rte;
+    Drift.of_counts (Rte.call_counts rte)
+  in
+  Printf.printf "profiled scenario: o_oldwp0 (%d communicating pairs)\n"
+    (Drift.pair_count profile);
+  let t =
+    Tablefmt.create
+      [
+        ("Observed usage", Tablefmt.Left); ("Similarity", Tablefmt.Right);
+        ("Re-profile?", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun sc_id ->
+      let observed = observe sc_id in
+      let s = Drift.similarity profile observed in
+      Tablefmt.add_row t
+        [ sc_id; Tablefmt.cell_float s; (if Drift.drifted ~profile observed then "YES" else "no") ])
+    [ "o_oldwp0"; "o_oldwp3"; "o_oldtb3"; "o_oldbth"; "o_newmus" ];
+  print_string (Tablefmt.render t);
+  note
+    "Expected shape: running the profiled scenario scores ~1.0; a different\n\
+     document type degrades the message-count signature and triggers the\n\
+     silent re-profiling the paper proposes.\n"
+
+let whatif () =
+  section_header "Extension: Event-Log Replay" "Sec. 3.3 (log-driven simulation)";
+  let app = Octarine.app in
+  let sc = App.scenario app "o_oldwp7" in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let events = Replay.record_scenario ~registry:app.App.app_registry ~classifier sc.App.sc_run in
+  Printf.printf "recorded %d events from one %s run; replaying placements:\n"
+    (List.length events) sc.App.sc_id;
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  ignore ctx;
+  let net_exact = Coign_netsim.Net_profiler.exact network in
+  let constraints = Constraints.of_image app.App.app_image in
+  (* Rebuild the ICC for the distribution from the same trace run. *)
+  let icc = Icc.create () in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Interface_call
+          { caller_classification; callee_classification; iface; remotable; request_bytes;
+            reply_bytes; _ } ->
+          Icc.record icc ~src:caller_classification ~dst:callee_classification ~iface
+            ~remotable ~request:request_bytes ~reply:reply_bytes
+      | _ -> ())
+    events;
+  let dist = Analysis.choose ~classifier ~icc ~constraints ~net:net_exact () in
+  let t =
+    Tablefmt.create
+      [
+        ("Placement", Tablefmt.Left); ("Comm (s)", Tablefmt.Right);
+        ("Remote calls", Tablefmt.Right); ("Faults", Tablefmt.Right);
+      ]
+  in
+  let try_placement name placement =
+    let e = Replay.replay ~events ~placement ~network in
+    Tablefmt.add_row t
+      [
+        name;
+        Tablefmt.cell_float (e.Replay.re_comm_us /. 1e6);
+        string_of_int e.Replay.re_remote_calls;
+        string_of_int (List.length e.Replay.re_violations);
+      ]
+  in
+  try_placement "all on client (files remote)" (fun c ->
+      if
+        c >= 0
+        && c < Classifier.classification_count classifier
+        && String.equal
+             (Classifier.class_of_classification classifier c)
+             Common.file_server_class_name
+      then Constraints.Server
+      else Constraints.Client);
+  try_placement "Coign-chosen cut" (Analysis.location_of dist);
+  try_placement "naive: every odd classification remote" (fun c ->
+      if c mod 2 = 1 then Constraints.Server else Constraints.Client);
+  print_string (Tablefmt.render t);
+  note
+    "Replay prices any placement in microseconds without re-running the\n\
+     application, and flags placements that would fault on non-remotable\n\
+     interfaces — the log-driven simulation use the paper mentions.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1); ("table2", table2); ("table3", table3); ("fig4", fig4);
+    ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8); ("table4", table4);
+    ("table5", table5); ("overhead", overhead); ("adaptive", adaptive);
+    ("multiway", multiway); ("drift", drift); ("whatif", whatif); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  Printf.printf
+    "Coign ADPS experiment harness — reproduces the evaluation of\n\
+     \"The Coign Automatic Distributed Partitioning System\" (OSDI '99).\n\
+     Network model: %s.\n"
+    network.Coign_netsim.Network.net_name;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S (known: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 2)
+    requested

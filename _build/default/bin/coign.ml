@@ -1,0 +1,309 @@
+(* The Coign command-line toolchain (paper Figure 1).
+
+   Stages communicate through serialized application images, so each
+   stage can run as a separate process:
+
+     coign instrument --app octarine -o octarine.img
+     coign profile octarine.img --scenario o_oldwp7 -o octarine.img
+     coign analyze octarine.img --network ethernet10 -o octarine.img
+     coign show octarine.img
+     coign run octarine.img --scenario o_oldwp7 --network ethernet10
+
+   Application *code* cannot live in a file (this is a simulation of
+   binaries, not a binary format), so images refer to the built-in
+   application suite by name. *)
+
+open Cmdliner
+open Coign_util
+open Coign_netsim
+open Coign_image
+open Coign_core
+open Coign_apps
+
+let app_of_image (img : Binary_image.t) =
+  try Suite.find_app img.Binary_image.img_name
+  with Not_found ->
+    Printf.eprintf "error: image %S does not name a built-in application (%s)\n"
+      img.Binary_image.img_name
+      (String.concat ", " (List.map (fun a -> a.App.app_name) Suite.all));
+    exit 1
+
+let scenario_of app id =
+  try App.scenario app id
+  with Not_found ->
+    Printf.eprintf "error: application %s has no scenario %S (has: %s)\n" app.App.app_name id
+      (String.concat ", " (List.map (fun s -> s.App.sc_id) app.App.app_scenarios));
+    exit 1
+
+let network_names =
+  [
+    ("isdn", Network.isdn_128); ("ethernet10", Network.ethernet_10);
+    ("ethernet100", Network.ethernet_100); ("atm", Network.atm_155); ("san", Network.san_1g);
+  ]
+
+let network_conv =
+  let parse s =
+    match List.assoc_opt s network_names with
+    | Some n -> Ok n
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown network %S (known: %s)" s
+                       (String.concat ", " (List.map fst network_names))))
+  in
+  let print ppf n = Format.pp_print_string ppf n.Network.net_name in
+  Arg.conv (parse, print)
+
+(* Common arguments *)
+
+let image_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE" ~doc:"Application image file.")
+
+let output_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the resulting image.")
+
+let scenario_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"ID" ~doc:"Scenario id from Table 1, e.g. o_oldwp7.")
+
+let network_arg =
+  Arg.(
+    value
+    & opt network_conv Network.ethernet_10
+    & info [ "network" ] ~docv:"NET" ~doc:"Network model: isdn, ethernet10, ethernet100, atm, san.")
+
+(* instrument ------------------------------------------------------- *)
+
+let instrument_cmd =
+  let app_name =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "app" ] ~docv:"APP" ~doc:"Application: octarine, photodraw, or benefits.")
+  in
+  let classifier =
+    Arg.(
+      value & opt string "ifcb"
+      & info [ "classifier" ] ~docv:"KIND"
+          ~doc:"Instance classifier: incremental, pcb, st, stcb, ifcb, epcb, ib.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"N" ~doc:"Classifier stack-walk depth (default: complete walk).")
+  in
+  let run app_name classifier depth output =
+    (match Classifier.kind_of_name classifier with
+    | Some _ -> ()
+    | None ->
+        Printf.eprintf "error: unknown classifier %S\n" classifier;
+        exit 1);
+    let app =
+      try Suite.find_app app_name
+      with Not_found ->
+        Printf.eprintf "error: unknown application %S\n" app_name;
+        exit 1
+    in
+    let image = Adps.instrument ~classifier ~stack_depth:depth app.App.app_image in
+    Binary_image.save image output;
+    Printf.printf "instrumented %s -> %s (classifier %s)\n" app_name output classifier
+  in
+  let term = Term.(const run $ app_name $ classifier $ depth $ output_arg) in
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:"Rewrite an application binary to load the Coign profiling runtime.")
+    term
+
+(* profile ---------------------------------------------------------- *)
+
+let profile_cmd =
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Also write the run's profile to a standalone log file (combinable later with \
+             $(b,coign combine)).")
+  in
+  let run image_path scenario_id log_file output =
+    let image = Binary_image.load image_path in
+    let app = app_of_image image in
+    let sc = scenario_of app scenario_id in
+    let image, stats, rte =
+      Adps.profile_results ~image ~registry:app.App.app_registry sc.App.sc_run
+    in
+    Binary_image.save image output;
+    (match log_file with
+    | Some path ->
+        Profile_log.save
+          (Profile_log.of_run ~app:app.App.app_name ~scenario:scenario_id rte)
+          path;
+        Printf.printf "wrote profile log %s\n" path
+    | None -> ());
+    Printf.printf
+      "profiled %s: %d instances, %d calls, %d ICC bytes; %d classifications accumulated\n"
+      scenario_id stats.Adps.ps_instances stats.Adps.ps_calls stats.Adps.ps_bytes
+      stats.Adps.ps_classifications
+  in
+  let term = Term.(const run $ image_arg $ scenario_arg $ log_file $ output_arg) in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a usage scenario against an instrumented image, accumulating ICC profiles.")
+    term
+
+(* combine ---------------------------------------------------------- *)
+
+let combine_cmd =
+  let logs =
+    Arg.(
+      non_empty
+      & pos_right 0 file []
+      & info [] ~docv:"LOG" ~doc:"Profile log files written by $(b,coign profile --log).")
+  in
+  let run image_path logs output =
+    let image = Binary_image.load image_path in
+    let combined = Profile_log.combine_all (List.map Profile_log.load logs) in
+    let image = Profile_log.into_image combined image in
+    Binary_image.save image output;
+    Printf.printf "combined %d logs (%s): %d instances, %d calls, %d classifications\n"
+      (List.length logs) combined.Profile_log.pl_scenario combined.Profile_log.pl_instances
+      combined.Profile_log.pl_calls
+      (Classifier.classification_count combined.Profile_log.pl_classifier)
+  in
+  let term = Term.(const run $ image_arg $ logs $ output_arg) in
+  Cmd.v
+    (Cmd.info "combine"
+       ~doc:
+         "Fold standalone profile logs (possibly from runs on other machines) into an \
+          instrumented image's configuration record.")
+    term
+
+(* analyze ---------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run image_path network output =
+    let image = Binary_image.load image_path in
+    let net = Net_profiler.profile (Prng.create 0xC01L) network in
+    Printf.printf "network profile: %s\n" (Format.asprintf "%a" Net_profiler.pp net);
+    let image, dist = Adps.analyze ~image ~net () in
+    Binary_image.save image output;
+    let classifier, _ = Option.get (Adps.load_distribution image) in
+    Printf.printf "distribution: %d of %d classifications on the server (cut %.3f s)\n"
+      dist.Analysis.server_count dist.Analysis.node_count
+      (float_of_int dist.Analysis.cut_ns /. 1e9);
+    List.iter
+      (fun c ->
+        Printf.printf "  server: %-28s %s\n"
+          (Classifier.class_of_classification classifier c)
+          (Classifier.descriptor_of_classification classifier c))
+      (Analysis.server_classifications dist)
+  in
+  let term = Term.(const run $ image_arg $ network_arg $ output_arg) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Cut the profiled ICC graph against a network profile and rewrite the image with \
+          the chosen distribution.")
+    term
+
+(* show ------------------------------------------------------------- *)
+
+let show_cmd =
+  let run image_path =
+    let image = Binary_image.load image_path in
+    Format.printf "%a@." Binary_image.pp image;
+    (match image.Binary_image.config with
+    | None -> print_endline "no configuration record (original binary)"
+    | Some config ->
+        Format.printf "%a@." Config_record.pp config;
+        (match Adps.load_profile image with
+        | Some (classifier, icc) ->
+            Printf.printf
+              "profile: %d classifications, %d instances, %d calls, %d bytes of ICC\n"
+              (Classifier.classification_count classifier)
+              (Classifier.instance_count classifier)
+              (Icc.call_count icc) (Icc.total_bytes icc)
+        | None -> ());
+        match Adps.load_distribution image with
+        | Some (_, dist) ->
+            Printf.printf "distribution: %d of %d classifications on the server\n"
+              dist.Analysis.server_count dist.Analysis.node_count
+        | None -> ())
+  in
+  let term = Term.(const run $ image_arg) in
+  Cmd.v (Cmd.info "show" ~doc:"Print an image's metadata, config record, and profile state.") term
+
+(* run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let jitter =
+    Arg.(
+      value & opt float 0.015
+      & info [ "jitter" ] ~docv:"R" ~doc:"Relative stddev of per-message time noise.")
+  in
+  let compare_default =
+    Arg.(
+      value & flag
+      & info [ "compare-default" ]
+          ~doc:"Also run the developer's default distribution and report the savings.")
+  in
+  let run image_path scenario_id network jitter compare_default =
+    let image = Binary_image.load image_path in
+    let app = app_of_image image in
+    let sc = scenario_of app scenario_id in
+    let es = Adps.execute ~image ~registry:app.App.app_registry ~network ~jitter sc.App.sc_run in
+    Printf.printf
+      "%s on %s under the Coign distribution:\n\
+      \  comm %.3f s + compute %.3f s = %.3f s total\n\
+      \  %d remote calls, %d bytes; %d of %d instances on the server\n"
+      scenario_id network.Network.net_name (es.Adps.es_comm_us /. 1e6)
+      (es.Adps.es_compute_us /. 1e6) (es.Adps.es_total_us /. 1e6) es.Adps.es_remote_calls
+      es.Adps.es_remote_bytes es.Adps.es_server_instances es.Adps.es_instances;
+    if compare_default then begin
+      let default =
+        Adps.execute_with_policy ~registry:app.App.app_registry
+          ~classifier:(Classifier.create Classifier.Ifcb)
+          ~policy:(Factory.By_class app.App.app_default_placement) ~network ~jitter
+          sc.App.sc_run
+      in
+      Printf.printf "default distribution: comm %.3f s — Coign saves %.0f%%\n"
+        (default.Adps.es_comm_us /. 1e6)
+        (if default.Adps.es_comm_us > 0. then
+           (1. -. (es.Adps.es_comm_us /. default.Adps.es_comm_us)) *. 100.
+         else 0.)
+    end
+  in
+  let term = Term.(const run $ image_arg $ scenario_arg $ network_arg $ jitter $ compare_default) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a scenario under the distribution stored in the image.")
+    term
+
+(* list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "applications and scenarios (paper Table 1):";
+    List.iter
+      (fun (app : App.t) ->
+        Printf.printf "\n%s (%d component classes)\n" app.App.app_name
+          (List.length app.App.app_classes);
+        List.iter
+          (fun (sc : App.scenario) -> Printf.printf "  %-10s %s\n" sc.App.sc_id sc.App.sc_desc)
+          app.App.app_scenarios)
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in applications and their scenarios.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "the Coign automatic distributed partitioning system (OSDI '99 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "coign" ~version:"1.0.0" ~doc)
+          [ instrument_cmd; profile_cmd; combine_cmd; analyze_cmd; show_cmd; run_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_network.ml: Adps Analysis App Coign_apps Coign_core Coign_netsim Coign_util List Net_profiler Network Octarine Printf Prng String

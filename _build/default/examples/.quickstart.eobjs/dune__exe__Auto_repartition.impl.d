@@ -1,0 +1,1 @@
+examples/auto_repartition.ml: Adps Analysis App Coign_apps Coign_com Coign_core Coign_netsim Coign_util Drift Factory Net_profiler Network Octarine Option Printf Prng Rte

@@ -1,0 +1,1 @@
+examples/benefits_3tier.ml: Adps Analysis App Benefits Classifier Coign_apps Coign_core Coign_netsim Coign_util Constraints Factory List Net_profiler Network Option Printf Prng

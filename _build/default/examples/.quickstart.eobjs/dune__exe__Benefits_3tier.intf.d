@@ -1,0 +1,1 @@
+examples/benefits_3tier.mli:

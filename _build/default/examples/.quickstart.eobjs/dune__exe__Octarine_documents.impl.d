@@ -1,0 +1,1 @@
+examples/octarine_documents.ml: App Coign_apps Coign_sim Experiment List Octarine Printf String

@@ -1,0 +1,1 @@
+examples/octarine_documents.mli:

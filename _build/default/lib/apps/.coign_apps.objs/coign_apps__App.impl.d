@@ -1,0 +1,1 @@
+lib/apps/app.ml: Coign_com Coign_core Coign_image Common List Runtime String

@@ -1,0 +1,1 @@
+lib/apps/app.mli: Coign_com Coign_core Coign_image Runtime

@@ -1,0 +1,1 @@
+lib/apps/benefits.ml: App Coign_com Coign_core Coign_idl Combuild Common Idl_type Itype List Option Printf Runtime String Value Widgets

@@ -1,0 +1,1 @@
+lib/apps/common.ml: Coign_com Coign_idl Combuild Format Hashtbl Hresult Idl_type Itype Runtime Value

@@ -1,0 +1,1 @@
+lib/apps/common.mli: Coign_com Coign_idl Itype Runtime

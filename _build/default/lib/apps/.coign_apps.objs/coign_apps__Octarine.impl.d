@@ -1,0 +1,1 @@
+lib/apps/octarine.ml: App Array Coign_com Coign_core Coign_idl Combuild Common Guid Hashtbl Hresult Idl_type Itype List Option Runtime Value Widgets

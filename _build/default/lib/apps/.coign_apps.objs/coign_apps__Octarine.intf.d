@@ -1,0 +1,1 @@
+lib/apps/octarine.mli: App

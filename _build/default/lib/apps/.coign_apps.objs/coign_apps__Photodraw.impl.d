@@ -1,0 +1,1 @@
+lib/apps/photodraw.ml: App Coign_com Coign_core Coign_idl Combuild Common Hashtbl Hresult Idl_type Itype List Option Runtime Value Widgets

@@ -1,0 +1,1 @@
+lib/apps/suite.ml: App Benefits List Octarine Photodraw String

@@ -1,0 +1,1 @@
+lib/apps/widgets.ml: Coign_com Coign_idl Combuild Common Itype List Runtime Value

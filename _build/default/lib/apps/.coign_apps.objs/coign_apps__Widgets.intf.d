@@ -1,0 +1,1 @@
+lib/apps/widgets.mli: Coign_com Runtime

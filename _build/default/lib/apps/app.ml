@@ -1,0 +1,54 @@
+open Coign_com
+
+type scenario = {
+  sc_id : string;
+  sc_desc : string;
+  sc_bigone : bool;
+  sc_run : Runtime.ctx -> unit;
+}
+
+type t = {
+  app_name : string;
+  app_classes : Runtime.component_class list;
+  app_registry : Runtime.registry;
+  app_image : Coign_image.Binary_image.t;
+  app_default_placement : string -> Coign_core.Constraints.location;
+  app_scenarios : scenario list;
+}
+
+let make ~name ~classes ~default_placement ~scenarios =
+  let classes =
+    if List.exists (fun c -> c.Runtime.cname = Common.file_server_class_name) classes then
+      classes
+    else classes @ [ Common.file_server ]
+  in
+  let registry = Runtime.registry classes in
+  let image =
+    Coign_image.Binary_image.create ~name
+      ~api_refs:(List.map (fun c -> (c.Runtime.cname, c.Runtime.api_refs)) classes)
+      ()
+  in
+  let default_placement cname =
+    if String.equal cname Common.file_server_class_name then Coign_core.Constraints.Server
+    else default_placement cname
+  in
+  {
+    app_name = name;
+    app_classes = classes;
+    app_registry = registry;
+    app_image = image;
+    app_default_placement = default_placement;
+    app_scenarios = scenarios;
+  }
+
+let scenario t id =
+  match List.find_opt (fun s -> String.equal s.sc_id id) t.app_scenarios with
+  | Some s -> s
+  | None -> raise Not_found
+
+let non_bigone t = List.filter (fun s -> not s.sc_bigone) t.app_scenarios
+
+let bigone t =
+  match List.find_opt (fun s -> s.sc_bigone) t.app_scenarios with
+  | Some s -> s
+  | None -> raise Not_found

@@ -1,0 +1,39 @@
+(** The application-suite interface: what every test application
+    (Octarine, PhotoDraw, Corporate Benefits) exposes to the experiment
+    harness. *)
+
+open Coign_com
+
+type scenario = {
+  sc_id : string;           (** paper scenario id, e.g. ["o_oldwp7"] *)
+  sc_desc : string;         (** Table 1 description *)
+  sc_bigone : bool;         (** synthesis of the app's other scenarios *)
+  sc_run : Runtime.ctx -> unit;
+}
+
+type t = {
+  app_name : string;
+  app_classes : Runtime.component_class list;
+  app_registry : Runtime.registry;
+  app_image : Coign_image.Binary_image.t;
+  app_default_placement : string -> Coign_core.Constraints.location;
+      (** the developer's shipped distribution, by component class name
+          (data files — the storage server — always on the server) *)
+  app_scenarios : scenario list;
+}
+
+val make :
+  name:string ->
+  classes:Runtime.component_class list ->
+  default_placement:(string -> Coign_core.Constraints.location) ->
+  scenarios:scenario list ->
+  t
+(** Builds the registry and the binary image (API-reference table from
+    the classes' [api_refs]). The storage file server is added to the
+    class list automatically. *)
+
+val scenario : t -> string -> scenario
+(** Lookup by id; raises [Not_found]. *)
+
+val non_bigone : t -> scenario list
+val bigone : t -> scenario

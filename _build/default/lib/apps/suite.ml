@@ -1,0 +1,26 @@
+let all = [ Octarine.app; Photodraw.app; Benefits.app ]
+
+let find_app name =
+  match List.find_opt (fun a -> String.equal a.App.app_name name) all with
+  | Some a -> a
+  | None -> raise Not_found
+
+let table1 =
+  List.concat_map
+    (fun (app : App.t) ->
+      List.map
+        (fun (sc : App.scenario) -> (app.App.app_name, sc.App.sc_id, sc.App.sc_desc))
+        app.App.app_scenarios)
+    all
+
+let find_scenario id =
+  let rec search = function
+    | [] -> raise Not_found
+    | app :: rest -> (
+        match
+          List.find_opt (fun sc -> String.equal sc.App.sc_id id) app.App.app_scenarios
+        with
+        | Some sc -> (app, sc)
+        | None -> search rest)
+  in
+  search all

@@ -1,0 +1,14 @@
+(** The full application and scenario suite (paper Table 1). *)
+
+val all : App.t list
+(** Octarine, PhotoDraw, Corporate Benefits. *)
+
+val find_app : string -> App.t
+(** By name ("octarine", "photodraw", "benefits"); raises [Not_found]. *)
+
+val table1 : (string * string * string) list
+(** [(app, scenario id, description)] rows in the paper's order. *)
+
+val find_scenario : string -> App.t * App.scenario
+(** Locate a scenario id (e.g. ["p_oldmsr"]) across the suite; raises
+    [Not_found]. *)

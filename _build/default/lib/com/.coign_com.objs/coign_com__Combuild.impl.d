@@ -1,0 +1,1 @@
+lib/com/combuild.ml: Array Coign_idl Hresult Idl_type Itype List Printf Runtime Value

@@ -1,0 +1,1 @@
+lib/com/combuild.mli: Coign_idl Itype Runtime

@@ -1,0 +1,1 @@
+lib/com/guid.ml: Char Format Int64 Map Printf Set String

@@ -1,0 +1,1 @@
+lib/com/hresult.mli: Format

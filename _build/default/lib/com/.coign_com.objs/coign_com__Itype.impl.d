@@ -1,0 +1,1 @@
+lib/com/itype.ml: Array Coign_idl Format Guid Idl_type Midl Printf String

@@ -1,0 +1,1 @@
+lib/com/itype.mli: Coign_idl Format Guid

@@ -1,0 +1,1 @@
+lib/com/runtime.ml: Array Coign_idl Guid Hashtbl Hresult Itype List Obj Printf Value

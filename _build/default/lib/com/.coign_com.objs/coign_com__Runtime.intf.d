@@ -1,0 +1,1 @@
+lib/com/runtime.mli: Coign_idl Guid Itype

@@ -1,0 +1,62 @@
+open Coign_idl
+
+type handler = Runtime.ctx -> Value.t list -> Value.t list * Value.t
+
+let iface itype handlers =
+  let n = Itype.method_count itype in
+  let table = Array.make n None in
+  List.iter
+    (fun (mname, h) ->
+      match Itype.method_index itype mname with
+      | i ->
+          if table.(i) <> None then
+            invalid_arg
+              (Printf.sprintf "Combuild.iface: duplicate handler %s.%s" (Itype.name itype) mname);
+          table.(i) <- Some h
+      | exception Not_found ->
+          invalid_arg
+            (Printf.sprintf "Combuild.iface: %s has no method %S" (Itype.name itype) mname))
+    handlers;
+  Array.iteri
+    (fun i slot ->
+      if slot = None then
+        invalid_arg
+          (Printf.sprintf "Combuild.iface: missing handler for %s.%s" (Itype.name itype)
+             (Itype.method_sig itype i).Idl_type.mname))
+    table;
+  let dispatch ctx ~meth args =
+    match table.(meth) with
+    | Some h -> h ctx args
+    | None -> assert false
+  in
+  (itype, dispatch)
+
+let echo args ret = (args, ret)
+
+let ret v : handler = fun _ctx args -> (args, v)
+
+let nop : handler = ret Value.Unit
+
+let arg_error what pos =
+  Hresult.fail
+    (Hresult.E_invalidarg (Printf.sprintf "expected %s at argument %d" what pos))
+
+let nth args pos =
+  match List.nth_opt args pos with
+  | Some v -> v
+  | None -> arg_error "argument" pos
+
+let get_int args pos =
+  match nth args pos with Value.Int i -> i | _ -> arg_error "int" pos
+
+let get_str args pos =
+  match nth args pos with Value.Str s -> s | _ -> arg_error "string" pos
+
+let get_blob args pos =
+  match nth args pos with Value.Blob n -> n | _ -> arg_error "blob" pos
+
+let get_iface args pos =
+  match nth args pos with Value.Iface_ref h -> h | _ -> arg_error "interface" pos
+
+let get_bool args pos =
+  match nth args pos with Value.Bool b -> b | _ -> arg_error "bool" pos

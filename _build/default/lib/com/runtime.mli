@@ -1,0 +1,174 @@
+(** The component object runtime.
+
+    Holds everything a running component application needs: the class
+    registry, live component instances, and the interface-handle table
+    through which all inter-component calls flow. Mirrors the COM
+    properties Coign depends on (paper §2):
+
+    - every instantiation goes through a single entry point
+      ({!create_instance}), which the Coign RTE intercepts via
+      {!set_create_hook} (the analog of inline redirection of
+      [CoCreateInstance]);
+    - every first-class communication crosses an interface handle, and
+      handles can be transparently replaced by wrappers
+      ({!alloc_foreign_handle}) so the RTE can observe every call;
+    - interfaces carry static type identity ({!Itype}), so informers
+      can measure parameters without source code.
+
+    The runtime is deliberately ignorant of Coign: hooks default to the
+    plain local behaviour, and an un-instrumented application behaves
+    identically with or without a hook installed. *)
+
+type ctx
+(** One application execution (an address space in the paper's terms,
+    or the union of the distributed address spaces once partitioned). *)
+
+type instance_id = int
+(** Dense, ascending component-instance identifiers. Instance 0 is the
+    pseudo-instance representing the application's main executable. *)
+
+type handle = int
+(** Interface pointer. *)
+
+type dispatch = ctx -> meth:int -> Coign_idl.Value.t list -> Coign_idl.Value.t list * Coign_idl.Value.t
+(** A vtable: given a method index and the caller's argument values,
+    runs the method and returns the post-call values of all parameter
+    slots (positionally aligned; [In] slots are echoed) and the return
+    value. *)
+
+type impl = (Itype.t * dispatch) list
+(** The interfaces one instance exposes. *)
+
+type component_class = {
+  clsid : Guid.t;
+  cname : string;
+  api_refs : string list;
+      (** System APIs the class's code references (e.g. ["gdi32.BitBlt"],
+          ["kernel32.ReadFile"]); the static-analysis constraint pass
+          scans these. *)
+  constructor : ctx -> instance_id -> impl;
+}
+
+val define_class :
+  ?api_refs:string list -> string -> (ctx -> instance_id -> impl) -> component_class
+(** [define_class name ctor] derives the CLSID from [name]. *)
+
+(** {1 Registry} *)
+
+type registry
+
+val registry : component_class list -> registry
+(** Build a registry; duplicate CLSIDs raise [Invalid_argument]. *)
+
+val registry_classes : registry -> component_class list
+(** All classes, in registration order. *)
+
+val find_class : registry -> Guid.t -> component_class option
+
+(** {1 Context lifecycle} *)
+
+val create_ctx : registry -> ctx
+
+val main_instance : instance_id
+(** The pseudo-instance (0) that stands for the application's [main]. *)
+
+val main_class_name : string
+(** Class name reported for {!main_instance} ("MAIN"). *)
+
+(** {1 Instantiation and interface negotiation} *)
+
+val create_instance : ctx -> Guid.t -> iid:Guid.t -> handle
+(** The application-facing [CoCreateInstance]: consults the create hook
+    if one is installed, otherwise behaves as {!raw_create_instance}.
+    Raises [Com_error E_noclass] / [E_nointerface]. *)
+
+val raw_create_instance : ctx -> Guid.t -> iid:Guid.t -> handle
+(** Instantiate bypassing the hook (what the hook itself calls to
+    perform the real local instantiation). Runs the class constructor. *)
+
+val query_interface : ctx -> handle -> iid:Guid.t -> handle
+(** Ask an instance for another of its interfaces; consults the query
+    hook if installed. *)
+
+val raw_query_interface : ctx -> handle -> iid:Guid.t -> handle
+
+val destroy_instance : ctx -> instance_id -> unit
+(** Release an instance; its handles become stale. Consults the destroy
+    hook. Destroying [main_instance] or an already-dead instance raises
+    [Com_error E_invalidarg]. *)
+
+(** {1 Calls} *)
+
+val call :
+  ctx -> handle -> meth:int -> Coign_idl.Value.t list ->
+  Coign_idl.Value.t list * Coign_idl.Value.t
+(** Invoke a method through an interface handle. All inter-component
+    communication in an application goes through here. *)
+
+val call_named :
+  ctx -> handle -> string -> Coign_idl.Value.t list ->
+  Coign_idl.Value.t list * Coign_idl.Value.t
+(** Convenience: resolve the method by name on the handle's itype. *)
+
+(** {1 Handle and instance introspection (used by the Coign RTE)} *)
+
+val handle_itype : ctx -> handle -> Itype.t
+val handle_owner : ctx -> handle -> instance_id
+val handle_is_wrapper : ctx -> handle -> bool
+
+val alloc_foreign_handle :
+  ctx -> owner:instance_id -> itype:Itype.t -> wrapper:bool -> dispatch -> handle
+(** Mint a new handle not produced by [query_interface] — the RTE uses
+    this to interpose instrumented interfaces and the factory to expose
+    remote proxies. *)
+
+val instance_class_name : ctx -> instance_id -> string
+val instance_clsid : ctx -> instance_id -> Guid.t option
+(** [None] for {!main_instance}. *)
+
+val instance_alive : ctx -> instance_id -> bool
+val instance_count : ctx -> int
+(** Number of instances ever created, including [main]. *)
+
+val live_instances : ctx -> instance_id list
+(** Ascending ids of live instances, excluding [main]. *)
+
+val iter_instances : ctx -> (instance_id -> unit) -> unit
+(** All instances ever created (dead included), ascending, excluding
+    [main]. *)
+
+(** {1 Interception hooks} *)
+
+type create_request = {
+  req_clsid : Guid.t;
+  req_iid : Guid.t;
+  req_class : component_class;
+}
+
+val set_create_hook : ctx -> (create_request -> handle) option -> unit
+val set_query_hook : ctx -> (handle -> iid:Guid.t -> handle) option -> unit
+val set_destroy_hook : ctx -> (instance_id -> unit) option -> unit
+
+(** {1 Compute accounting}
+
+    Methods charge notional CPU time so the execution simulator can
+    model total scenario time (compute + communication). *)
+
+val charge : ctx -> us:float -> unit
+(** Record [us] microseconds of computation by the current method. *)
+
+val compute_us : ctx -> float
+val reset_compute : ctx -> unit
+
+(** {1 User-data slots}
+
+    Component implementations frequently need shared per-context state
+    (e.g. a document model). Each context carries one polymorphic slot
+    per key. *)
+
+type 'a key
+
+val new_key : unit -> 'a key
+val set_data : ctx -> 'a key -> 'a -> unit
+val get_data : ctx -> 'a key -> 'a option
+val registry_of : ctx -> registry

@@ -1,0 +1,1 @@
+lib/core/adps.ml: Analysis Binary_image Classifier Coign_com Coign_image Config_keys Config_record Constraints Factory Icc Inst_comm List Option Rewriter Rte Runtime

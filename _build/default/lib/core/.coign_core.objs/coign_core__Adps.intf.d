@@ -1,0 +1,1 @@
+lib/core/adps.mli: Analysis Classifier Coign_com Coign_flowgraph Coign_image Coign_netsim Constraints Factory Icc Rte

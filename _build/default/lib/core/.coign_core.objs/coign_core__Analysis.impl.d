@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Buffer Classifier Coign_flowgraph Coign_netsim Coign_util Constraints Exp_bucket Float Flow_network Hashtbl Icc List Mincut Net_profiler Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Classifier Coign_flowgraph Coign_netsim Constraints Icc

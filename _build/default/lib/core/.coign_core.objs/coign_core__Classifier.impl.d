@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Array Buffer Frame Hashtbl List Printf String

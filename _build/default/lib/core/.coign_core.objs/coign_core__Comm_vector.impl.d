@@ -1,0 +1,1 @@
+lib/core/comm_vector.ml: Array Coign_util Hashtbl Inst_comm List Stats

@@ -1,0 +1,1 @@
+lib/core/comm_vector.mli: Hashtbl Inst_comm

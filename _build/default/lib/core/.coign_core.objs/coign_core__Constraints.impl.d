@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Int List Map Printf Static_analysis String

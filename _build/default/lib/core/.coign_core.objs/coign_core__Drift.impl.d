@@ -1,0 +1,1 @@
+lib/core/drift.ml: Coign_util Hashtbl Icc List Option

@@ -1,0 +1,1 @@
+lib/core/factory.ml: Analysis Constraints Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/factory.mli: Analysis Constraints

@@ -1,0 +1,1 @@
+lib/core/icc.ml: Buffer Coign_util Exp_bucket Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/icc.mli: Coign_util

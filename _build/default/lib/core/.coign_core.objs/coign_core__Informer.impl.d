@@ -1,0 +1,1 @@
+lib/core/informer.ml: Coign_com Coign_idl Idl_type Itype List Marshal_size Midl

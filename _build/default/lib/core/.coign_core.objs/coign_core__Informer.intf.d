@@ -1,0 +1,1 @@
+lib/core/informer.mli: Coign_com Coign_idl

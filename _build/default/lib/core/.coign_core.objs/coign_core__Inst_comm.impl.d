@@ -1,0 +1,1 @@
+lib/core/inst_comm.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/logger.ml: Event Format Icc Inst_comm List String

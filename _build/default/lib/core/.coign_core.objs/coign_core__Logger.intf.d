@@ -1,0 +1,1 @@
+lib/core/logger.mli: Event Icc Inst_comm

@@ -1,0 +1,1 @@
+lib/core/multiway_analysis.ml: Analysis Array Classifier Coign_flowgraph Float Flow_network Hashtbl Icc List Multiway Option Queue String

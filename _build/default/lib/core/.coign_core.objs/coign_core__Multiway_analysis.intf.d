@@ -1,0 +1,1 @@
+lib/core/multiway_analysis.mli: Classifier Coign_netsim Icc

@@ -1,0 +1,1 @@
+lib/core/profile_log.ml: Array Classifier Coign_image Config_keys Fun Icc List Rte String

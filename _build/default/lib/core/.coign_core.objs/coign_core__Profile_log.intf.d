@@ -1,0 +1,1 @@
+lib/core/profile_log.mli: Classifier Coign_image Icc Rte

@@ -1,0 +1,1 @@
+lib/core/rte.mli: Classifier Coign_com Coign_netsim Constraints Factory Icc Inst_comm Logger

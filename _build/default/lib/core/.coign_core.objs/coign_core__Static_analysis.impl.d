@@ -1,0 +1,1 @@
+lib/core/static_analysis.ml: Coign_image List String

@@ -1,0 +1,1 @@
+lib/core/static_analysis.mli: Coign_image

@@ -1,0 +1,159 @@
+open Coign_com
+open Coign_image
+
+type scenario = Runtime.ctx -> unit
+
+let key_classifier = Config_keys.classifier
+let key_icc = Config_keys.icc
+let key_distribution = Config_keys.distribution
+
+let instrument = Rewriter.instrument
+
+type profile_stats = {
+  ps_instances : int;
+  ps_calls : int;
+  ps_bytes : int;
+  ps_compute_us : float;
+  ps_classifications : int;
+}
+
+let config_of image =
+  match image.Binary_image.config with
+  | Some c -> c
+  | None -> invalid_arg "Adps: image has no configuration record (not instrumented)"
+
+let classifier_of_config config =
+  match Config_record.entry config key_classifier with
+  | Some state -> Classifier.decode state
+  | None ->
+      let kind =
+        match Classifier.kind_of_name (Config_record.classifier_name config) with
+        | Some k -> k
+        | None ->
+            invalid_arg
+              ("Adps: unknown classifier " ^ Config_record.classifier_name config)
+      in
+      Classifier.create ?stack_depth:(Config_record.stack_depth config) kind
+
+let profile_results ~image ~registry scenario =
+  let config = config_of image in
+  if Config_record.mode config <> Config_record.Profiling then
+    invalid_arg "Adps.profile: image is not in profiling mode";
+  let classifier = classifier_of_config config in
+  let ctx = Runtime.create_ctx registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  scenario ctx;
+  Rte.uninstall rte;
+  let icc =
+    match Config_record.entry config key_icc with
+    | Some prior -> Icc.merge (Icc.decode prior) (Rte.icc rte)
+    | None -> Rte.icc rte
+  in
+  let config =
+    Config_record.set_entry
+      (Config_record.set_entry config key_classifier (Classifier.encode classifier))
+      key_icc (Icc.encode icc)
+  in
+  let stats =
+    {
+      ps_instances = List.length (Rte.instances_created rte);
+      ps_calls = Rte.intercepted_calls rte;
+      ps_bytes = Inst_comm.total_bytes (Rte.inst_comm rte) ;
+      ps_compute_us = Runtime.compute_us ctx;
+      ps_classifications = Classifier.classification_count classifier;
+    }
+  in
+  ({ image with Binary_image.config = Some config }, stats, rte)
+
+let profile ~image ~registry scenario =
+  let image, stats, _rte = profile_results ~image ~registry scenario in
+  (image, stats)
+
+let load_profile image =
+  match image.Binary_image.config with
+  | None -> None
+  | Some config -> (
+      match (Config_record.entry config key_classifier, Config_record.entry config key_icc) with
+      | Some cls, Some icc -> Some (Classifier.decode cls, Icc.decode icc)
+      | _ -> None)
+
+let load_distribution image =
+  match image.Binary_image.config with
+  | None -> None
+  | Some config -> (
+      match
+        (Config_record.entry config key_classifier, Config_record.entry config key_distribution)
+      with
+      | Some cls, Some dist -> Some (Classifier.decode cls, Analysis.decode dist)
+      | _ -> None)
+
+let analyze ?algorithm ?(extra_constraints = Constraints.empty) ~image ~net () =
+  match load_profile image with
+  | None -> invalid_arg "Adps.analyze: image holds no profile"
+  | Some (classifier, icc) ->
+      let constraints = Constraints.merge (Constraints.of_image image) extra_constraints in
+      let distribution = Analysis.choose ?algorithm ~classifier ~icc ~constraints ~net () in
+      let image =
+        Rewriter.write_distribution image
+          ~entries:
+            [
+              (key_classifier, Classifier.encode classifier);
+              (key_distribution, Analysis.encode distribution);
+            ]
+      in
+      (image, distribution)
+
+type exec_stats = {
+  es_comm_us : float;
+  es_compute_us : float;
+  es_total_us : float;
+  es_remote_calls : int;
+  es_remote_bytes : int;
+  es_instances : int;
+  es_server_instances : int;
+  es_forwarded_creates : int;
+}
+
+let execute_with_policy ~registry ~classifier ~policy ~network ?(jitter = 0.)
+    ?(seed = 0x5EEDL) scenario =
+  let ctx = Runtime.create_ctx registry in
+  let rte =
+    Rte.install_distributed ~classifier
+      ~config:
+        {
+          Rte.dc_factory_policy = policy;
+          dc_network = network;
+          dc_jitter = jitter;
+          dc_seed = seed;
+        }
+      ctx
+  in
+  scenario ctx;
+  Rte.uninstall rte;
+  let factory = Option.get (Rte.factory rte) in
+  let comm = Rte.comm_us rte in
+  let compute = Runtime.compute_us ctx in
+  {
+    es_comm_us = comm;
+    es_compute_us = compute;
+    es_total_us = comm +. compute;
+    es_remote_calls = Rte.remote_calls rte;
+    es_remote_bytes = Rte.remote_bytes rte;
+    es_instances = List.length (Rte.instances_created rte);
+    es_server_instances =
+      List.length
+        (List.filter
+           (fun i -> i <> Runtime.main_instance)
+           (Factory.instances_on factory Constraints.Server));
+    es_forwarded_creates = Factory.forwarded_requests factory;
+  }
+
+let execute ~image ~registry ~network ?jitter ?seed scenario =
+  let config = config_of image in
+  if Config_record.mode config <> Config_record.Distributed then
+    invalid_arg "Adps.execute: image is not in distributed mode";
+  match load_distribution image with
+  | None -> invalid_arg "Adps.execute: image holds no distribution"
+  | Some (classifier, distribution) ->
+      execute_with_policy ~registry ~classifier
+        ~policy:(Factory.By_classification distribution) ~network ?jitter ?seed scenario

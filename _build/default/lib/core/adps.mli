@@ -1,0 +1,108 @@
+(** The end-to-end Automatic Distributed Partitioning System pipeline
+    (paper Figure 1):
+
+    application binary → binary rewriter → instrumented binary →
+    profiling scenarios → ICC data → profile analysis (+ network
+    profile) → best distribution → binary rewriter → distributed
+    application.
+
+    Every stage communicates through the image's configuration record,
+    so stages can run in separate processes (see [bin/coign.ml]) and
+    profiles accumulate across scenario runs. *)
+
+type scenario = Coign_com.Runtime.ctx -> unit
+(** A usage scenario: drives the application through the object
+    runtime (ordinarily via an automated testing tool). *)
+
+(** {1 Stage 1: instrument} *)
+
+val instrument :
+  ?classifier:string -> ?stack_depth:int option ->
+  Coign_image.Binary_image.t -> Coign_image.Binary_image.t
+(** {!Coign_image.Rewriter.instrument} re-exported for pipeline
+    symmetry. *)
+
+(** {1 Stage 2: profile} *)
+
+type profile_stats = {
+  ps_instances : int;        (** component instances created *)
+  ps_calls : int;            (** interface calls intercepted *)
+  ps_bytes : int;            (** deep-copy bytes measured *)
+  ps_compute_us : float;     (** compute charged by the application *)
+  ps_classifications : int;  (** cumulative classifications known *)
+}
+
+val profile :
+  image:Coign_image.Binary_image.t ->
+  registry:Coign_com.Runtime.registry ->
+  scenario ->
+  Coign_image.Binary_image.t * profile_stats
+(** Run one profiling scenario against an instrumented image. Loads any
+    classifier state and ICC summaries already accumulated in the
+    config record, runs the scenario under the profiling RTE, and
+    writes the merged results back into the returned image. Raises
+    [Invalid_argument] if the image is not in profiling mode. *)
+
+val profile_results :
+  image:Coign_image.Binary_image.t ->
+  registry:Coign_com.Runtime.registry ->
+  scenario ->
+  Coign_image.Binary_image.t * profile_stats * Rte.t
+(** Like {!profile} but also exposes the RTE for callers that need raw
+    run data (instance classifications, the instance communication
+    matrix). The RTE is already uninstalled. *)
+
+(** {1 Stage 3: analyze} *)
+
+val analyze :
+  ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  ?extra_constraints:Constraints.t ->
+  image:Coign_image.Binary_image.t ->
+  net:Coign_netsim.Net_profiler.t ->
+  unit ->
+  Coign_image.Binary_image.t * Analysis.distribution
+(** Combine the accumulated profile with constraints (static analysis
+    of the image plus [extra_constraints]) and the network profile;
+    choose the distribution; rewrite the image into distributed mode
+    carrying the classifier state and placement. Raises
+    [Invalid_argument] if the image holds no profile. *)
+
+val load_profile : Coign_image.Binary_image.t -> (Classifier.t * Icc.t) option
+(** The accumulated classifier state and ICC summary, if any. *)
+
+val load_distribution : Coign_image.Binary_image.t -> (Classifier.t * Analysis.distribution) option
+
+(** {1 Stage 4: distributed execution} *)
+
+type exec_stats = {
+  es_comm_us : float;        (** measured cross-machine communication *)
+  es_compute_us : float;
+  es_total_us : float;
+  es_remote_calls : int;
+  es_remote_bytes : int;
+  es_instances : int;
+  es_server_instances : int;
+  es_forwarded_creates : int;
+}
+
+val execute :
+  image:Coign_image.Binary_image.t ->
+  registry:Coign_com.Runtime.registry ->
+  network:Coign_netsim.Network.t ->
+  ?jitter:float -> ?seed:int64 ->
+  scenario ->
+  exec_stats
+(** Run a scenario under the distribution stored in the image (which
+    must be in distributed mode). [jitter] defaults to 0 (deterministic
+    network). *)
+
+val execute_with_policy :
+  registry:Coign_com.Runtime.registry ->
+  classifier:Classifier.t ->
+  policy:Factory.policy ->
+  network:Coign_netsim.Network.t ->
+  ?jitter:float -> ?seed:int64 ->
+  scenario ->
+  exec_stats
+(** Run under an explicit placement policy — used to measure the
+    application's default (developer-chosen) distribution. *)

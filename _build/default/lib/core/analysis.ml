@@ -1,0 +1,184 @@
+open Coign_util
+open Coign_netsim
+open Coign_flowgraph
+
+type distribution = {
+  placement : Constraints.location array;
+  cut_ns : int;
+  predicted_comm_us : float;
+  server_count : int;
+  node_count : int;
+  algorithm : Mincut.algorithm;
+}
+
+let price_entry net (e : Icc.entry) =
+  Exp_bucket.fold
+    (fun ~index ~count ~bytes:_ acc ->
+      let mean = Exp_bucket.mean_bytes_in_bucket e.Icc.messages index in
+      acc
+      +. (float_of_int count
+         *. Net_profiler.predict_us net ~bytes:(int_of_float (Float.round mean))))
+    e.Icc.messages 0.
+
+let ns_of_us us = int_of_float (Float.round (us *. 1000.))
+
+let choose ?(algorithm = Mincut.Relabel_to_front) ~classifier ~icc ~constraints ~net () =
+  let n = Classifier.classification_count classifier in
+  (* Nodes: 0..n-1 classifications, n = client terminal, n+1 = server. *)
+  let client = n and server = n + 1 in
+  let g = Flow_network.create ~n:(n + 2) in
+  let node_of c = if c < 0 then client else c in
+  (* Traffic edges: symmetric communication cost per unordered pair. *)
+  let pair_cost : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let pair_non_remotable : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Icc.entry) ->
+      let a = node_of e.Icc.src and b = node_of e.Icc.dst in
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        let cur = Option.value ~default:0. (Hashtbl.find_opt pair_cost key) in
+        Hashtbl.replace pair_cost key (cur +. price_entry net e);
+        if not e.Icc.remotable then Hashtbl.replace pair_non_remotable key ()
+      end)
+    (Icc.entries icc);
+  Hashtbl.iter
+    (fun (a, b) cost -> Flow_network.add_undirected g a b ~cap:(ns_of_us cost))
+    pair_cost;
+  Hashtbl.iter
+    (fun (a, b) () -> Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
+    pair_non_remotable;
+  (* Constraint edges. *)
+  let pin c loc =
+    let terminal = match loc with Constraints.Client -> client | Constraints.Server -> server in
+    Flow_network.add_undirected g c terminal ~cap:Flow_network.infinity_cap
+  in
+  for c = 0 to n - 1 do
+    (match Constraints.classification_pin constraints c with
+    | Some loc -> pin c loc
+    | None -> ());
+    match Constraints.class_pin constraints ~cname:(Classifier.class_of_classification classifier c) with
+    | Some loc -> pin c loc
+    | None -> ()
+  done;
+  List.iter
+    (fun (a, b) ->
+      if a >= 0 && a < n && b >= 0 && b < n then
+        Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
+    (Constraints.colocated_pairs constraints);
+  (* A cut must exist even in a graph with no server-pinned component:
+     guarantee terminals are present (no edge needed; the cut just puts
+     everything on the client). *)
+  let cut = Mincut.min_cut ~algorithm g ~s:client ~t:server in
+  (* A node the min cut leaves on the sink side belongs on the server
+     only if it is actually connected to the server's side; components
+     that never communicated are free and default to the client. *)
+  let adjacency = Array.make (n + 2) [] in
+  List.iter
+    (fun (a, b, _) ->
+      adjacency.(a) <- b :: adjacency.(a);
+      adjacency.(b) <- a :: adjacency.(b))
+    (Flow_network.edges g);
+  let server_side = Array.make (n + 2) false in
+  server_side.(server) <- true;
+  let queue = Queue.create () in
+  Queue.add server queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun u ->
+        if (not server_side.(u)) && not cut.Mincut.source_side.(u) then begin
+          server_side.(u) <- true;
+          Queue.add u queue
+        end)
+      adjacency.(v)
+  done;
+  let placement =
+    Array.init n (fun c -> if server_side.(c) then Constraints.Server else Constraints.Client)
+  in
+  let server_count = Array.fold_left (fun acc l -> if l = Constraints.Server then acc + 1 else acc) 0 placement in
+  let location_of_c c = if c < 0 || c >= n then Constraints.Client else placement.(c) in
+  let predicted_comm_us =
+    List.fold_left
+      (fun acc (e : Icc.entry) ->
+        if location_of_c e.Icc.src <> location_of_c e.Icc.dst then acc +. price_entry net e
+        else acc)
+      0. (Icc.entries icc)
+  in
+  {
+    placement;
+    cut_ns = cut.Mincut.value;
+    predicted_comm_us;
+    server_count;
+    node_count = n;
+    algorithm;
+  }
+
+let location_of d c =
+  if c < 0 || c >= Array.length d.placement then Constraints.Client else d.placement.(c)
+
+let server_classifications d =
+  let acc = ref [] in
+  for c = Array.length d.placement - 1 downto 0 do
+    if d.placement.(c) = Constraints.Server then acc := c :: !acc
+  done;
+  !acc
+
+let comm_time_under ~icc ~net ~placement =
+  List.fold_left
+    (fun acc (e : Icc.entry) ->
+      if placement e.Icc.src <> placement e.Icc.dst then acc +. price_entry net e else acc)
+    0. (Icc.entries icc)
+
+let algorithm_tag = function
+  | Mincut.Relabel_to_front -> "rtf"
+  | Mincut.Edmonds_karp -> "ek"
+  | Mincut.Dinic -> "dinic"
+
+let algorithm_of_tag = function
+  | "rtf" -> Mincut.Relabel_to_front
+  | "ek" -> Mincut.Edmonds_karp
+  | "dinic" -> Mincut.Dinic
+  | s -> invalid_arg ("Analysis.decode: unknown algorithm " ^ s)
+
+let encode d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %f %s\n" d.node_count d.cut_ns d.predicted_comm_us
+       (algorithm_tag d.algorithm));
+  Array.iter
+    (fun loc -> Buffer.add_char buf (match loc with Constraints.Client -> 'C' | Constraints.Server -> 'S'))
+    d.placement;
+  Buffer.contents buf
+
+let decode s =
+  match String.index_opt s '\n' with
+  | None -> invalid_arg "Analysis.decode: truncated"
+  | Some nl -> (
+      let header = String.sub s 0 nl in
+      let body = String.sub s (nl + 1) (String.length s - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ n; cut; comm; alg ] ->
+          let node_count = int_of_string n in
+          if String.length body <> node_count then
+            invalid_arg "Analysis.decode: placement length mismatch";
+          let placement =
+            Array.init node_count (fun i ->
+                match body.[i] with
+                | 'C' -> Constraints.Client
+                | 'S' -> Constraints.Server
+                | c -> invalid_arg (Printf.sprintf "Analysis.decode: bad location %c" c))
+          in
+          let server_count =
+            Array.fold_left
+              (fun acc l -> if l = Constraints.Server then acc + 1 else acc)
+              0 placement
+          in
+          {
+            placement;
+            cut_ns = int_of_string cut;
+            predicted_comm_us = float_of_string comm;
+            server_count;
+            node_count;
+            algorithm = algorithm_of_tag alg;
+          }
+      | _ -> invalid_arg "Analysis.decode: malformed header")

@@ -1,0 +1,64 @@
+(** The profile analysis engine (paper §2).
+
+    Combines component communication profiles and location constraints
+    into an abstract ICC graph, prices it against a network profile to
+    get a concrete graph of potential communication time, and cuts the
+    graph with the lift-to-front minimum-cut algorithm to choose the
+    client/server distribution with minimal communication time.
+
+    Nodes are instance classifications; two terminals stand for the
+    client and server machines. Edges carry, in nanoseconds, the
+    communication time the pair would pay if separated. Non-remotable
+    interfaces, pair-wise constraints, and absolute pins become
+    infinite-capacity edges, so the minimum cut can never violate
+    them. *)
+
+type distribution = {
+  placement : Constraints.location array;  (** indexed by classification *)
+  cut_ns : int;           (** capacity of the chosen cut *)
+  predicted_comm_us : float;
+      (** communication time of the distribution as priced by the
+          network profile (equals [cut_ns / 1000] apart from rounding) *)
+  server_count : int;     (** classifications placed on the server *)
+  node_count : int;
+  algorithm : Coign_flowgraph.Mincut.algorithm;
+}
+
+val choose :
+  ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  classifier:Classifier.t ->
+  icc:Icc.t ->
+  constraints:Constraints.t ->
+  net:Coign_netsim.Net_profiler.t ->
+  unit ->
+  distribution
+(** Run the engine. Every classification known to the classifier gets a
+    node even if it never communicated (such nodes land on the client).
+    The main program (classification -1) is treated as pinned to the
+    client. *)
+
+val location_of : distribution -> int -> Constraints.location
+(** Placement of a classification; classifications outside the analyzed
+    range (new at run time) default to [Client]. [-1] (main) is
+    [Client]. *)
+
+val server_classifications : distribution -> int list
+
+val comm_time_under :
+  icc:Icc.t -> net:Coign_netsim.Net_profiler.t ->
+  placement:(int -> Constraints.location) -> float
+(** Predicted communication time (µs) of an arbitrary placement: the
+    priced traffic of every ICC entry whose endpoints are separated.
+    Useful for evaluating default/manual distributions against Coign's.
+    Calls over non-remotable interfaces that the placement separates
+    are priced as if remotable (a real run would fault — see
+    {!Rte}). *)
+
+val price_entry : Coign_netsim.Net_profiler.t -> Icc.entry -> float
+(** Time (µs) for one ICC entry's messages if its endpoints were
+    separated: per-bucket message count times the fitted per-message
+    time at the bucket's mean size. *)
+
+val encode : distribution -> string
+val decode : string -> distribution
+(** Round-trips placements and metadata (for the config record). *)

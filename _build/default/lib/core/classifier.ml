@@ -1,0 +1,264 @@
+type kind = Incremental | Pcb | St | Stcb | Ifcb | Epcb | Ib
+
+let all_kinds = [ Incremental; Pcb; St; Stcb; Ifcb; Epcb; Ib ]
+
+let kind_name = function
+  | Incremental -> "incremental"
+  | Pcb -> "pcb"
+  | St -> "st"
+  | Stcb -> "stcb"
+  | Ifcb -> "ifcb"
+  | Epcb -> "epcb"
+  | Ib -> "ib"
+
+let kind_of_name = function
+  | "incremental" -> Some Incremental
+  | "pcb" -> Some Pcb
+  | "st" -> Some St
+  | "stcb" -> Some Stcb
+  | "ifcb" -> Some Ifcb
+  | "epcb" -> Some Epcb
+  | "ib" -> Some Ib
+  | _ -> None
+
+let kind_description = function
+  | Incremental -> "Incremental"
+  | Pcb -> "Procedure Called-By"
+  | St -> "Static-Type"
+  | Stcb -> "Static-Type Called-By"
+  | Ifcb -> "Internal-Func. Called-By"
+  | Epcb -> "Entry-Point Called-By"
+  | Ib -> "Instantiated-By"
+
+type t = {
+  ckind : kind;
+  depth : int option;
+  table : (string, int) Hashtbl.t;        (* descriptor -> classification *)
+  mutable descriptors : string array;     (* classification -> descriptor *)
+  mutable classes : string array;         (* classification -> component class *)
+  mutable counts : int array;             (* instances per classification *)
+  mutable nclassifications : int;
+  mutable order : int;                    (* instantiation ordinal *)
+  mutable counting : bool;
+}
+
+let create ?stack_depth ckind =
+  (match stack_depth with
+  | Some d when d < 1 -> invalid_arg "Classifier.create: depth must be >= 1"
+  | _ -> ());
+  {
+    ckind;
+    depth = stack_depth;
+    table = Hashtbl.create 256;
+    descriptors = Array.make 64 "";
+    classes = Array.make 64 "";
+    counts = Array.make 64 0;
+    nclassifications = 0;
+    order = 0;
+    counting = true;
+  }
+
+let kind t = t.ckind
+let stack_depth t = t.depth
+
+(* Collapse consecutive frames of the same instance, keeping the
+   deepest frame of each run — the method by which control *entered*
+   the instance. Input and output are most-recent-first. *)
+let entry_points frames =
+  (* Work oldest-first so "entered by" is the first frame of a run. *)
+  let rec collapse = function
+    | [] -> []
+    | f :: rest ->
+        let rec skip_run = function
+          | g :: more when g.Frame.f_inst = f.Frame.f_inst -> skip_run more
+          | tail -> tail
+        in
+        f :: collapse (skip_run rest)
+  in
+  List.rev (collapse (List.rev frames))
+
+let limit_frames depth frames =
+  match depth with
+  | None -> frames
+  | Some k ->
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | f :: rest -> f :: take (k - 1) rest
+      in
+      take k frames
+
+let descriptor t ~cname ~stack =
+  let frames = limit_frames t.depth stack in
+  match t.ckind with
+  | Incremental -> Printf.sprintf "[%d]" t.order
+  | St -> Printf.sprintf "[%s]" cname
+  | Pcb ->
+      let chain = List.map (fun f -> f.Frame.f_class ^ "::" ^ f.Frame.f_meth) frames in
+      Printf.sprintf "[%s]" (String.concat ", " (cname :: chain))
+  | Stcb ->
+      (* Classes of the *instances* in the back-trace: an instance that
+         occupies several consecutive frames contributes its class once
+         (paper Figure 3 lists instance a's class A a single time). *)
+      let chain = List.map (fun f -> f.Frame.f_class) (entry_points frames) in
+      Printf.sprintf "[%s]" (String.concat ", " (cname :: chain))
+  | Ifcb ->
+      let chain =
+        List.map
+          (fun f -> Printf.sprintf "[c%d,%s]" f.Frame.f_classification f.Frame.f_meth)
+          frames
+      in
+      Printf.sprintf "[%s]" (String.concat ", " (cname :: chain))
+  | Epcb ->
+      let chain =
+        List.map
+          (fun f -> Printf.sprintf "[c%d,%s]" f.Frame.f_classification f.Frame.f_meth)
+          (entry_points frames)
+      in
+      Printf.sprintf "[%s]" (String.concat ", " (cname :: chain))
+  | Ib -> (
+      match frames with
+      | [] -> Printf.sprintf "[%s, root]" cname
+      | f :: _ -> Printf.sprintf "[%s, c%d]" cname f.Frame.f_classification)
+
+let grow t =
+  if t.nclassifications = Array.length t.descriptors then begin
+    let n = Array.length t.descriptors in
+    let descriptors = Array.make (2 * n) "" in
+    let classes = Array.make (2 * n) "" in
+    let counts = Array.make (2 * n) 0 in
+    Array.blit t.descriptors 0 descriptors 0 n;
+    Array.blit t.classes 0 classes 0 n;
+    Array.blit t.counts 0 counts 0 n;
+    t.descriptors <- descriptors;
+    t.classes <- classes;
+    t.counts <- counts
+  end
+
+let classify t ~cname ~stack =
+  let desc = descriptor t ~cname ~stack in
+  t.order <- t.order + 1;
+  let id =
+    match Hashtbl.find_opt t.table desc with
+    | Some id -> id
+    | None ->
+        grow t;
+        let id = t.nclassifications in
+        Hashtbl.add t.table desc id;
+        t.descriptors.(id) <- desc;
+        t.classes.(id) <- cname;
+        t.nclassifications <- id + 1;
+        id
+  in
+  if t.counting then t.counts.(id) <- t.counts.(id) + 1;
+  id
+
+let lookup t ~cname ~stack = Hashtbl.find_opt t.table (descriptor t ~cname ~stack)
+
+let classification_count t = t.nclassifications
+
+let instance_count t =
+  let total = ref 0 in
+  for i = 0 to t.nclassifications - 1 do
+    total := !total + t.counts.(i)
+  done;
+  !total
+
+let instances_of t id =
+  if id < 0 || id >= t.nclassifications then invalid_arg "Classifier.instances_of";
+  t.counts.(id)
+
+let descriptor_of_classification t id =
+  if id < 0 || id >= t.nclassifications then
+    invalid_arg "Classifier.descriptor_of_classification";
+  t.descriptors.(id)
+
+let class_of_classification t id =
+  if id < 0 || id >= t.nclassifications then invalid_arg "Classifier.class_of_classification";
+  t.classes.(id)
+
+let freeze_counts t = t.counting <- false
+
+let copy t =
+  let c = create ?stack_depth:t.depth t.ckind in
+  Hashtbl.iter (fun k v -> Hashtbl.add c.table k v) t.table;
+  c.descriptors <- Array.copy t.descriptors;
+  c.classes <- Array.copy t.classes;
+  c.counts <- Array.copy t.counts;
+  c.nclassifications <- t.nclassifications;
+  c.order <- t.order;
+  c
+
+let merge a b =
+  if a.ckind <> b.ckind || a.depth <> b.depth then
+    invalid_arg "Classifier.merge: classifier configurations differ";
+  let m = copy a in
+  let remap = Array.make b.nclassifications 0 in
+  for bid = 0 to b.nclassifications - 1 do
+    let desc = b.descriptors.(bid) in
+    let id =
+      match Hashtbl.find_opt m.table desc with
+      | Some id -> id
+      | None ->
+          grow m;
+          let id = m.nclassifications in
+          Hashtbl.add m.table desc id;
+          m.descriptors.(id) <- desc;
+          m.classes.(id) <- b.classes.(bid);
+          m.nclassifications <- id + 1;
+          id
+    in
+    m.counts.(id) <- m.counts.(id) + b.counts.(bid);
+    remap.(bid) <- id
+  done;
+  m.order <- max a.order b.order;
+  (m, remap)
+
+let encode t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (kind_name t.ckind);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (match t.depth with None -> "full" | Some d -> string_of_int d);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (string_of_int t.order);
+  Buffer.add_char buf '\n';
+  for id = 0 to t.nclassifications - 1 do
+    (* Descriptors never contain newlines or tabs; classes neither. *)
+    Buffer.add_string buf (string_of_int t.counts.(id));
+    Buffer.add_char buf '\t';
+    Buffer.add_string buf t.classes.(id);
+    Buffer.add_char buf '\t';
+    Buffer.add_string buf t.descriptors.(id);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let decode s =
+  match String.split_on_char '\n' s with
+  | kind_line :: depth_line :: order_line :: rest ->
+      let ckind =
+        match kind_of_name kind_line with
+        | Some k -> k
+        | None -> invalid_arg ("Classifier.decode: unknown kind " ^ kind_line)
+      in
+      let depth =
+        if String.equal depth_line "full" then None else Some (int_of_string depth_line)
+      in
+      let t = create ?stack_depth:depth ckind in
+      t.order <- int_of_string order_line;
+      List.iter
+        (fun line ->
+          if not (String.equal line "") then
+            match String.split_on_char '\t' line with
+            | [ count; cls; desc ] ->
+                grow t;
+                let id = t.nclassifications in
+                Hashtbl.add t.table desc id;
+                t.descriptors.(id) <- desc;
+                t.classes.(id) <- cls;
+                t.counts.(id) <- int_of_string count;
+                t.nclassifications <- id + 1
+            | _ -> invalid_arg "Classifier.decode: malformed row")
+        rest;
+      t
+  | _ -> invalid_arg "Classifier.decode: truncated"

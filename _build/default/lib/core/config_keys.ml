@@ -1,0 +1,7 @@
+(* Names of the Coign entries in an image's configuration record,
+   shared by the pipeline ({!Adps}) and standalone profile logs
+   ({!Profile_log}). *)
+
+let classifier = "coign.classifier"
+let icc = "coign.icc"
+let distribution = "coign.distribution"

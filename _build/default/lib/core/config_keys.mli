@@ -1,0 +1,5 @@
+(** Names of the Coign entries in an image's configuration record. *)
+
+val classifier : string
+val icc : string
+val distribution : string

@@ -1,0 +1,69 @@
+type location = Client | Server
+
+let location_name = function Client -> "client" | Server -> "server"
+
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
+
+type t = {
+  by_class : location Smap.t;
+  by_classification : location Imap.t;
+  pairs : (int * int) list;  (* normalized (min, max), deduplicated *)
+}
+
+let empty = { by_class = Smap.empty; by_classification = Imap.empty; pairs = [] }
+
+let conflict what a b =
+  if a <> b then invalid_arg ("Constraints: conflicting pins for " ^ what);
+  a
+
+let pin_class t ~cname loc =
+  let loc =
+    match Smap.find_opt cname t.by_class with
+    | Some existing -> conflict cname existing loc
+    | None -> loc
+  in
+  { t with by_class = Smap.add cname loc t.by_class }
+
+let pin_classification t c loc =
+  let loc =
+    match Imap.find_opt c t.by_classification with
+    | Some existing -> conflict (Printf.sprintf "classification %d" c) existing loc
+    | None -> loc
+  in
+  { t with by_classification = Imap.add c loc t.by_classification }
+
+let colocate t a b =
+  if a = b then t
+  else
+    let pair = (min a b, max a b) in
+    if List.mem pair t.pairs then t else { t with pairs = pair :: t.pairs }
+
+let of_image img =
+  List.fold_left
+    (fun t (cname, verdict) ->
+      match verdict with
+      | Static_analysis.Pin_client -> pin_class t ~cname Client
+      | Static_analysis.Pin_server -> pin_class t ~cname Server
+      | Static_analysis.Free -> t)
+    empty
+    (Static_analysis.image_verdicts img)
+
+let merge a b =
+  let by_class =
+    Smap.union (fun cname la lb -> Some (conflict cname la lb)) a.by_class b.by_class
+  in
+  let by_classification =
+    Imap.union
+      (fun c la lb -> Some (conflict (Printf.sprintf "classification %d" c) la lb))
+      a.by_classification b.by_classification
+  in
+  let pairs =
+    List.fold_left (fun acc p -> if List.mem p acc then acc else p :: acc) a.pairs b.pairs
+  in
+  { by_class; by_classification; pairs }
+
+let class_pin t ~cname = Smap.find_opt cname t.by_class
+let classification_pin t c = Imap.find_opt c t.by_classification
+let colocated_pairs t = List.sort compare t.pairs
+let pinned_classes t = Smap.bindings t.by_class

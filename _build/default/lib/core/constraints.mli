@@ -1,0 +1,40 @@
+(** Component location constraints (paper §2, §4.3).
+
+    Constraints come from three sources: static analysis of component
+    binaries (GUI classes to the client, storage classes to the
+    server), the programmer (absolute constraints forcing an instance
+    to a machine, and pair-wise constraints forcing co-location — the
+    mechanism that protects data integrity and security), and the
+    system itself (the main program runs on the client; data files
+    live on the server). The analysis engine compiles them into
+    infinite-capacity edges of the cut graph, so no chosen distribution
+    can ever violate one. *)
+
+type location = Client | Server
+
+val location_name : location -> string
+
+type t
+
+val empty : t
+
+val pin_class : t -> cname:string -> location -> t
+(** Every classification of the named component class is pinned. *)
+
+val pin_classification : t -> int -> location -> t
+
+val colocate : t -> int -> int -> t
+(** Pair-wise constraint between two classifications. *)
+
+val of_image : Coign_image.Binary_image.t -> t
+(** Class pins derived by static analysis ({!Static_analysis}). *)
+
+val merge : t -> t -> t
+(** Union; conflicting pins raise [Invalid_argument] eagerly when both
+    sides pin the same class or classification to different
+    machines. *)
+
+val class_pin : t -> cname:string -> location option
+val classification_pin : t -> int -> location option
+val colocated_pairs : t -> (int * int) list
+val pinned_classes : t -> (string * location) list

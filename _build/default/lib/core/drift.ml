@@ -1,0 +1,37 @@
+type signature = (int * int, float) Hashtbl.t
+
+let of_counts counts =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun (pair, n) ->
+      let cur = Option.value ~default:0. (Hashtbl.find_opt t pair) in
+      Hashtbl.replace t pair (cur +. float_of_int n))
+    counts;
+  t
+
+let of_icc icc =
+  of_counts
+    (List.map
+       (fun (e : Icc.entry) ->
+         (* Two messages per call in the summaries. *)
+         ((e.Icc.src, e.Icc.dst), Coign_util.Exp_bucket.message_count e.Icc.messages / 2))
+       (Icc.entries icc))
+
+let similarity a b =
+  let dot = ref 0. and na = ref 0. and nb = ref 0. in
+  Hashtbl.iter
+    (fun pair va ->
+      na := !na +. (va *. va);
+      match Hashtbl.find_opt b pair with
+      | Some vb -> dot := !dot +. (va *. vb)
+      | None -> ())
+    a;
+  Hashtbl.iter (fun _ vb -> nb := !nb +. (vb *. vb)) b;
+  if !na = 0. && !nb = 0. then 1.
+  else if !na = 0. || !nb = 0. then 0.
+  else !dot /. (sqrt !na *. sqrt !nb)
+
+let drifted ?(threshold = 0.90) ~profile observed =
+  similarity profile observed < threshold
+
+let pair_count = Hashtbl.length

@@ -1,0 +1,28 @@
+type t =
+  | Component_instantiated of { inst : int; cname : string; classification : int; creator : int }
+  | Component_destroyed of { inst : int }
+  | Interface_instantiated of { owner : int; iface : string; handle : int }
+  | Interface_destroyed of { owner : int; iface : string; handle : int }
+  | Interface_call of {
+      caller : int;
+      caller_classification : int;
+      callee : int;
+      callee_classification : int;
+      iface : string;
+      meth : string;
+      remotable : bool;
+      request_bytes : int;
+      reply_bytes : int;
+    }
+
+let pp ppf = function
+  | Component_instantiated { inst; cname; classification; creator } ->
+      Format.fprintf ppf "create #%d %s -> c%d (by #%d)" inst cname classification creator
+  | Component_destroyed { inst } -> Format.fprintf ppf "destroy #%d" inst
+  | Interface_instantiated { owner; iface; handle } ->
+      Format.fprintf ppf "iface+ #%d %s h%d" owner iface handle
+  | Interface_destroyed { owner; iface; handle } ->
+      Format.fprintf ppf "iface- #%d %s h%d" owner iface handle
+  | Interface_call { caller; callee; iface; meth; request_bytes; reply_bytes; _ } ->
+      Format.fprintf ppf "call #%d -> #%d %s.%s (%d/%d bytes)" caller callee iface meth
+        request_bytes reply_bytes

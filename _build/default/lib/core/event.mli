@@ -1,0 +1,27 @@
+(** Application events reported to information loggers (paper §3.3):
+    component instantiations and destructions, interface instantiations
+    and destructions, and interface calls. *)
+
+type t =
+  | Component_instantiated of {
+      inst : int;
+      cname : string;
+      classification : int;
+      creator : int;  (** instance on whose behalf the request was made *)
+    }
+  | Component_destroyed of { inst : int }
+  | Interface_instantiated of { owner : int; iface : string; handle : int }
+  | Interface_destroyed of { owner : int; iface : string; handle : int }
+  | Interface_call of {
+      caller : int;                (** calling instance *)
+      caller_classification : int;
+      callee : int;
+      callee_classification : int;
+      iface : string;
+      meth : string;
+      remotable : bool;
+      request_bytes : int;  (** deep-copy size, caller -> callee *)
+      reply_bytes : int;    (** deep-copy size, callee -> caller *)
+    }
+
+val pp : Format.formatter -> t -> unit

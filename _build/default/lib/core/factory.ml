@@ -1,0 +1,38 @@
+type policy =
+  | By_classification of Analysis.distribution
+  | By_class of (string -> Constraints.location)
+  | All_client
+
+type t = {
+  policy : policy;
+  machines : (int, Constraints.location) Hashtbl.t;
+  mutable local : int;
+  mutable forwarded : int;
+}
+
+let create policy = { policy; machines = Hashtbl.create 256; local = 0; forwarded = 0 }
+
+let decide t ~classification ~cname ~creator_machine =
+  let target =
+    match t.policy with
+    | All_client -> Constraints.Client
+    | By_class f -> f cname
+    | By_classification d ->
+        if classification >= 0 && classification < d.Analysis.node_count then
+          Analysis.location_of d classification
+        else creator_machine
+  in
+  if target = creator_machine then t.local <- t.local + 1 else t.forwarded <- t.forwarded + 1;
+  target
+
+let record_instance t ~inst loc = Hashtbl.replace t.machines inst loc
+
+let machine_of t inst =
+  Option.value ~default:Constraints.Client (Hashtbl.find_opt t.machines inst)
+
+let instances_on t loc =
+  Hashtbl.fold (fun inst l acc -> if l = loc then inst :: acc else acc) t.machines []
+  |> List.sort compare
+
+let local_requests t = t.local
+let forwarded_requests t = t.forwarded

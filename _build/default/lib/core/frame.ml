@@ -1,0 +1,14 @@
+type t = {
+  f_inst : int;
+  f_class : string;
+  f_classification : int;
+  f_iface : string;
+  f_meth : string;
+}
+
+let make ~inst ~cls ~classification ~iface ~meth =
+  { f_inst = inst; f_class = cls; f_classification = classification; f_iface = iface; f_meth = meth }
+
+let pp ppf f =
+  Format.fprintf ppf "%s#%d(c%d)::%s.%s" f.f_class f.f_inst f.f_classification f.f_iface
+    f.f_meth

@@ -1,0 +1,150 @@
+open Coign_util
+
+type key = { k_src : int; k_dst : int; k_iface : string }
+
+type cell = { mutable remotable : bool; buckets : Exp_bucket.t }
+
+type t = { cells : (key, cell) Hashtbl.t; mutable calls : int }
+
+type entry = {
+  src : int;
+  dst : int;
+  iface : string;
+  remotable : bool;
+  messages : Exp_bucket.t;
+}
+
+let create () = { cells = Hashtbl.create 256; calls = 0 }
+
+let cell_of t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = { remotable = true; buckets = Exp_bucket.create () } in
+      Hashtbl.add t.cells key c;
+      c
+
+let record t ~src ~dst ~iface ~remotable ~request ~reply =
+  let c = cell_of t { k_src = src; k_dst = dst; k_iface = iface } in
+  if not remotable then c.remotable <- false;
+  Exp_bucket.add c.buckets ~bytes:request;
+  Exp_bucket.add c.buckets ~bytes:reply;
+  t.calls <- t.calls + 1
+
+let entries t =
+  Hashtbl.fold
+    (fun k (c : cell) acc ->
+      { src = k.k_src; dst = k.k_dst; iface = k.k_iface; remotable = c.remotable;
+        messages = c.buckets }
+      :: acc)
+    t.cells []
+  |> List.sort (fun a b -> compare (a.src, a.dst, a.iface) (b.src, b.dst, b.iface))
+
+let pair_entries t =
+  let pairs = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let key = (min e.src e.dst, max e.src e.dst) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt pairs key) in
+      Hashtbl.replace pairs key (e :: cur))
+    (entries t);
+  Hashtbl.fold (fun k es acc -> (k, List.rev es) :: acc) pairs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let call_count t = t.calls
+
+let total_bytes t =
+  Hashtbl.fold (fun _ c acc -> acc + Exp_bucket.total_bytes c.buckets) t.cells 0
+
+let merge a b =
+  let r = create () in
+  let absorb t =
+    Hashtbl.iter
+      (fun k (c : cell) ->
+        match Hashtbl.find_opt r.cells k with
+        | None ->
+            Hashtbl.add r.cells k
+              { remotable = c.remotable; buckets = Exp_bucket.merge c.buckets (Exp_bucket.create ()) }
+        | Some existing ->
+            if not c.remotable then existing.remotable <- false;
+            Hashtbl.replace r.cells k
+              { remotable = existing.remotable && c.remotable;
+                buckets = Exp_bucket.merge existing.buckets c.buckets })
+      t.cells
+  in
+  absorb a;
+  absorb b;
+  r.calls <- a.calls + b.calls;
+  r
+
+let map_classifications f t =
+  let r = create () in
+  Hashtbl.iter
+    (fun k (c : cell) ->
+      let remap x = if x < 0 then x else f x in
+      let key = { k_src = remap k.k_src; k_dst = remap k.k_dst; k_iface = k.k_iface } in
+      match Hashtbl.find_opt r.cells key with
+      | None ->
+          Hashtbl.add r.cells key
+            { remotable = c.remotable; buckets = Exp_bucket.merge c.buckets (Exp_bucket.create ()) }
+      | Some existing ->
+          Hashtbl.replace r.cells key
+            { remotable = existing.remotable && c.remotable;
+              buckets = Exp_bucket.merge existing.buckets c.buckets })
+    t.cells;
+  r.calls <- t.calls;
+  r
+
+let is_empty t = Hashtbl.length t.cells = 0
+
+(* Text encoding: one line per (entry, bucket). *)
+let encode t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "calls %d\n" t.calls);
+  List.iter
+    (fun e ->
+      ignore
+        (Exp_bucket.fold
+           (fun ~index ~count ~bytes () ->
+             Buffer.add_string buf
+               (Printf.sprintf "%d\t%d\t%s\t%d\t%d\t%d\t%d\n" e.src e.dst e.iface
+                  (if e.remotable then 1 else 0)
+                  index count bytes))
+           e.messages ()))
+    (entries t);
+  Buffer.contents buf
+
+let decode s =
+  let t = create () in
+  List.iter
+    (fun line ->
+      if not (String.equal line "") then
+        if String.length line > 6 && String.sub line 0 6 = "calls " then
+          t.calls <- int_of_string (String.sub line 6 (String.length line - 6))
+        else
+          match String.split_on_char '\t' line with
+          | [ src; dst; iface; remotable; index; count; bytes ] ->
+              let c =
+                cell_of t
+                  { k_src = int_of_string src; k_dst = int_of_string dst; k_iface = iface }
+              in
+              if String.equal remotable "0" then c.remotable <- false;
+              let count = int_of_string count and bytes = int_of_string bytes in
+              let index = int_of_string index in
+              (* Reconstruct the bucket contents: distribute total bytes
+                 over count messages of the mean size, preserving count
+                 and totals within the original bucket. *)
+              if count > 0 then begin
+                (* Distribute total bytes over count messages without
+                   leaving the bucket: floor-mean messages plus enough
+                   (mean+1)-byte messages to absorb the remainder. *)
+                let mean = bytes / count in
+                let lo, _hi = Exp_bucket.bucket_bounds index in
+                let mean = max lo mean in
+                let remainder = max 0 (bytes - (mean * count)) in
+                Exp_bucket.add_many c.buckets ~bytes:mean ~count:(count - remainder);
+                Exp_bucket.add_many c.buckets ~bytes:(mean + 1) ~count:remainder
+              end
+          | _ -> invalid_arg "Icc.decode: malformed line")
+    (String.split_on_char '\n' s);
+  t

@@ -1,0 +1,57 @@
+(** Inter-component communication (ICC) summaries.
+
+    The profiling logger condenses every observed interface call into
+    per-(source classification, target classification, interface)
+    histograms over exponential message-size buckets (paper §3.3), so
+    profile storage does not grow with execution time and stays
+    network-independent. Request and reply are recorded as separate
+    messages, preserving "number and size of messages". *)
+
+type t
+
+type entry = {
+  src : int;            (** caller's classification; -1 = the main program *)
+  dst : int;            (** callee's classification *)
+  iface : string;
+  remotable : bool;
+  messages : Coign_util.Exp_bucket.t;
+}
+
+val create : unit -> t
+
+val record :
+  t -> src:int -> dst:int -> iface:string -> remotable:bool ->
+  request:int -> reply:int -> unit
+(** Record one call: two messages ([request] bytes toward [dst],
+    [reply] bytes back). A call on a non-remotable interface marks the
+    whole (src,dst,iface) entry non-remotable forever. *)
+
+val entries : t -> entry list
+(** Deterministic order (sorted by key). *)
+
+val pair_entries : t -> ((int * int) * entry list) list
+(** Entries grouped by unordered classification pair; the pair key is
+    [(min, max)]. *)
+
+val call_count : t -> int
+(** Total calls recorded (= messages / 2). *)
+
+val total_bytes : t -> int
+
+val merge : t -> t -> t
+(** Combine profiles from multiple scenarios (paper: "log files from
+    multiple profiling scenarios may be combined"). *)
+
+val map_classifications : (int -> int) -> t -> t
+(** Rewrite classification ids (e.g. with the remap from
+    {!Classifier.merge}); the main program's [-1] is preserved. Entries
+    that collide after mapping merge. *)
+
+val encode : t -> string
+val decode : string -> t
+(** [decode (encode t)] preserves per-bucket message counts and byte
+    totals (individual sizes within a bucket are summarized — that is
+    the point of the buckets), so [encode] is a fixpoint after one
+    round trip. *)
+
+val is_empty : t -> bool

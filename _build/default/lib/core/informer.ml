@@ -1,0 +1,65 @@
+open Coign_idl
+open Coign_com
+
+type sizes = { request_bytes : int; reply_bytes : int; remotable : bool }
+
+let non_remotable = { request_bytes = 0; reply_bytes = 0; remotable = false }
+
+let measure_call itype ~meth ~ins ~outs ~ret =
+  let procs = Itype.procs itype meth in
+  if not procs.Midl.remotable then non_remotable
+  else begin
+    let exception Bail in
+    let size proc v =
+      match Midl.size_with proc v with Ok n -> n | Error _ -> raise Bail
+    in
+    try
+      let req = ref 0 and rep = ref 0 in
+      List.iteri
+        (fun i (dir, proc) ->
+          let vin = List.nth ins i and vout = List.nth outs i in
+          match dir with
+          | Idl_type.In -> req := !req + size proc vin
+          | Idl_type.Out -> rep := !rep + size proc vout
+          | Idl_type.In_out ->
+              req := !req + size proc vin;
+              rep := !rep + size proc vout)
+        procs.Midl.request_procs;
+      rep := !rep + size procs.Midl.ret_proc ret;
+      {
+        request_bytes = Marshal_size.scalar_overhead + !req;
+        reply_bytes = Marshal_size.scalar_overhead + !rep;
+        remotable = true;
+      }
+    with Bail -> non_remotable
+  end
+
+let outgoing_handles itype ~meth ~outs ~ret =
+  let procs = Itype.procs itype meth in
+  let from_params =
+    List.concat
+      (List.mapi
+         (fun i iproc ->
+           if Midl.iface_walk_trivial iproc then []
+           else
+             match List.nth_opt procs.Midl.request_procs i with
+             | Some ((Idl_type.Out | Idl_type.In_out), _) ->
+                 Midl.handles_with iproc (List.nth outs i)
+             | Some (Idl_type.In, _) | None -> [])
+         procs.Midl.iface_procs)
+  in
+  if Midl.iface_walk_trivial procs.Midl.ret_iface_proc then from_params
+  else from_params @ Midl.handles_with procs.Midl.ret_iface_proc ret
+
+let incoming_handles itype ~meth ~ins =
+  let procs = Itype.procs itype meth in
+  List.concat
+    (List.mapi
+       (fun i iproc ->
+         if Midl.iface_walk_trivial iproc then []
+         else
+           match List.nth_opt procs.Midl.request_procs i with
+           | Some ((Idl_type.In | Idl_type.In_out), _) ->
+               Midl.handles_with iproc (List.nth ins i)
+           | Some (Idl_type.Out, _) | None -> [])
+       procs.Midl.iface_procs)

@@ -1,0 +1,51 @@
+type cell = { mutable count : int; mutable bytes : int }
+
+type t = {
+  cells : (int * int, cell) Hashtbl.t;  (* key: (min, max) instance pair *)
+  mutable messages : int;
+  mutable total : int;
+}
+
+let create () = { cells = Hashtbl.create 256; messages = 0; total = 0 }
+
+let record t ~src ~dst ~bytes =
+  assert (bytes >= 0);
+  let key = (min src dst, max src dst) in
+  let c =
+    match Hashtbl.find_opt t.cells key with
+    | Some c -> c
+    | None ->
+        let c = { count = 0; bytes = 0 } in
+        Hashtbl.add t.cells key c;
+        c
+  in
+  c.count <- c.count + 1;
+  c.bytes <- c.bytes + bytes;
+  t.messages <- t.messages + 1;
+  t.total <- t.total + bytes
+
+let pair_total t a b =
+  match Hashtbl.find_opt t.cells (min a b, max a b) with
+  | None -> (0, 0)
+  | Some c -> (c.count, c.bytes)
+
+let peers t inst =
+  Hashtbl.fold
+    (fun (a, b) c acc ->
+      if a = inst then (b, c.count, c.bytes) :: acc
+      else if b = inst then (a, c.count, c.bytes) :: acc
+      else acc)
+    t.cells []
+  |> List.sort compare
+
+let instances t =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (a, b) _ ->
+      Hashtbl.replace seen a ();
+      Hashtbl.replace seen b ())
+    t.cells;
+  Hashtbl.fold (fun i () acc -> i :: acc) seen [] |> List.sort compare
+
+let message_count t = t.messages
+let total_bytes t = t.total

@@ -1,0 +1,41 @@
+type t = { logger_name : string; log : Event.t -> unit }
+
+let null = { logger_name = "null"; log = (fun _ -> ()) }
+
+let profiling ~icc ~inst_comm =
+  let log = function
+    | Event.Interface_call
+        { caller; caller_classification; callee; callee_classification; iface; meth = _;
+          remotable; request_bytes; reply_bytes } ->
+        Icc.record icc ~src:caller_classification ~dst:callee_classification ~iface
+          ~remotable ~request:request_bytes ~reply:reply_bytes;
+        Inst_comm.record inst_comm ~src:caller ~dst:callee ~bytes:request_bytes;
+        Inst_comm.record inst_comm ~src:callee ~dst:caller ~bytes:reply_bytes
+    | Event.Component_instantiated _ | Event.Component_destroyed _
+    | Event.Interface_instantiated _ | Event.Interface_destroyed _ ->
+        ()
+  in
+  { logger_name = "profiling"; log }
+
+let event_recorder () =
+  let events = ref [] in
+  ( { logger_name = "event"; log = (fun e -> events := e :: !events) },
+    fun () -> List.rev !events )
+
+let counting () =
+  let n = ref 0 in
+  ({ logger_name = "counting"; log = (fun _ -> incr n) }, fun () -> !n)
+
+let tee loggers =
+  {
+    logger_name = "tee(" ^ String.concat "," (List.map (fun l -> l.logger_name) loggers) ^ ")";
+    log = (fun e -> List.iter (fun l -> l.log e) loggers);
+  }
+
+let to_channel oc =
+  {
+    logger_name = "channel";
+    log =
+      (fun e ->
+        output_string oc (Format.asprintf "%a@." Event.pp e));
+  }

@@ -1,0 +1,31 @@
+(** Information loggers (paper §3.3).
+
+    Coign components pass application events to the information logger,
+    which is free to ignore them (the null logger of distributed
+    execution), summarize them (the profiling logger), or keep full
+    traces (the event logger, which drove a colleague's application
+    simulations). Loggers are replaceable and composable. *)
+
+type t = { logger_name : string; log : Event.t -> unit }
+
+val null : t
+(** Ignores everything. *)
+
+val profiling : icc:Icc.t -> inst_comm:Inst_comm.t -> t
+(** Summarizes [Interface_call] events into the classification-level
+    ICC histograms and the instance-level matrix; other events are
+    ignored (instantiation data lives in the classifier state). *)
+
+val event_recorder : unit -> t * (unit -> Event.t list)
+(** Full in-memory trace; the second component returns events in
+    arrival order. *)
+
+val counting : unit -> t * (unit -> int)
+(** Counts events — the "slight additional overhead" message counter
+    the paper proposes for recognizing usage drift (§6). *)
+
+val tee : t list -> t
+(** Fan an event out to several loggers. *)
+
+val to_channel : out_channel -> t
+(** Stream events as text lines (a log file on disk). *)

@@ -1,0 +1,105 @@
+open Coign_flowgraph
+
+type t = {
+  machines : string array;
+  assignment : int array;
+  cost_ns : int;
+  predicted_comm_us : float;
+}
+
+let ns_of_us us = int_of_float (Float.round (us *. 1000.))
+
+let choose ~classifier ~icc ~machines ~pins ~net () =
+  let machines = Array.of_list machines in
+  let k = Array.length machines in
+  if k < 2 then invalid_arg "Multiway_analysis.choose: need at least two machines";
+  let machine_index name =
+    let rec find i =
+      if i = k then invalid_arg ("Multiway_analysis.choose: unknown machine " ^ name)
+      else if String.equal machines.(i) name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let n = Classifier.classification_count classifier in
+  (* Nodes 0..n-1: classifications; n..n+k-1: machine terminals. *)
+  let terminal m = n + m in
+  let g = Flow_network.create ~n:(n + k) in
+  let node_of c = if c < 0 then terminal 0 else c in
+  let pair_cost : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let pair_non_remotable : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Icc.entry) ->
+      let a = node_of e.Icc.src and b = node_of e.Icc.dst in
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        let cur = Option.value ~default:0. (Hashtbl.find_opt pair_cost key) in
+        Hashtbl.replace pair_cost key (cur +. Analysis.price_entry net e);
+        if not e.Icc.remotable then Hashtbl.replace pair_non_remotable key ()
+      end)
+    (Icc.entries icc);
+  Hashtbl.iter
+    (fun (a, b) cost -> Flow_network.add_undirected g a b ~cap:(ns_of_us cost))
+    pair_cost;
+  Hashtbl.iter
+    (fun (a, b) () -> Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
+    pair_non_remotable;
+  for c = 0 to n - 1 do
+    match pins (Classifier.class_of_classification classifier c) with
+    | Some name ->
+        Flow_network.add_undirected g c (terminal (machine_index name))
+          ~cap:Flow_network.infinity_cap
+    | None -> ()
+  done;
+  let terminals = List.init k terminal in
+  let partition = Multiway.multiway_cut g ~terminals in
+  (* The partition assigns machine indices by terminal list order,
+     which matches our machine order. Classifications disconnected
+     from every terminal default to the main machine. *)
+  let reachable = Array.make (n + k) false in
+  let adjacency = Array.make (n + k) [] in
+  List.iter
+    (fun (a, b, _) ->
+      adjacency.(a) <- b :: adjacency.(a);
+      adjacency.(b) <- a :: adjacency.(b))
+    (Flow_network.edges g);
+  let queue = Queue.create () in
+  List.iter
+    (fun t ->
+      reachable.(t) <- true;
+      Queue.add t queue)
+    terminals;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun u ->
+        if not reachable.(u) then begin
+          reachable.(u) <- true;
+          Queue.add u queue
+        end)
+      adjacency.(v)
+  done;
+  let assignment =
+    Array.init n (fun c -> if reachable.(c) then partition.Multiway.assignment.(c) else 0)
+  in
+  let machine_of_c c = if c < 0 || c >= n then 0 else assignment.(c) in
+  let predicted_comm_us =
+    List.fold_left
+      (fun acc (e : Icc.entry) ->
+        if machine_of_c e.Icc.src <> machine_of_c e.Icc.dst then
+          acc +. Analysis.price_entry net e
+        else acc)
+      0. (Icc.entries icc)
+  in
+  { machines; assignment; cost_ns = partition.Multiway.cost; predicted_comm_us }
+
+let machine_of t c =
+  if c < 0 || c >= Array.length t.assignment then t.machines.(0)
+  else t.machines.(t.assignment.(c))
+
+let machine_histogram t =
+  Array.to_list
+    (Array.mapi
+       (fun m name ->
+         (name, Array.fold_left (fun acc a -> if a = m then acc + 1 else acc) 0 t.assignment))
+       t.machines)

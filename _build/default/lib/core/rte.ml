@@ -1,0 +1,305 @@
+open Coign_util
+open Coign_idl
+open Coign_com
+open Coign_netsim
+
+type mode =
+  | M_profiling
+  | M_distributed of {
+      m_factory : Factory.t;
+      m_network : Network.t;
+      m_jitter : float;
+      m_rng : Prng.t;
+    }
+
+type t = {
+  ctx : Runtime.ctx;
+  rte_classifier : Classifier.t;
+  stack : Shadow_stack.t;
+  logger : Logger.t;
+  rte_icc : Icc.t;
+  rte_inst_comm : Inst_comm.t;
+  inst_classification : (int, int) Hashtbl.t;
+  raw_to_wrap : (int, int) Hashtbl.t;
+  wrap_to_raw : (int, int) Hashtbl.t;
+  mode : mode;
+  mutable created : int list;  (* reversed *)
+  mutable comm : float;
+  mutable n_remote_calls : int;
+  mutable n_remote_bytes : int;
+  mutable n_intercepted : int;
+  (* Lightweight per-classification-pair message counter, kept even in
+     distributed mode (paper SS6: count messages "with only slight
+     additional overhead" so usage drift can be recognized). *)
+  pair_counts : (int * int, int ref) Hashtbl.t;
+}
+
+type distributed_config = {
+  dc_factory_policy : Factory.policy;
+  dc_network : Network.t;
+  dc_jitter : float;
+  dc_seed : int64;
+}
+
+let classification_of t inst =
+  if inst = Runtime.main_instance then -1
+  else Option.value ~default:(-1) (Hashtbl.find_opt t.inst_classification inst)
+
+let machine_of_instance t inst =
+  match t.mode with
+  | M_profiling -> Constraints.Client
+  | M_distributed { m_factory; _ } -> Factory.machine_of m_factory inst
+
+(* Mint (or reuse) the Coign-instrumented wrapper for a raw handle. *)
+let rec wrap t raw_h =
+  if Runtime.handle_is_wrapper t.ctx raw_h then raw_h
+  else
+    match Hashtbl.find_opt t.raw_to_wrap raw_h with
+    | Some w -> w
+    | None ->
+        let itype = Runtime.handle_itype t.ctx raw_h in
+        let owner = Runtime.handle_owner t.ctx raw_h in
+        let w =
+          Runtime.alloc_foreign_handle t.ctx ~owner ~itype ~wrapper:true
+            (fun _ctx ~meth args -> intercept t raw_h ~meth args)
+        in
+        Hashtbl.add t.raw_to_wrap raw_h w;
+        Hashtbl.add t.wrap_to_raw w raw_h;
+        t.logger.Logger.log
+          (Event.Interface_instantiated { owner; iface = Itype.name itype; handle = w });
+        w
+
+and intercept t raw_h ~meth args =
+  let itype = Runtime.handle_itype t.ctx raw_h in
+  let callee = Runtime.handle_owner t.ctx raw_h in
+  let caller =
+    match Shadow_stack.top t.stack with
+    | Some f -> f.Frame.f_inst
+    | None -> Runtime.main_instance
+  in
+  let callee_classification = classification_of t callee in
+  let msig = Itype.method_sig itype meth in
+  Shadow_stack.push t.stack
+    (Frame.make ~inst:callee
+       ~cls:(Runtime.instance_class_name t.ctx callee)
+       ~classification:callee_classification ~iface:(Itype.name itype)
+       ~meth:msig.Idl_type.mname);
+  let finally () = Shadow_stack.pop t.stack in
+  let outs, ret =
+    match Runtime.call t.ctx raw_h ~meth args with
+    | result ->
+        finally ();
+        result
+    | exception e ->
+        finally ();
+        raise e
+  in
+  t.n_intercepted <- t.n_intercepted + 1;
+  (let key = (classification_of t caller, callee_classification) in
+   match Hashtbl.find_opt t.pair_counts key with
+   | Some r -> incr r
+   | None -> Hashtbl.add t.pair_counts key (ref 1));
+  (match t.mode with
+  | M_profiling ->
+      let sizes = Informer.measure_call itype ~meth ~ins:args ~outs ~ret in
+      t.logger.Logger.log
+        (Event.Interface_call
+           {
+             caller;
+             caller_classification = classification_of t caller;
+             callee;
+             callee_classification;
+             iface = Itype.name itype;
+             meth = msig.Idl_type.mname;
+             remotable = sizes.Informer.remotable;
+             request_bytes = sizes.Informer.request_bytes;
+             reply_bytes = sizes.Informer.reply_bytes;
+           })
+  | M_distributed { m_factory; m_network; m_jitter; m_rng } ->
+      let src = Factory.machine_of m_factory caller in
+      let dst = Factory.machine_of m_factory callee in
+      if src <> dst then begin
+        let sizes = Informer.measure_call itype ~meth ~ins:args ~outs ~ret in
+        if not sizes.Informer.remotable then
+          Hresult.fail
+            (Hresult.E_cannot_marshal
+               (Printf.sprintf "cross-machine call on non-remotable %s.%s"
+                  (Itype.name itype) msig.Idl_type.mname));
+        let jittered base =
+          if m_jitter = 0. then base
+          else Float.max 0. (Prng.gaussian m_rng ~mu:base ~sigma:(m_jitter *. base))
+        in
+        let time =
+          jittered (Network.message_us m_network ~bytes:sizes.Informer.request_bytes)
+          +. jittered (Network.message_us m_network ~bytes:sizes.Informer.reply_bytes)
+        in
+        t.comm <- t.comm +. time;
+        t.n_remote_calls <- t.n_remote_calls + 1;
+        t.n_remote_bytes <-
+          t.n_remote_bytes + sizes.Informer.request_bytes + sizes.Informer.reply_bytes
+      end);
+  (* Keep every escaping interface pointer wrapped — but only walk the
+     reply when the method can actually output interface pointers (the
+     distribution informer's "examine parameters only enough to
+     identify interface pointers"; most methods skip the walk
+     entirely). *)
+  let procs = Itype.procs itype meth in
+  let may_output_ifaces =
+    (not (Midl.iface_walk_trivial procs.Midl.ret_iface_proc))
+    || List.exists2
+         (fun (dir, _) iproc ->
+           match dir with
+           | Idl_type.In -> false
+           | Idl_type.Out | Idl_type.In_out -> not (Midl.iface_walk_trivial iproc))
+         procs.Midl.request_procs procs.Midl.iface_procs
+  in
+  if may_output_ifaces then begin
+    let rewrap v = Value.map_iface_handles (fun h -> wrap t h) v in
+    (List.map rewrap outs, rewrap ret)
+  end
+  else (outs, ret)
+
+let on_create t (req : Runtime.create_request) =
+  let stack = Shadow_stack.walk t.stack in
+  let cname = req.Runtime.req_class.Runtime.cname in
+  let classification = Classifier.classify t.rte_classifier ~cname ~stack in
+  let creator =
+    match Shadow_stack.top t.stack with
+    | Some f -> f.Frame.f_inst
+    | None -> Runtime.main_instance
+  in
+  (match t.mode with
+  | M_profiling -> ()
+  | M_distributed { m_factory; m_network; m_jitter; m_rng; _ } ->
+      let creator_machine = Factory.machine_of m_factory creator in
+      let machine = Factory.decide m_factory ~classification ~cname ~creator_machine in
+      if machine <> creator_machine then begin
+        (* Forwarding an instantiation request to the peer factory costs
+           one round trip: the request plus the marshaled object
+           reference coming back. *)
+        let jittered base =
+          if m_jitter = 0. then base
+          else Float.max 0. (Prng.gaussian m_rng ~mu:base ~sigma:(m_jitter *. base))
+        in
+        let request = Marshal_size.scalar_overhead + (2 * 16) in
+        let reply = Marshal_size.scalar_overhead + Marshal_size.objref_size in
+        t.comm <-
+          t.comm
+          +. jittered (Network.message_us m_network ~bytes:request)
+          +. jittered (Network.message_us m_network ~bytes:reply);
+        t.n_remote_calls <- t.n_remote_calls + 1;
+        t.n_remote_bytes <- t.n_remote_bytes + request + reply
+      end;
+      (* Record the machine under the instance id we are about to
+         allocate; ids are dense so the next instance gets the current
+         count. *)
+      Factory.record_instance m_factory ~inst:(Runtime.instance_count t.ctx) machine);
+  let raw = Runtime.raw_create_instance t.ctx req.Runtime.req_clsid ~iid:req.Runtime.req_iid in
+  let inst = Runtime.handle_owner t.ctx raw in
+  Hashtbl.replace t.inst_classification inst classification;
+  t.created <- inst :: t.created;
+  t.logger.Logger.log
+    (Event.Component_instantiated { inst; cname; classification; creator });
+  (* The instantiation request itself is communication: if creator and
+     instance end up on different machines, the factory pays a round
+     trip. Record it so the analysis engine prices relocated
+     instantiations (and Table 5's model covers them). *)
+  (match t.mode with
+  | M_profiling ->
+      t.logger.Logger.log
+        (Event.Interface_call
+           {
+             caller = creator;
+             caller_classification = classification_of t creator;
+             callee = inst;
+             callee_classification = classification;
+             iface = "ICoCreateInstance";
+             meth = "create";
+             remotable = true;
+             request_bytes = Marshal_size.scalar_overhead + (2 * 16);
+             reply_bytes = Marshal_size.scalar_overhead + Marshal_size.objref_size;
+           })
+  | M_distributed _ -> ());
+  wrap t raw
+
+let on_query t h ~iid =
+  let raw = Option.value ~default:h (Hashtbl.find_opt t.wrap_to_raw h) in
+  wrap t (Runtime.raw_query_interface t.ctx raw ~iid)
+
+let on_destroy t inst = t.logger.Logger.log (Event.Component_destroyed { inst })
+
+let install ?(loggers = []) ~classifier ~mode ctx =
+  let rte_icc = Icc.create () in
+  let rte_inst_comm = Inst_comm.create () in
+  let base_loggers =
+    match mode with
+    | M_profiling -> Logger.profiling ~icc:rte_icc ~inst_comm:rte_inst_comm :: loggers
+    | M_distributed _ -> if loggers = [] then [ Logger.null ] else loggers
+  in
+  let t =
+    {
+      ctx;
+      rte_classifier = classifier;
+      stack = Shadow_stack.create ();
+      logger = Logger.tee base_loggers;
+      rte_icc;
+      rte_inst_comm;
+      inst_classification = Hashtbl.create 256;
+      raw_to_wrap = Hashtbl.create 256;
+      wrap_to_raw = Hashtbl.create 256;
+      mode;
+      created = [];
+      comm = 0.;
+      n_remote_calls = 0;
+      n_remote_bytes = 0;
+      n_intercepted = 0;
+      pair_counts = Hashtbl.create 256;
+    }
+  in
+  Runtime.set_create_hook ctx (Some (on_create t));
+  Runtime.set_query_hook ctx (Some (on_query t));
+  Runtime.set_destroy_hook ctx (Some (on_destroy t));
+  t
+
+let install_profiling ?loggers ~classifier ctx = install ?loggers ~classifier ~mode:M_profiling ctx
+
+let install_distributed ?loggers ~classifier ~config ctx =
+  (* The main program lives on the client. *)
+  let factory = Factory.create config.dc_factory_policy in
+  Factory.record_instance factory ~inst:Runtime.main_instance Constraints.Client;
+  install ?loggers ~classifier
+    ~mode:
+      (M_distributed
+         {
+           m_factory = factory;
+           m_network = config.dc_network;
+           m_jitter = config.dc_jitter;
+           m_rng = Prng.create config.dc_seed;
+         })
+    ctx
+
+let uninstall t =
+  Runtime.set_create_hook t.ctx None;
+  Runtime.set_query_hook t.ctx None;
+  Runtime.set_destroy_hook t.ctx None
+
+let icc t = t.rte_icc
+let inst_comm t = t.rte_inst_comm
+let classifier t = t.rte_classifier
+
+let instance_classifications t =
+  Hashtbl.fold (fun inst c acc -> (inst, c) :: acc) t.inst_classification []
+  |> List.sort compare
+
+let instances_created t = List.rev t.created
+
+let factory t =
+  match t.mode with M_profiling -> None | M_distributed { m_factory; _ } -> Some m_factory
+
+let call_counts t =
+  Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.pair_counts [] |> List.sort compare
+
+let comm_us t = t.comm
+let remote_calls t = t.n_remote_calls
+let remote_bytes t = t.n_remote_bytes
+let intercepted_calls t = t.n_intercepted

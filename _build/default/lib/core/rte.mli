@@ -1,0 +1,88 @@
+(** The Coign Runtime Executive (paper §3.1).
+
+    Loaded (conceptually) from the first slot of the rewritten
+    application's import table, the RTE provides the low-level services
+    the other Coign components build on:
+
+    - {b interception of component instantiation requests} — installed
+      as the object runtime's create hook, the analog of inline
+      redirection of [CoCreateInstance];
+    - {b interface wrapping} — every interface pointer that escapes to
+      the application is replaced by a Coign-instrumented handle whose
+      dispatch forwards through the original, so every inter-component
+      call is trapped;
+    - {b shadow stack management} — thread-local contextual information
+      across interface calls, read by the instance classifiers;
+    - {b configuration access} — construction from an instrumented
+      image's config record lives in {!Adps}.
+
+    Two personalities, as in the paper: the profiling RTE (heavyweight
+    informer + profiling logger) and the distributed RTE (lightweight
+    informer + component factory + null logger). *)
+
+type t
+
+(** {1 Installation} *)
+
+val install_profiling :
+  ?loggers:Logger.t list -> classifier:Classifier.t -> Coign_com.Runtime.ctx -> t
+(** Instrument a context for scenario-based profiling. A profiling
+    logger feeding {!icc} and {!inst_comm} is always installed;
+    [loggers] are additional sinks (e.g. an event recorder). *)
+
+type distributed_config = {
+  dc_factory_policy : Factory.policy;
+  dc_network : Coign_netsim.Network.t;   (** ground-truth network *)
+  dc_jitter : float;    (** relative stddev of per-message time noise;
+                            0 for deterministic runs *)
+  dc_seed : int64;      (** jitter PRNG seed *)
+}
+
+val install_distributed :
+  ?loggers:Logger.t list -> classifier:Classifier.t -> config:distributed_config ->
+  Coign_com.Runtime.ctx -> t
+(** Realize a distribution: instantiation requests are relocated by the
+    component factory, and every cross-machine call is charged its
+    DCOM round-trip on the configured network. A cross-machine call
+    over a non-remotable interface raises
+    [Com_error (E_cannot_marshal _)] — the partitioner's infinite
+    edges exist precisely to make this unreachable. *)
+
+val uninstall : t -> unit
+(** Remove all hooks; the context reverts to plain local execution. *)
+
+(** {1 Profiling results} *)
+
+val icc : t -> Icc.t
+val inst_comm : t -> Inst_comm.t
+val classifier : t -> Classifier.t
+
+val classification_of : t -> int -> int
+(** Classification assigned to an instance at its creation; -1 for the
+    main program or instances created before installation. *)
+
+val instance_classifications : t -> (int * int) list
+(** [(instance, classification)] pairs, ascending by instance. *)
+
+val instances_created : t -> int list
+(** Instances whose creation this RTE intercepted, ascending. *)
+
+(** {1 Distributed-execution results} *)
+
+val factory : t -> Factory.t option
+val comm_us : t -> float
+(** Accumulated cross-machine communication time (µs). *)
+
+val remote_calls : t -> int
+val remote_bytes : t -> int
+val intercepted_calls : t -> int
+(** All calls that crossed a Coign wrapper, local or remote. *)
+
+val machine_of_instance : t -> int -> Constraints.location
+
+val call_counts : t -> ((int * int) * int) list
+(** Lightweight per-(caller classification, callee classification) call
+    counts, maintained in both modes — the "slight additional overhead"
+    message counting of paper §6 that lets the runtime recognize when
+    usage differs from the profiled scenarios (see {!Drift}). Sorted by
+    pair. *)

@@ -1,0 +1,29 @@
+(** Distributed, thread-local stack storage (paper §3.1).
+
+    The RTE keeps contextual information across interface calls in its
+    own shadow stack: each intercepted call pushes a {!Frame.t} and
+    pops it on return. Instance classifiers walk this stack — it is the
+    "stack back-trace (call chain)" of paper §3.4 — and the component
+    factory reads its top to know on whose behalf an instantiation
+    request is made. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> Frame.t -> unit
+val pop : t -> unit
+(** Raises [Invalid_argument] on an empty stack (an unbalanced
+    interception is a bug). *)
+
+val top : t -> Frame.t option
+(** The frame of the currently executing method, if any. *)
+
+val depth : t -> int
+
+val walk : ?limit:int -> t -> Frame.t list
+(** Frames from the most recent downward, at most [limit] of them
+    (default: all). This is the classifier's stack walk; tuning [limit]
+    trades accuracy for overhead (paper Table 3). *)
+
+val clear : t -> unit

@@ -1,0 +1,36 @@
+type api_class = Gui | Storage | Neutral
+
+let gui_dlls = [ "user32."; "gdi32."; "comctl32."; "comdlg32."; "imm32." ]
+
+let storage_apis =
+  [
+    "kernel32.CreateFile"; "kernel32.ReadFile"; "kernel32.WriteFile";
+    "kernel32.SetFilePointer"; "kernel32.FindFirstFile"; "kernel32.DeleteFile";
+    "ole32.StgOpenStorage"; "ole32.StgCreateDocfile";
+  ]
+
+let storage_dlls = [ "odbc32."; "mdac." ]
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let classify_api api =
+  if List.exists (fun p -> has_prefix ~prefix:p api) gui_dlls then Gui
+  else if
+    List.exists (fun p -> has_prefix ~prefix:p api) storage_dlls
+    || List.exists (fun exact -> String.equal exact api) storage_apis
+  then Storage
+  else Neutral
+
+type verdict = Pin_client | Pin_server | Free
+
+let class_verdict apis =
+  let gui = List.exists (fun a -> classify_api a = Gui) apis in
+  let storage = List.exists (fun a -> classify_api a = Storage) apis in
+  if gui then Pin_client else if storage then Pin_server else Free
+
+let image_verdicts img =
+  List.map
+    (fun cname ->
+      (cname, class_verdict (Coign_image.Binary_image.class_api_refs img cname)))
+    (Coign_image.Binary_image.class_names img)

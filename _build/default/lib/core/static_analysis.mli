@@ -1,0 +1,28 @@
+(** Static analysis of component binaries for location constraints.
+
+    "For client-server distributions, the analysis engine performs
+    static analysis on component binaries to determine which Windows
+    APIs are called by each component. Components that access a set of
+    known GUI or storage APIs are placed on the client or server
+    respectively" (paper §2). Our image format records each class's
+    referenced system APIs; this module classifies them. *)
+
+type api_class =
+  | Gui      (** window/graphics/input: must run beside the user *)
+  | Storage  (** file/database access: must run beside the data *)
+  | Neutral
+
+val classify_api : string -> api_class
+(** By DLL prefix and name, e.g. ["user32.CreateWindowExW"] is [Gui],
+    ["kernel32.ReadFile"] is [Storage], ["kernel32.VirtualAlloc"] is
+    [Neutral]. *)
+
+type verdict = Pin_client | Pin_server | Free
+
+val class_verdict : string list -> verdict
+(** Verdict for a component class from its API reference list. GUI use
+    dominates: a class touching both GUI and storage stays on the
+    client (it exists to show data to the user). *)
+
+val image_verdicts : Coign_image.Binary_image.t -> (string * verdict) list
+(** Verdict per component class named in the image, in image order. *)

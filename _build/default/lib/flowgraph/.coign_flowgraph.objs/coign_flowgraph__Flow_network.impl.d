@@ -1,0 +1,1 @@
+lib/flowgraph/flow_network.ml: Array Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/flowgraph/mincut.ml: Array Flow_network List Queue

@@ -1,0 +1,1 @@
+lib/flowgraph/mincut.mli: Flow_network

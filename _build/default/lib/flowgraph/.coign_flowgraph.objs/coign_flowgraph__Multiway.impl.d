@@ -1,0 +1,1 @@
+lib/flowgraph/multiway.ml: Array Flow_network List Mincut

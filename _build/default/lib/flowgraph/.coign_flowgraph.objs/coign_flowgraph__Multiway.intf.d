@@ -1,0 +1,1 @@
+lib/flowgraph/multiway.mli: Flow_network Mincut

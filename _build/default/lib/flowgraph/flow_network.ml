@@ -1,0 +1,135 @@
+let infinity_cap = max_int / 1024
+
+type t = { n : int; caps : (int, int) Hashtbl.t (* key = src * n + dst *) }
+
+let create ~n =
+  if n < 0 then invalid_arg "Flow_network.create: negative size";
+  { n; caps = Hashtbl.create 64 }
+
+let node_count t = t.n
+
+let check_node t v name =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Flow_network.%s: node %d" name v)
+
+let key t src dst = (src * t.n) + dst
+
+let add_edge t ~src ~dst ~cap =
+  check_node t src "add_edge";
+  check_node t dst "add_edge";
+  if cap < 0 then invalid_arg "Flow_network.add_edge: negative capacity";
+  if src <> dst && cap > 0 then begin
+    let k = key t src dst in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t.caps k) in
+    Hashtbl.replace t.caps k (min infinity_cap (cur + cap))
+  end
+
+let add_undirected t a b ~cap =
+  add_edge t ~src:a ~dst:b ~cap;
+  add_edge t ~src:b ~dst:a ~cap
+
+let edge_cap t ~src ~dst =
+  check_node t src "edge_cap";
+  check_node t dst "edge_cap";
+  Option.value ~default:0 (Hashtbl.find_opt t.caps (key t src dst))
+
+let edges t =
+  Hashtbl.fold (fun k cap acc -> (k / t.n, k mod t.n, cap) :: acc) t.caps []
+  |> List.sort compare
+
+let edge_count t = Hashtbl.length t.caps
+
+let copy t = { n = t.n; caps = Hashtbl.copy t.caps }
+
+module Residual = struct
+  (* Forward-star layout: each node's arcs occupy a contiguous slot
+     range; [pair.(a)] is the reverse arc of [a]. Forward arcs carry
+     the edge capacity, reverse arcs start at zero. *)
+  type g = {
+    rn : int;
+    arc_to : int array;
+    arc_res : int array;      (* residual capacity, mutated by push *)
+    arc_orig : int array;     (* capacity at compile time *)
+    pair : int array;
+    node_first : int array;   (* length rn + 1; arcs of v are
+                                 node_first.(v) .. node_first.(v+1)-1 *)
+  }
+
+  let of_network t =
+    let es = edges t in
+    let m = List.length es in
+    let degree = Array.make (t.n + 1) 0 in
+    List.iter
+      (fun (src, dst, _) ->
+        degree.(src) <- degree.(src) + 1;
+        degree.(dst) <- degree.(dst) + 1)
+      es;
+    let node_first = Array.make (t.n + 1) 0 in
+    for v = 1 to t.n do
+      node_first.(v) <- node_first.(v - 1) + degree.(v - 1)
+    done;
+    let fill = Array.make t.n 0 in
+    let arc_to = Array.make (2 * m) 0 in
+    let arc_res = Array.make (2 * m) 0 in
+    let pair = Array.make (2 * m) 0 in
+    List.iter
+      (fun (src, dst, cap) ->
+        let a = node_first.(src) + fill.(src) in
+        fill.(src) <- fill.(src) + 1;
+        let b = node_first.(dst) + fill.(dst) in
+        fill.(dst) <- fill.(dst) + 1;
+        arc_to.(a) <- dst;
+        arc_res.(a) <- cap;
+        arc_to.(b) <- src;
+        arc_res.(b) <- 0;
+        pair.(a) <- b;
+        pair.(b) <- a)
+      es;
+    { rn = t.n; arc_to; arc_res; arc_orig = Array.copy arc_res; pair; node_first }
+
+  let node_count g = g.rn
+  let arc_count g = Array.length g.arc_to
+
+  let out_degree g v = g.node_first.(v + 1) - g.node_first.(v)
+
+  let first_arc g v = if out_degree g v = 0 then -1 else g.node_first.(v)
+
+  let iter_out g v f =
+    for a = g.node_first.(v) to g.node_first.(v + 1) - 1 do
+      f ~arc:a ~dst:g.arc_to.(a) ~cap:g.arc_res.(a)
+    done
+
+  let arc_dst g a = g.arc_to.(a)
+  let residual g a = g.arc_res.(a)
+
+  let push g a amount =
+    assert (amount >= 0 && amount <= g.arc_res.(a));
+    g.arc_res.(a) <- g.arc_res.(a) - amount;
+    let p = g.pair.(a) in
+    g.arc_res.(p) <- g.arc_res.(p) + amount
+
+  let min_cut_side g ~s =
+    let seen = Array.make g.rn false in
+    let stack = ref [ s ] in
+    seen.(s) <- true;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+          stack := rest;
+          iter_out g v (fun ~arc:_ ~dst ~cap ->
+              if cap > 0 && not seen.(dst) then begin
+                seen.(dst) <- true;
+                stack := dst :: !stack
+              end)
+    done;
+    seen
+
+  let flow_value g _net ~s =
+    (* Net flow out of s: for each arc leaving s, (orig - residual) is
+       the flow it carries (negative when the arc absorbed return
+       flow). *)
+    let total = ref 0 in
+    iter_out g s (fun ~arc ~dst:_ ~cap:_ ->
+        total := !total + (g.arc_orig.(arc) - g.arc_res.(arc)));
+    !total
+end

@@ -1,0 +1,78 @@
+(** Capacitated directed graphs for minimum-cut partitioning.
+
+    The analysis engine turns an application's inter-component
+    communication profile into one of these: a node per instance
+    classification plus two terminals (client, server); an edge's
+    capacity is the communication time that would be paid if the cut
+    separated its endpoints. Capacities are integers (nanoseconds in
+    the analysis engine) because the push-relabel family needs exact
+    arithmetic. *)
+
+type t
+
+val infinity_cap : int
+(** Effectively-infinite capacity: used to pin a node to a terminal
+    (absolute location constraints) and to forbid separating the
+    endpoints of a non-remotable interface. Chosen small enough that
+    summing millions of such edges cannot overflow. *)
+
+val create : n:int -> t
+(** A graph with nodes [0 .. n-1] and no edges. *)
+
+val node_count : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Add capacity [cap >= 0] to the directed edge [src -> dst]; parallel
+    additions accumulate, saturating at [infinity_cap]. Self-loops are
+    ignored (they can never be cut). *)
+
+val add_undirected : t -> int -> int -> cap:int -> unit
+(** Capacity in both directions, as for symmetric communication cost. *)
+
+val edge_cap : t -> src:int -> dst:int -> int
+(** Current accumulated capacity (0 when absent). *)
+
+val edges : t -> (int * int * int) list
+(** All [(src, dst, cap)] with [cap > 0], deterministic order. *)
+
+val edge_count : t -> int
+
+val copy : t -> t
+
+(** {1 Residual form}
+
+    Max-flow algorithms run on a compiled adjacency structure with
+    paired residual arcs. *)
+
+module Residual : sig
+  type g
+
+  val of_network : t -> g
+  val node_count : g -> int
+
+  val arc_count : g -> int
+
+  val iter_out : g -> int -> (arc:int -> dst:int -> cap:int -> unit) -> unit
+  (** Iterate arcs leaving a node with their residual capacities. *)
+
+  val arc_dst : g -> int -> int
+  val residual : g -> int -> int
+  val push : g -> int -> int -> unit
+  (** [push g arc amount] moves [amount] along [arc] (decreasing its
+      residual, increasing its pair's). *)
+
+  val first_arc : g -> int -> int
+  (** Index of the first arc out of a node, or [-1]. Arcs of a node are
+      [first_arc .. first_arc + out_degree - 1]. *)
+
+  val out_degree : g -> int -> int
+
+  val min_cut_side : g -> s:int -> bool array
+  (** After a max flow has been established: the source side of the
+      minimum cut, i.e. nodes reachable from [s] in the residual
+      graph. *)
+
+  val flow_value : g -> t -> s:int -> int
+  (** Net flow out of [s], measured against original capacities in the
+      network the residual was compiled from. *)
+end

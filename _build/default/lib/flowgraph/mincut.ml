@@ -1,0 +1,247 @@
+module R = Flow_network.Residual
+
+type algorithm = Relabel_to_front | Edmonds_karp | Dinic
+
+let all_algorithms = [ Relabel_to_front; Edmonds_karp; Dinic ]
+
+let algorithm_name = function
+  | Relabel_to_front -> "relabel-to-front"
+  | Edmonds_karp -> "edmonds-karp"
+  | Dinic -> "dinic"
+
+type cut = { value : int; source_side : bool array }
+
+(* --- Relabel-to-front push-relabel (CLR ch. 27) ------------------- *)
+
+let relabel_to_front g ~s ~t =
+  let n = R.node_count g in
+  let height = Array.make n 0 in
+  let excess = Array.make n 0 in
+  let current = Array.make n 0 in
+  (* current.(v) = offset of v's current arc within its arc range *)
+  height.(s) <- n;
+  (* Saturate all arcs out of s. *)
+  R.iter_out g s (fun ~arc ~dst ~cap ->
+      if cap > 0 then begin
+        R.push g arc cap;
+        excess.(dst) <- excess.(dst) + cap;
+        excess.(s) <- excess.(s) - cap
+      end);
+  let push_arc u arc dst =
+    let amount = min excess.(u) (R.residual g arc) in
+    R.push g arc amount;
+    excess.(u) <- excess.(u) - amount;
+    excess.(dst) <- excess.(dst) + amount
+  in
+  let relabel u =
+    let min_h = ref max_int in
+    R.iter_out g u (fun ~arc:_ ~dst ~cap ->
+        if cap > 0 then min_h := min !min_h height.(dst));
+    assert (!min_h < max_int);
+    height.(u) <- 1 + !min_h
+  in
+  let discharge u =
+    let deg = R.out_degree g u in
+    let base = R.first_arc g u in
+    while excess.(u) > 0 do
+      if current.(u) >= deg then begin
+        relabel u;
+        current.(u) <- 0
+      end
+      else begin
+        let arc = base + current.(u) in
+        let dst = R.arc_dst g arc in
+        if R.residual g arc > 0 && height.(u) = height.(dst) + 1 then push_arc u arc dst
+        else current.(u) <- current.(u) + 1
+      end
+    done
+  in
+  (* The lift-to-front list (CLR RELABEL-TO-FRONT): all nodes except s
+     and t in a linked list; scan front to back, discharging each; a
+     node whose height rose moves to the front and scanning resumes at
+     its successor (i.e. effectively restarts behind it). *)
+  let nil = -1 in
+  let next = Array.make n nil and prev = Array.make n nil in
+  let head = ref nil in
+  for v = n - 1 downto 0 do
+    if v <> s && v <> t then begin
+      next.(v) <- !head;
+      prev.(v) <- nil;
+      if !head <> nil then prev.(!head) <- v;
+      head := v
+    end
+  done;
+  let move_to_front u =
+    if !head <> u then begin
+      (* unlink *)
+      if prev.(u) <> nil then next.(prev.(u)) <- next.(u);
+      if next.(u) <> nil then prev.(next.(u)) <- prev.(u);
+      (* relink at head *)
+      next.(u) <- !head;
+      prev.(u) <- nil;
+      if !head <> nil then prev.(!head) <- u;
+      head := u
+    end
+  in
+  let u = ref !head in
+  while !u <> nil do
+    let old_height = height.(!u) in
+    discharge !u;
+    if height.(!u) > old_height then move_to_front !u;
+    u := next.(!u)
+  done;
+  excess.(t)
+
+(* --- Edmonds-Karp (BFS augmenting paths) -------------------------- *)
+
+let edmonds_karp g ~s ~t =
+  let n = R.node_count g in
+  let parent_arc = Array.make n (-1) in
+  let parent_node = Array.make n (-1) in
+  let total = ref 0 in
+  let rec run () =
+    Array.fill parent_arc 0 n (-1);
+    Array.fill parent_node 0 n (-1);
+    let q = Queue.create () in
+    Queue.add s q;
+    parent_node.(s) <- s;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      R.iter_out g v (fun ~arc ~dst ~cap ->
+          if cap > 0 && parent_node.(dst) < 0 then begin
+            parent_node.(dst) <- v;
+            parent_arc.(dst) <- arc;
+            if dst = t then found := true else Queue.add dst q
+          end)
+    done;
+    if !found then begin
+      (* Bottleneck along the path. *)
+      let rec bottleneck v acc =
+        if v = s then acc
+        else bottleneck parent_node.(v) (min acc (R.residual g parent_arc.(v)))
+      in
+      let b = bottleneck t max_int in
+      let rec apply v =
+        if v <> s then begin
+          R.push g parent_arc.(v) b;
+          apply parent_node.(v)
+        end
+      in
+      apply t;
+      total := !total + b;
+      run ()
+    end
+  in
+  run ();
+  !total
+
+(* --- Dinic (level graph + blocking flow) -------------------------- *)
+
+let dinic g ~s ~t =
+  let n = R.node_count g in
+  let level = Array.make n (-1) in
+  let iter = Array.make n 0 in
+  let bfs () =
+    Array.fill level 0 n (-1);
+    let q = Queue.create () in
+    Queue.add s q;
+    level.(s) <- 0;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      R.iter_out g v (fun ~arc:_ ~dst ~cap ->
+          if cap > 0 && level.(dst) < 0 then begin
+            level.(dst) <- level.(v) + 1;
+            Queue.add dst q
+          end)
+    done;
+    level.(t) >= 0
+  in
+  let rec dfs v limit =
+    if v = t then limit
+    else begin
+      let deg = R.out_degree g v in
+      let base = R.first_arc g v in
+      let pushed = ref 0 in
+      while !pushed = 0 && iter.(v) < deg do
+        let arc = base + iter.(v) in
+        let dst = R.arc_dst g arc in
+        if R.residual g arc > 0 && level.(dst) = level.(v) + 1 then begin
+          let got = dfs dst (min limit (R.residual g arc)) in
+          if got > 0 then begin
+            R.push g arc got;
+            pushed := got
+          end
+          else iter.(v) <- iter.(v) + 1
+        end
+        else iter.(v) <- iter.(v) + 1
+      done;
+      !pushed
+    end
+  in
+  let total = ref 0 in
+  while bfs () do
+    Array.fill iter 0 n 0;
+    let rec pump () =
+      let f = dfs s max_int in
+      if f > 0 then begin
+        total := !total + f;
+        pump ()
+      end
+    in
+    pump ()
+  done;
+  !total
+
+(* ------------------------------------------------------------------ *)
+
+let check_terminals net ~s ~t =
+  let n = Flow_network.node_count net in
+  if s < 0 || s >= n || t < 0 || t >= n then invalid_arg "Mincut: terminal out of range";
+  if s = t then invalid_arg "Mincut: s = t"
+
+let run_algorithm alg g ~s ~t =
+  match alg with
+  | Relabel_to_front -> relabel_to_front g ~s ~t
+  | Edmonds_karp -> edmonds_karp g ~s ~t
+  | Dinic -> dinic g ~s ~t
+
+let max_flow alg net ~s ~t =
+  check_terminals net ~s ~t;
+  let g = R.of_network net in
+  run_algorithm alg g ~s ~t
+
+let min_cut ?(algorithm = Relabel_to_front) net ~s ~t =
+  check_terminals net ~s ~t;
+  let g = R.of_network net in
+  let value = run_algorithm algorithm g ~s ~t in
+  { value; source_side = R.min_cut_side g ~s }
+
+let cut_edges net cut =
+  List.filter
+    (fun (src, dst, _) -> cut.source_side.(src) && not cut.source_side.(dst))
+    (Flow_network.edges net)
+
+let brute_force_min_cut net ~s ~t =
+  check_terminals net ~s ~t;
+  let n = Flow_network.node_count net in
+  if n > 22 then invalid_arg "Mincut.brute_force_min_cut: too many nodes";
+  let es = Flow_network.edges net in
+  let best_value = ref max_int and best_mask = ref 0 in
+  (* Enumerate source-side sets containing s and excluding t. *)
+  for mask = 0 to (1 lsl n) - 1 do
+    if mask land (1 lsl s) <> 0 && mask land (1 lsl t) = 0 then begin
+      let v =
+        List.fold_left
+          (fun acc (src, dst, cap) ->
+            if mask land (1 lsl src) <> 0 && mask land (1 lsl dst) = 0 then acc + cap
+            else acc)
+          0 es
+      in
+      if v < !best_value then begin
+        best_value := v;
+        best_mask := mask
+      end
+    end
+  done;
+  { value = !best_value; source_side = Array.init n (fun v -> !best_mask land (1 lsl v) <> 0) }

@@ -1,0 +1,36 @@
+(** Minimum s-t cuts.
+
+    Coign "employs the lift-to-front minimum-cut graph-cutting
+    algorithm to choose a distribution with minimal communication
+    time" (paper §2) — i.e. the relabel-to-front push-relabel max-flow
+    algorithm of CLR ch. 27, with the min cut read off the final
+    residual graph. We also keep two classic baselines (Edmonds-Karp
+    and Dinic) and an exponential brute-force enumerator: the
+    algorithms must agree on cut value, which is one of the library's
+    strongest correctness properties. *)
+
+type algorithm = Relabel_to_front | Edmonds_karp | Dinic
+
+val all_algorithms : algorithm list
+val algorithm_name : algorithm -> string
+
+type cut = {
+  value : int;                (** total capacity crossing the cut *)
+  source_side : bool array;   (** [source_side.(v)] iff [v] lands with [s] *)
+}
+
+val max_flow : algorithm -> Flow_network.t -> s:int -> t:int -> int
+(** Max-flow value only. *)
+
+val min_cut : ?algorithm:algorithm -> Flow_network.t -> s:int -> t:int -> cut
+(** Minimum s-t cut (default algorithm: [Relabel_to_front], as in the
+    paper). Raises [Invalid_argument] if [s = t] or either is out of
+    range. *)
+
+val cut_edges : Flow_network.t -> cut -> (int * int * int) list
+(** The network edges crossing from the source side to the sink side,
+    with their capacities; their sum equals [cut.value]. *)
+
+val brute_force_min_cut : Flow_network.t -> s:int -> t:int -> cut
+(** Exhaustive minimum cut for verification; exponential, refuses
+    graphs with more than 22 nodes. *)

@@ -1,0 +1,63 @@
+type partition = { assignment : int array; cost : int }
+
+let partition_cost net assignment =
+  List.fold_left
+    (fun acc (src, dst, cap) ->
+      if assignment.(src) <> assignment.(dst) then acc + cap else acc)
+    0 (Flow_network.edges net)
+
+let multiway_cut ?(algorithm = Mincut.Relabel_to_front) net ~terminals =
+  let terminals = List.sort_uniq compare terminals in
+  let k = List.length terminals in
+  if k < 2 then invalid_arg "Multiway.multiway_cut: need at least two terminals";
+  let n = Flow_network.node_count net in
+  List.iter
+    (fun t -> if t < 0 || t >= n then invalid_arg "Multiway.multiway_cut: bad terminal")
+    terminals;
+  let terminal_arr = Array.of_list terminals in
+  if k = 2 then begin
+    let cut = Mincut.min_cut ~algorithm net ~s:terminal_arr.(0) ~t:terminal_arr.(1) in
+    let assignment = Array.init n (fun v -> if cut.Mincut.source_side.(v) then 0 else 1) in
+    { assignment; cost = cut.Mincut.value }
+  end
+  else begin
+    (* Isolating cut for terminal i: augment the graph with a
+       super-sink wired to every other terminal with infinite
+       capacity. *)
+    let isolating i =
+      let aug = Flow_network.create ~n:(n + 1) in
+      List.iter
+        (fun (src, dst, cap) -> Flow_network.add_edge aug ~src ~dst ~cap)
+        (Flow_network.edges net);
+      Array.iteri
+        (fun j t ->
+          if j <> i then
+            Flow_network.add_undirected aug t n ~cap:Flow_network.infinity_cap)
+        terminal_arr;
+      let cut = Mincut.min_cut ~algorithm aug ~s:terminal_arr.(i) ~t:n in
+      (cut.Mincut.value, cut.Mincut.source_side)
+    in
+    let cuts = Array.init k isolating in
+    (* Drop the most expensive isolating cut (its terminal keeps the
+       leftovers), then assign nodes greedily in ascending cut cost so
+       cheaper cuts claim their side first. *)
+    let order = Array.init k (fun i -> i) in
+    Array.sort (fun a b -> compare (fst cuts.(a)) (fst cuts.(b))) order;
+    let default_terminal = order.(k - 1) in
+    let assignment = Array.make n default_terminal in
+    let claimed = Array.make n false in
+    Array.iteri
+      (fun rank i ->
+        if rank < k - 1 then
+          let _, side = cuts.(i) in
+          for v = 0 to n - 1 do
+            if side.(v) && not claimed.(v) then begin
+              assignment.(v) <- i;
+              claimed.(v) <- true
+            end
+          done)
+      order;
+    (* Terminals always belong to themselves. *)
+    Array.iteri (fun i t -> assignment.(t) <- i) terminal_arr;
+    { assignment; cost = partition_cost net assignment }
+  end

@@ -1,0 +1,29 @@
+(** Heuristic multiway cut (the paper's future-work extension).
+
+    Partitioning across three or more machines is NP-hard (paper §2
+    cites Dahlhaus et al.); Coign restricts itself to an exact two-way
+    cut. As the extension the paper anticipates, we provide the classic
+    isolation heuristic: compute a minimum isolating cut for each
+    terminal (terminal vs. all other terminals merged), keep the k-1
+    cheapest, and assign every node to the terminal whose isolating cut
+    retains it — a (2 - 2/k)-approximation for undirected multiway
+    cut. *)
+
+type partition = {
+  assignment : int array;
+      (** [assignment.(v)] is the index (into the terminal list) of the
+          machine node [v] lands on. *)
+  cost : int;  (** total capacity crossing between different machines *)
+}
+
+val multiway_cut :
+  ?algorithm:Mincut.algorithm -> Flow_network.t -> terminals:int list -> partition
+(** Requires at least two distinct terminals. With exactly two, this
+    reduces to the exact minimum cut. Treats edge capacities as
+    symmetric demand (an undirected multiway-cut instance): for best
+    results feed it graphs built with
+    {!Flow_network.add_undirected}. *)
+
+val partition_cost : Flow_network.t -> int array -> int
+(** Capacity of all edges whose endpoints get different machines under
+    a given assignment. *)

@@ -1,0 +1,1 @@
+lib/idl/idl_type.mli: Format

@@ -1,0 +1,1 @@
+lib/idl/marshal_size.ml: Format Idl_type List Result String Value

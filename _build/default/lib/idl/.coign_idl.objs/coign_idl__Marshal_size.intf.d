@@ -1,0 +1,1 @@
+lib/idl/marshal_size.mli: Format Idl_type Value

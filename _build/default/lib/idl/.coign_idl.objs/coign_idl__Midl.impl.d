@@ -1,0 +1,1 @@
+lib/idl/midl.ml: Array Idl_type List Marshal_size Result String Value

@@ -1,0 +1,1 @@
+lib/idl/midl.mli: Idl_type Marshal_size Value

@@ -1,0 +1,1 @@
+lib/idl/value.ml: Format Idl_type List String

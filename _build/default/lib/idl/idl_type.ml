@@ -1,0 +1,69 @@
+type t =
+  | Void
+  | Int32
+  | Int64
+  | Double
+  | Bool
+  | Str
+  | Blob
+  | Array of t
+  | Struct of (string * t) list
+  | Ptr of t
+  | Iface of string
+  | Opaque of string
+
+type direction = In | Out | In_out
+
+type param = { pname : string; pty : t; pdir : direction }
+
+type method_sig = { mname : string; params : param list; ret : t }
+
+let param ?(dir = In) pname pty = { pname; pty; pdir = dir }
+
+let method_ ?(ret = Void) mname params = { mname; params; ret }
+
+let rec remotable = function
+  | Void | Int32 | Int64 | Double | Bool | Str | Blob | Iface _ -> true
+  | Opaque _ -> false
+  | Array t | Ptr t -> remotable t
+  | Struct fields -> List.for_all (fun (_, t) -> remotable t) fields
+
+let method_remotable m =
+  remotable m.ret && List.for_all (fun p -> remotable p.pty) m.params
+
+let rec contains_iface = function
+  | Iface _ -> true
+  | Void | Int32 | Int64 | Double | Bool | Str | Blob | Opaque _ -> false
+  | Array t | Ptr t -> contains_iface t
+  | Struct fields -> List.exists (fun (_, t) -> contains_iface t) fields
+
+let rec pp ppf = function
+  | Void -> Format.pp_print_string ppf "void"
+  | Int32 -> Format.pp_print_string ppf "int32"
+  | Int64 -> Format.pp_print_string ppf "int64"
+  | Double -> Format.pp_print_string ppf "double"
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Str -> Format.pp_print_string ppf "string"
+  | Blob -> Format.pp_print_string ppf "blob"
+  | Array t -> Format.fprintf ppf "%a[]" pp t
+  | Struct fields ->
+      Format.fprintf ppf "struct{@[%a@]}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+           (fun ppf (name, t) -> Format.fprintf ppf "%s:%a" name pp t))
+        fields
+  | Ptr t -> Format.fprintf ppf "%a*" pp t
+  | Iface name -> Format.fprintf ppf "%s*" name
+  | Opaque tag -> Format.fprintf ppf "opaque<%s>" tag
+
+let pp_dir ppf = function
+  | In -> Format.pp_print_string ppf "in"
+  | Out -> Format.pp_print_string ppf "out"
+  | In_out -> Format.pp_print_string ppf "in,out"
+
+let pp_method ppf m =
+  Format.fprintf ppf "%a %s(@[%a@])" pp m.ret m.mname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf p -> Format.fprintf ppf "[%a] %a %s" pp_dir p.pdir pp p.pty p.pname))
+    m.params

@@ -1,0 +1,106 @@
+type error =
+  | Not_remotable of string
+  | Type_mismatch of { expected : Idl_type.t; got : Value.t }
+
+let pp_error ppf = function
+  | Not_remotable tag -> Format.fprintf ppf "not remotable: opaque<%s>" tag
+  | Type_mismatch { expected; got } ->
+      Format.fprintf ppf "type mismatch: expected %a, got %a" Idl_type.pp expected
+        Value.pp got
+
+(* Sizes follow NDR-ish conventions: 4-byte length prefixes, 4-byte
+   null-flags for unique pointers, 8-byte alignment ignored (we model
+   payload, not padding). OBJREF size approximates DCOM's standard
+   marshaled interface reference. *)
+let scalar_overhead = 48
+let objref_size = 68
+let len_prefix = 4
+let ptr_flag = 4
+
+let ( let* ) = Result.bind
+
+let rec value_size ty v =
+  match (ty, v) with
+  | Idl_type.Void, Value.Unit -> Ok 0
+  | Idl_type.Int32, Value.Int _ -> Ok 4
+  | Idl_type.Int64, Value.Int _ -> Ok 8
+  | Idl_type.Double, Value.Float _ -> Ok 8
+  | Idl_type.Bool, Value.Bool _ -> Ok 4
+  | Idl_type.Str, Value.Str s -> Ok (len_prefix + String.length s)
+  | Idl_type.Blob, Value.Blob n when n >= 0 -> Ok (len_prefix + n)
+  | Idl_type.Array elt, Value.Arr vs ->
+      let* body =
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            let* s = value_size elt v in
+            Ok (acc + s))
+          (Ok 0) vs
+      in
+      Ok (len_prefix + body)
+  | Idl_type.Struct fts, Value.Struct fvs when List.length fts = List.length fvs ->
+      List.fold_left2
+        (fun acc (fname, fty) (vname, fv) ->
+          let* acc = acc in
+          if not (String.equal fname vname) then
+            Error (Type_mismatch { expected = ty; got = v })
+          else
+            let* s = value_size fty fv in
+            Ok (acc + s))
+        (Ok 0) fts fvs
+  | Idl_type.Ptr _, Value.Null -> Ok ptr_flag
+  | Idl_type.Ptr pointee, Value.Ref inner ->
+      let* s = value_size pointee inner in
+      Ok (ptr_flag + s)
+  | Idl_type.Iface _, Value.Iface_ref _ -> Ok objref_size
+  | Idl_type.Iface _, Value.Null -> Ok ptr_flag
+  | Idl_type.Opaque tag, Value.Opaque_handle _ -> Error (Not_remotable tag)
+  | _, _ -> Error (Type_mismatch { expected = ty; got = v })
+
+type call_size = { request : int; reply : int }
+
+let total { request; reply } = request + reply
+
+let call (msig : Idl_type.method_sig) ~args ~result =
+  if List.length args <> List.length msig.params then
+    Error
+      (Type_mismatch
+         { expected = Idl_type.Struct (List.map (fun p -> (p.Idl_type.pname, p.pty)) msig.params);
+           got = Value.Arr args })
+  else
+    let* req, rep =
+      List.fold_left2
+        (fun acc (p : Idl_type.param) v ->
+          let* req, rep = acc in
+          let* s = value_size p.pty v in
+          match p.pdir with
+          | Idl_type.In -> Ok (req + s, rep)
+          | Idl_type.Out -> Ok (req, rep + s)
+          | Idl_type.In_out -> Ok (req + s, rep + s))
+        (Ok (0, 0))
+        msig.params args
+    in
+    let* ret = value_size msig.ret result in
+    Ok { request = scalar_overhead + req; reply = scalar_overhead + rep + ret }
+
+let call_request_only msig ~args =
+  if List.length args <> List.length msig.Idl_type.params then
+    Error
+      (Type_mismatch
+         { expected =
+             Idl_type.Struct
+               (List.map (fun p -> (p.Idl_type.pname, p.pty)) msig.Idl_type.params);
+           got = Value.Arr args })
+  else
+    let* req =
+      List.fold_left2
+        (fun acc (p : Idl_type.param) v ->
+          let* acc = acc in
+          match p.pdir with
+          | Idl_type.Out -> Ok acc
+          | Idl_type.In | Idl_type.In_out ->
+              let* s = value_size p.pty v in
+              Ok (acc + s))
+        (Ok 0) msig.Idl_type.params args
+    in
+    Ok (scalar_overhead + req)

@@ -1,0 +1,48 @@
+(** Deep-copy marshaled-size computation (the DCOM wire-size model).
+
+    DCOM moves call parameters between machines by deep copy; the
+    profiling informer measures "the number of bytes that would be
+    transferred from one machine to another if the two communicating
+    components were distributed" (paper §2). This module is that
+    measurement: a type-directed walk of a call's parameters producing
+    request and reply byte counts, following NDR-like encoding rules
+    (fixed scalar widths, counted strings/arrays, pointer null-flags,
+    fixed-size object references for interface pointers). *)
+
+type error =
+  | Not_remotable of string
+      (** The value contains an [Opaque] handle; DCOM cannot marshal the
+          call (a non-distributable interface, shown as solid black
+          lines in the paper's figures). *)
+  | Type_mismatch of { expected : Idl_type.t; got : Value.t }
+
+val pp_error : Format.formatter -> error -> unit
+
+val scalar_overhead : int
+(** Per-message DCOM/RPC header bytes added to every request and every
+    reply. *)
+
+val objref_size : int
+(** Marshaled size of an interface pointer (an OBJREF). *)
+
+val value_size : Idl_type.t -> Value.t -> (int, error) result
+(** Deep-copy size of a single value against its declared type. *)
+
+type call_size = { request : int; reply : int }
+(** Bytes moved caller->callee ([In] and [In_out] parameters plus
+    headers) and callee->caller ([Out], [In_out], return value plus
+    headers). *)
+
+val total : call_size -> int
+
+val call :
+  Idl_type.method_sig -> args:Value.t list -> result:Value.t ->
+  (call_size, error) result
+(** Size of one complete method invocation. [args] must match the
+    method's parameter list positionally; an [Out] parameter's slot in
+    [args] contributes only to the reply. *)
+
+val call_request_only :
+  Idl_type.method_sig -> args:Value.t list -> (int, error) result
+(** Request-direction size alone, for loggers that record the two
+    directions as separate messages. *)

@@ -1,0 +1,207 @@
+(* Compiled form: a flat array of opcodes interpreted against the value
+   tree. Struct/array/pointer bodies are expressed by sub-programs
+   referenced by index, which keeps the interpreter non-recursive over
+   opcodes within one level and mirrors how format strings embed offsets
+   to nested descriptors. *)
+
+type op =
+  | O_void
+  | O_fixed of int            (* scalar of fixed width *)
+  | O_counted_str
+  | O_counted_blob
+  | O_array of int            (* sub-program index for element *)
+  | O_struct of int list      (* sub-program index per field *)
+  | O_ptr of int              (* sub-program index for pointee *)
+  | O_iface
+  | O_opaque of string
+
+type proc = { programs : op array; ty : Idl_type.t }
+
+let compile ty =
+  let programs = ref [] in
+  let count = ref 0 in
+  (* Returns the index of the compiled sub-program for [ty]. *)
+  let rec go ty =
+    let idx = !count in
+    incr count;
+    (* Reserve the slot before compiling children so indices are stable. *)
+    programs := (idx, O_void) :: !programs;
+    let op =
+      match ty with
+      | Idl_type.Void -> O_void
+      | Idl_type.Int32 -> O_fixed 4
+      | Idl_type.Int64 -> O_fixed 8
+      | Idl_type.Double -> O_fixed 8
+      | Idl_type.Bool -> O_fixed 4
+      | Idl_type.Str -> O_counted_str
+      | Idl_type.Blob -> O_counted_blob
+      | Idl_type.Array elt -> O_array (go elt)
+      | Idl_type.Struct fields -> O_struct (List.map (fun (_, t) -> go t) fields)
+      | Idl_type.Ptr pointee -> O_ptr (go pointee)
+      | Idl_type.Iface _ -> O_iface
+      | Idl_type.Opaque tag -> O_opaque tag
+    in
+    programs := (idx, op) :: List.remove_assoc idx !programs;
+    idx
+  in
+  let root = go ty in
+  assert (root = 0);
+  let arr = Array.make !count O_void in
+  List.iter (fun (i, op) -> arr.(i) <- op) !programs;
+  { programs = arr; ty }
+
+let opcount p = Array.length p.programs
+
+let ( let* ) = Result.bind
+
+let size_with p v =
+  let mismatch got = Error (Marshal_size.Type_mismatch { expected = p.ty; got }) in
+  let rec run idx v =
+    match (p.programs.(idx), v) with
+    | O_void, Value.Unit -> Ok 0
+    | O_fixed n, (Value.Int _ | Value.Float _ | Value.Bool _) -> Ok n
+    | O_counted_str, Value.Str s -> Ok (4 + String.length s)
+    | O_counted_blob, Value.Blob n when n >= 0 -> Ok (4 + n)
+    | O_array elt, Value.Arr vs ->
+        let* body =
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              let* s = run elt v in
+              Ok (acc + s))
+            (Ok 0) vs
+        in
+        Ok (4 + body)
+    | O_struct fields, Value.Struct fvs when List.length fields = List.length fvs ->
+        List.fold_left2
+          (fun acc fidx (_, fv) ->
+            let* acc = acc in
+            let* s = run fidx fv in
+            Ok (acc + s))
+          (Ok 0) fields fvs
+    | O_ptr _, Value.Null -> Ok 4
+    | O_ptr pointee, Value.Ref inner ->
+        let* s = run pointee inner in
+        Ok (4 + s)
+    | O_iface, Value.Iface_ref _ -> Ok Marshal_size.objref_size
+    | O_iface, Value.Null -> Ok 4
+    | O_opaque tag, Value.Opaque_handle _ -> Error (Marshal_size.Not_remotable tag)
+    | _, got -> mismatch got
+  in
+  run 0 v
+
+(* Interface-pointer walk: retain only paths that can reach an Iface.
+   Paths that cannot are compiled to Skip, so the distribution informer
+   touches the minimum number of value nodes. *)
+type iop =
+  | I_skip
+  | I_take                     (* this position is an interface pointer *)
+  | I_array of int
+  | I_struct of (int * int) list  (* (field position, sub-program) for
+                                     fields that can carry ifaces *)
+  | I_ptr of int
+
+type iface_proc = { iprograms : iop array }
+
+let compile_iface_walk ty =
+  let programs = ref [] in
+  let count = ref 0 in
+  let rec go ty =
+    let idx = !count in
+    incr count;
+    programs := (idx, I_skip) :: !programs;
+    let op =
+      match ty with
+      | Idl_type.Iface _ -> I_take
+      | Idl_type.Array elt ->
+          if Idl_type.contains_iface elt then I_array (go elt) else I_skip
+      | Idl_type.Struct fields ->
+          let interesting =
+            List.filteri (fun _ (_, t) -> Idl_type.contains_iface t) fields
+          in
+          if interesting = [] then I_skip
+          else
+            I_struct
+              (List.concat
+                 (List.mapi
+                    (fun pos (_, t) ->
+                      if Idl_type.contains_iface t then [ (pos, go t) ] else [])
+                    fields))
+      | Idl_type.Ptr pointee ->
+          if Idl_type.contains_iface pointee then I_ptr (go pointee) else I_skip
+      | Idl_type.Void | Idl_type.Int32 | Idl_type.Int64 | Idl_type.Double
+      | Idl_type.Bool | Idl_type.Str | Idl_type.Blob | Idl_type.Opaque _ ->
+          I_skip
+    in
+    programs := (idx, op) :: List.remove_assoc idx !programs;
+    idx
+  in
+  let root = go ty in
+  assert (root = 0);
+  let arr = Array.make !count I_skip in
+  List.iter (fun (i, op) -> arr.(i) <- op) !programs;
+  { iprograms = arr }
+
+let iface_walk_trivial p = p.iprograms.(0) = I_skip
+
+let handles_with p v =
+  let acc = ref [] in
+  let rec run idx v =
+    match (p.iprograms.(idx), v) with
+    | I_skip, _ -> ()
+    | I_take, Value.Iface_ref h -> acc := h :: !acc
+    | I_take, _ -> ()
+    | I_array elt, Value.Arr vs -> List.iter (run elt) vs
+    | I_array _, _ -> ()
+    | I_struct fields, Value.Struct fvs ->
+        let fvs = Array.of_list fvs in
+        List.iter
+          (fun (pos, sub) -> if pos < Array.length fvs then run sub (snd fvs.(pos)))
+          fields
+    | I_struct _, _ -> ()
+    | I_ptr sub, Value.Ref inner -> run sub inner
+    | I_ptr _, _ -> ()
+  in
+  run 0 v;
+  List.rev !acc
+
+type method_procs = {
+  request_procs : (Idl_type.direction * proc) list;
+  ret_proc : proc;
+  iface_procs : iface_proc list;
+  ret_iface_proc : iface_proc;
+  remotable : bool;
+}
+
+let compile_method (msig : Idl_type.method_sig) =
+  {
+    request_procs = List.map (fun p -> (p.Idl_type.pdir, compile p.pty)) msig.params;
+    ret_proc = compile msig.ret;
+    iface_procs = List.map (fun p -> compile_iface_walk p.Idl_type.pty) msig.params;
+    ret_iface_proc = compile_iface_walk msig.ret;
+    remotable = Idl_type.method_remotable msig;
+  }
+
+let method_call_size procs ~args ~result =
+  if List.length args <> List.length procs.request_procs then
+    Error
+      (Marshal_size.Type_mismatch { expected = Idl_type.Void; got = Value.Arr args })
+  else
+    let* req, rep =
+      List.fold_left2
+        (fun acc (dir, proc) v ->
+          let* req, rep = acc in
+          let* s = size_with proc v in
+          match dir with
+          | Idl_type.In -> Ok (req + s, rep)
+          | Idl_type.Out -> Ok (req, rep + s)
+          | Idl_type.In_out -> Ok (req + s, rep + s))
+        (Ok (0, 0))
+        procs.request_procs args
+    in
+    let* ret = size_with procs.ret_proc result in
+    Ok
+      {
+        Marshal_size.request = Marshal_size.scalar_overhead + req;
+        reply = Marshal_size.scalar_overhead + rep + ret;
+      }

@@ -1,0 +1,1 @@
+lib/image/binary_image.ml: Codec Config_record Format Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/image/binary_image.mli: Config_record Format

@@ -1,0 +1,1 @@
+lib/image/codec.ml: Buffer Char Int64 List String

@@ -1,0 +1,1 @@
+lib/image/config_record.ml: Codec Format List Map Printf String

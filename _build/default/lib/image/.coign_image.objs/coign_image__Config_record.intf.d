@@ -1,0 +1,1 @@
+lib/image/config_record.mli: Format

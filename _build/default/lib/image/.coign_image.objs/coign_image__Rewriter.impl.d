@@ -1,0 +1,1 @@
+lib/image/rewriter.ml: Binary_image Config_record List String

@@ -1,0 +1,1 @@
+lib/image/rewriter.mli: Binary_image

@@ -1,0 +1,88 @@
+type mode = Off | Profiling | Distributed
+
+module Smap = Map.Make (String)
+
+type t = {
+  cfg_mode : mode;
+  cfg_classifier : string;
+  cfg_depth : int option;
+  entries : string Smap.t;
+}
+
+let create cfg_mode =
+  { cfg_mode; cfg_classifier = "ifcb"; cfg_depth = None; entries = Smap.empty }
+
+let mode t = t.cfg_mode
+let with_mode t m = { t with cfg_mode = m }
+let classifier_name t = t.cfg_classifier
+let with_classifier t name = { t with cfg_classifier = name }
+let stack_depth t = t.cfg_depth
+let with_stack_depth t d = { t with cfg_depth = d }
+
+let set_entry t name v = { t with entries = Smap.add name v t.entries }
+let entry t name = Smap.find_opt name t.entries
+let entry_names t = Smap.fold (fun k _ acc -> k :: acc) t.entries [] |> List.rev
+let remove_entry t name = { t with entries = Smap.remove name t.entries }
+
+let magic = "COIGNCFG"
+
+let mode_tag = function Off -> 0 | Profiling -> 1 | Distributed -> 2
+
+let mode_of_tag = function
+  | 0 -> Off
+  | 1 -> Profiling
+  | 2 -> Distributed
+  | n -> raise (Codec.Malformed (Printf.sprintf "bad mode tag %d" n))
+
+let encode t =
+  let w = Codec.writer () in
+  Codec.w_str w magic;
+  Codec.w_u8 w (mode_tag t.cfg_mode);
+  Codec.w_str w t.cfg_classifier;
+  (match t.cfg_depth with
+  | None -> Codec.w_u8 w 0
+  | Some d ->
+      Codec.w_u8 w 1;
+      Codec.w_u32 w d);
+  Codec.w_list w
+    (fun (k, v) ->
+      Codec.w_str w k;
+      Codec.w_str w v)
+    (Smap.bindings t.entries);
+  Codec.contents w
+
+let decode s =
+  let r = Codec.reader s in
+  if Codec.r_str r <> magic then raise (Codec.Malformed "bad config magic");
+  let cfg_mode = mode_of_tag (Codec.r_u8 r) in
+  let cfg_classifier = Codec.r_str r in
+  let cfg_depth =
+    match Codec.r_u8 r with
+    | 0 -> None
+    | 1 -> Some (Codec.r_u32 r)
+    | n -> raise (Codec.Malformed (Printf.sprintf "bad depth tag %d" n))
+  in
+  let pairs =
+    Codec.r_list r (fun r ->
+        let k = Codec.r_str r in
+        let v = Codec.r_str r in
+        (k, v))
+  in
+  Codec.expect_end r;
+  { cfg_mode; cfg_classifier; cfg_depth; entries = Smap.of_seq (List.to_seq pairs) }
+
+let equal a b =
+  a.cfg_mode = b.cfg_mode
+  && String.equal a.cfg_classifier b.cfg_classifier
+  && a.cfg_depth = b.cfg_depth
+  && Smap.equal String.equal a.entries b.entries
+
+let pp ppf t =
+  Format.fprintf ppf "config{mode=%s; classifier=%s; depth=%s; entries=[%s]}"
+    (match t.cfg_mode with
+    | Off -> "off"
+    | Profiling -> "profiling"
+    | Distributed -> "distributed")
+    t.cfg_classifier
+    (match t.cfg_depth with None -> "full" | Some d -> string_of_int d)
+    (String.concat "," (entry_names t))

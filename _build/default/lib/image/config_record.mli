@@ -1,0 +1,49 @@
+(** The Coign configuration record.
+
+    The binary rewriter appends one of these to the application binary
+    (paper §2): it tells the runtime how to behave (profile or realize
+    a distribution) and carries accumulated profile summaries and the
+    chosen distribution between tool invocations. Payload entries are
+    opaque named blobs — the record is a data segment, and the layers
+    above it (the Coign runtime) own their own encodings. *)
+
+type mode =
+  | Off          (** runtime loads but does nothing *)
+  | Profiling    (** heavyweight informer + profiling logger *)
+  | Distributed  (** lightweight informer + component factory *)
+
+type t
+
+val create : mode -> t
+
+val mode : t -> mode
+val with_mode : t -> mode -> t
+
+val classifier_name : t -> string
+(** Which instance classifier the runtime should use (default
+    ["ifcb"]). *)
+
+val with_classifier : t -> string -> t
+
+val stack_depth : t -> int option
+(** Classifier stack-walk depth limit; [None] walks the whole stack. *)
+
+val with_stack_depth : t -> int option -> t
+
+val set_entry : t -> string -> string -> t
+(** Store a named payload blob, replacing any previous value. *)
+
+val entry : t -> string -> string option
+
+val entry_names : t -> string list
+(** Sorted. *)
+
+val remove_entry : t -> string -> t
+
+val encode : t -> string
+val decode : string -> t
+(** Raises {!Codec.Malformed} on garbage. [decode (encode t)] equals
+    [t]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netsim/net_profiler.ml: Array Coign_util Float Format Hashtbl List Network Option Prng Stats

@@ -1,0 +1,1 @@
+lib/netsim/net_profiler.mli: Coign_util Format Network

@@ -1,0 +1,83 @@
+open Coign_util
+
+type t = {
+  profiled_name : string;
+  observations : (int * float) array;
+  fixed_us : float;
+  per_byte_us : float;
+}
+
+(* Representative sizes: one per exponential bucket up to 1 MiB,
+   matching the summaries the profiling logger produces. *)
+let representative_sizes =
+  let rec go acc size = if size > 1 lsl 20 then List.rev acc else go (size :: acc) (size * 2) in
+  go [ 16 ] 64
+
+let profile ?(samples_per_size = 7) ?(noise = 0.02) rng net =
+  if samples_per_size < 2 then invalid_arg "Net_profiler.profile: need >= 2 samples";
+  let observations =
+    List.concat_map
+      (fun size ->
+        List.init samples_per_size (fun _ ->
+            let true_us = Network.message_us net ~bytes:size in
+            let observed = Prng.gaussian rng ~mu:true_us ~sigma:(noise *. true_us) in
+            (size, Float.max 0. observed)))
+      representative_sizes
+    |> Array.of_list
+  in
+  let points = Array.map (fun (b, us) -> (float_of_int b, us)) observations in
+  let fixed_us, per_byte_us = Stats.linear_fit points in
+  { profiled_name = net.Network.net_name; observations; fixed_us; per_byte_us }
+
+(* Mean observed time per representative size, ascending. *)
+let size_means t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (size, us) ->
+      let sum, n = Option.value ~default:(0., 0) (Hashtbl.find_opt tbl size) in
+      Hashtbl.replace tbl size (sum +. us, n + 1))
+    t.observations;
+  Hashtbl.fold (fun size (sum, n) acc -> (size, sum /. float_of_int n) :: acc) tbl []
+  |> List.sort compare |> Array.of_list
+
+let predict_us t ~bytes =
+  let line () = t.fixed_us +. (t.per_byte_us *. float_of_int bytes) in
+  let means = size_means t in
+  let m = Array.length means in
+  let v =
+    if m < 2 then line ()
+    else begin
+      let fb = float_of_int bytes in
+      (* Interpolate between the bracketing representative sizes; use
+         the global fit's slope beyond the sampled range. *)
+      let smallest, t_small = means.(0) in
+      let largest, t_large = means.(m - 1) in
+      if bytes <= smallest then t_small -. (t.per_byte_us *. float_of_int (smallest - bytes))
+      else if bytes >= largest then t_large +. (t.per_byte_us *. float_of_int (bytes - largest))
+      else begin
+        let rec bracket i =
+          let s1, t1 = means.(i) and s2, t2 = means.(i + 1) in
+          if bytes <= s2 then
+            t1 +. ((t2 -. t1) *. (fb -. float_of_int s1) /. float_of_int (s2 - s1))
+          else bracket (i + 1)
+        in
+        bracket 0
+      end
+    end
+  in
+  Float.max 0. v
+
+let predict_round_trip_us t ~request ~reply =
+  predict_us t ~bytes:request +. predict_us t ~bytes:reply
+
+let exact net =
+  {
+    profiled_name = net.Network.net_name;
+    observations = [||];
+    fixed_us = net.Network.proc_us +. net.Network.latency_us;
+    per_byte_us = 8. /. net.Network.bandwidth_mbps;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "profile of %s: %.1fus + %.4fus/byte (%d obs)" t.profiled_name
+    t.fixed_us t.per_byte_us (Array.length t.observations)

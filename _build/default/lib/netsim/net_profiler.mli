@@ -1,0 +1,34 @@
+(** Statistical network profiling.
+
+    "The network profiler creates a network profile through statistical
+    sampling of communication time for a representative set of DCOM
+    messages" (paper §2). We time simulated messages whose sizes cover
+    the exponential bucket ranges of the communication summaries,
+    perturb each observation with measurement noise, and fit a
+    latency/bandwidth line. The analysis engine prices abstract ICC
+    edges with the *fitted* profile, never with the ground-truth model,
+    so prediction error in Table 5 is honest. *)
+
+type t = {
+  profiled_name : string;
+  observations : (int * float) array;  (** (bytes, observed us) *)
+  fixed_us : float;                     (** fitted per-message cost *)
+  per_byte_us : float;                  (** fitted marginal cost *)
+}
+
+val profile :
+  ?samples_per_size:int -> ?noise:float -> Coign_util.Prng.t -> Network.t -> t
+(** Sample the network ([samples_per_size] observations per
+    representative size, default 7; [noise] is the relative stddev of
+    an observation, default 0.02). *)
+
+val predict_us : t -> bytes:int -> float
+(** Fitted one-way message time, clamped at 0. *)
+
+val predict_round_trip_us : t -> request:int -> reply:int -> float
+
+val exact : Network.t -> t
+(** A profile that reproduces the model exactly (no sampling noise) —
+    for tests that need determinism tighter than the fit error. *)
+
+val pp : Format.formatter -> t -> unit

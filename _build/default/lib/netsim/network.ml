@@ -1,0 +1,40 @@
+type t = {
+  net_name : string;
+  latency_us : float;
+  bandwidth_mbps : float;
+  proc_us : float;
+}
+
+let make ~name ~latency_us ~bandwidth_mbps ~proc_us =
+  if latency_us < 0. || bandwidth_mbps <= 0. || proc_us < 0. then
+    invalid_arg "Network.make: nonsensical parameters";
+  { net_name = name; latency_us; bandwidth_mbps; proc_us }
+
+let message_us t ~bytes =
+  assert (bytes >= 0);
+  t.proc_us +. t.latency_us +. (float_of_int bytes *. 8. /. t.bandwidth_mbps)
+
+let round_trip_us t ~request ~reply =
+  message_us t ~bytes:request +. message_us t ~bytes:reply
+
+(* Per-message processing: the DCOM/RPC stack on two 200 MHz Pentiums
+   costs on the order of half a millisecond per message end-to-end. *)
+let ethernet_10 =
+  make ~name:"10BaseT Ethernet" ~latency_us:100. ~bandwidth_mbps:10. ~proc_us:550.
+
+let ethernet_100 =
+  make ~name:"100BaseT Ethernet" ~latency_us:50. ~bandwidth_mbps:100. ~proc_us:500.
+
+let isdn_128 = make ~name:"ISDN 128k" ~latency_us:5000. ~bandwidth_mbps:0.128 ~proc_us:550.
+
+let atm_155 = make ~name:"ATM OC-3" ~latency_us:40. ~bandwidth_mbps:155. ~proc_us:500.
+
+let san_1g = make ~name:"SAN 1Gbps" ~latency_us:10. ~bandwidth_mbps:1000. ~proc_us:120.
+
+let loopback = { net_name = "loopback"; latency_us = 0.; bandwidth_mbps = 1e12; proc_us = 0. }
+
+let presets = [ isdn_128; ethernet_10; ethernet_100; atm_155; san_1g ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s (lat %.0fus, bw %.1fMbps, proc %.0fus)" t.net_name t.latency_us
+    t.bandwidth_mbps t.proc_us

@@ -1,0 +1,1 @@
+lib/sim/classifier_eval.ml: App Classifier Coign_apps Coign_com Coign_core Coign_netsim Comm_vector Hashtbl List Net_profiler Network Option Rte Runtime

@@ -1,0 +1,1 @@
+lib/sim/classifier_eval.mli: Coign_apps Coign_core Coign_netsim

@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Adps Analysis App Classifier Coign_apps Coign_core Coign_netsim Coign_util Constraints Factory Float Hashtbl Int64 List Net_profiler Network Option Prng Stats

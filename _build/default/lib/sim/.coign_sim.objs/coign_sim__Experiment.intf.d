@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Coign_apps Coign_core Coign_netsim

@@ -1,0 +1,1 @@
+lib/sim/overhead.ml: App Classifier Coign_apps Coign_com Coign_core Coign_netsim Factory Float Option Rte Runtime Unix

@@ -1,0 +1,1 @@
+lib/sim/overhead.mli: Coign_apps

@@ -1,0 +1,1 @@
+lib/sim/replay.ml: Analysis Coign_com Coign_core Coign_idl Coign_netsim Constraints Event Hashtbl List Logger Marshal_size Network Option Rte Runtime String

@@ -1,0 +1,1 @@
+lib/sim/replay.mli: Coign_com Coign_core Coign_netsim

@@ -1,0 +1,64 @@
+open Coign_netsim
+open Coign_com
+open Coign_core
+open Coign_apps
+
+type row = {
+  cr_kind : Classifier.kind;
+  cr_depth : int option;
+  cr_profiled_classifications : int;
+  cr_new_in_bigone : int;
+  cr_avg_instances : float;
+  cr_avg_correlation : float;
+}
+
+(* One profiled execution's raw data, in communication-vector form. *)
+let run_once (app : App.t) classifier (sc : App.scenario) =
+  let ctx = Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  let table = Hashtbl.create 256 in
+  List.iter (fun (inst, c) -> Hashtbl.replace table inst c) (Rte.instance_classifications rte);
+  {
+    Comm_vector.classification_of =
+      (fun inst -> Option.value ~default:(-1) (Hashtbl.find_opt table inst));
+    comm = Rte.inst_comm rte;
+    run_instances = Rte.instances_created rte;
+  }
+
+let evaluate ?(network = Network.ethernet_10) ~kind ?stack_depth (app : App.t) =
+  let classifier = Classifier.create ?stack_depth kind in
+  let profile_runs =
+    List.map (fun sc -> run_once app classifier sc) (App.non_bigone app)
+  in
+  let profiled = Classifier.classification_count classifier in
+  let instances = Classifier.instance_count classifier in
+  let bigone_run = run_once app classifier (App.bigone app) in
+  let after = Classifier.classification_count classifier in
+  let net = Net_profiler.exact network in
+  let price ~count ~bytes =
+    (float_of_int count *. net.Net_profiler.fixed_us)
+    +. (float_of_int bytes *. net.Net_profiler.per_byte_us)
+  in
+  let profiles =
+    Comm_vector.classification_profiles ~runs:profile_runs ~dims:profiled ~price
+  in
+  let avg_correlation =
+    Comm_vector.average_correlation ~profiles ~test:bigone_run ~dims:profiled ~price
+  in
+  {
+    cr_kind = kind;
+    cr_depth = stack_depth;
+    cr_profiled_classifications = profiled;
+    cr_new_in_bigone = after - profiled;
+    cr_avg_instances = (if profiled = 0 then 0. else float_of_int instances /. float_of_int profiled);
+    cr_avg_correlation = avg_correlation;
+  }
+
+let table2 ?network (app : App.t) =
+  List.map (fun kind -> evaluate ?network ~kind app) Classifier.all_kinds
+
+let table3 ?network ?(depths = [ 1; 2; 3; 4; 8; 16 ]) (app : App.t) =
+  List.map (fun depth -> evaluate ?network ~kind:Classifier.Ifcb ~stack_depth:depth app) depths
+  @ [ evaluate ?network ~kind:Classifier.Ifcb app ]

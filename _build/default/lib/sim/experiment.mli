@@ -1,0 +1,71 @@
+(** Scenario-level experiment driver.
+
+    Runs one application scenario through the complete Coign pipeline
+    and both execution configurations, producing one row of the
+    paper's Tables 4 and 5:
+
+    - profile the scenario on the instrumented binary;
+    - analyze against the sampled network profile, yielding the Coign
+      distribution (whose composition reproduces Figures 4-8);
+    - execute under the developer's default distribution and under the
+      Coign distribution on the ground-truth network (with measurement
+      jitter), giving Table 4's communication times;
+    - compare the model's predicted execution time against the
+      "measured" simulated time, giving Table 5. *)
+
+type row = {
+  row_id : string;
+  row_desc : string;
+  default_comm_us : float;    (** Table 4, default distribution *)
+  coign_comm_us : float;      (** Table 4, Coign-chosen distribution *)
+  savings : float;            (** 1 - coign/default, in [0,1]; 0 when
+                                  the default has no communication *)
+  predicted_total_us : float; (** Table 5, model *)
+  measured_total_us : float;  (** Table 5, simulated run *)
+  prediction_error : float;   (** (predicted - measured) / measured *)
+  node_count : int;           (** classifications analyzed *)
+  server_classifications : int;
+  total_instances : int;      (** instances in the Coign run *)
+  server_instances : int;     (** of which placed on the server *)
+  distribution : Coign_core.Analysis.distribution;
+  classifier : Coign_core.Classifier.t;
+}
+
+val run_scenario :
+  ?network:Coign_netsim.Network.t ->
+  ?jitter:float ->
+  ?seed:int64 ->
+  Coign_apps.App.t ->
+  Coign_apps.App.scenario ->
+  row
+(** Defaults: the paper's 10BaseT Ethernet testbed, 1.5% measurement
+    jitter, a fixed seed. *)
+
+val run_app :
+  ?network:Coign_netsim.Network.t -> ?jitter:float -> ?seed:int64 ->
+  Coign_apps.App.t -> row list
+(** Every scenario of the application, in suite order. *)
+
+val server_class_histogram : row -> (string * int) list
+(** How many server-placed classifications each component class
+    contributes — the textual rendering of the paper's distribution
+    figures. Sorted descending by count, then by name. *)
+
+val placements_by_class :
+  row -> (string * int * int) list
+(** [(class, server_classifications, total_classifications)] for every
+    class that appears in the analyzed graph. *)
+
+(** {1 Network adaptivity (paper §4.4)} *)
+
+type adaptive_row = {
+  ar_network : string;
+  ar_server_classifications : int;
+  ar_predicted_comm_us : float;
+}
+
+val across_networks :
+  ?networks:Coign_netsim.Network.t list ->
+  Coign_apps.App.t -> Coign_apps.App.scenario -> adaptive_row list
+(** Re-analyze one scenario's profile against each network; the chosen
+    distribution shifts as bandwidth/latency tradeoffs change. *)

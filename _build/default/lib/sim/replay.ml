@@ -1,0 +1,81 @@
+open Coign_idl
+open Coign_netsim
+open Coign_com
+open Coign_core
+
+type estimate = {
+  re_comm_us : float;
+  re_remote_calls : int;
+  re_remote_bytes : int;
+  re_server_instances : int;
+  re_violations : (string * string) list;
+}
+
+let replay ~events ~placement ~network =
+  let machines : (int, Constraints.location) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.replace machines Runtime.main_instance Constraints.Client;
+  let machine_of inst =
+    Option.value ~default:Constraints.Client (Hashtbl.find_opt machines inst)
+  in
+  let comm = ref 0. and calls = ref 0 and bytes = ref 0 in
+  let violations = ref [] in
+  let charge ~request ~reply =
+    comm := !comm +. Network.round_trip_us network ~request ~reply;
+    incr calls;
+    bytes := !bytes + request + reply
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Event.Component_instantiated { inst; classification; creator; _ } ->
+          let creator_machine = machine_of creator in
+          let machine =
+            (* Follow the factory: profiled classifications go where the
+               placement says; unknown ones stay with their creator. *)
+            placement classification
+          in
+          let machine =
+            if classification < 0 then creator_machine else machine
+          in
+          Hashtbl.replace machines inst machine;
+          if machine <> creator_machine then
+            charge
+              ~request:(Marshal_size.scalar_overhead + (2 * 16))
+              ~reply:(Marshal_size.scalar_overhead + Marshal_size.objref_size)
+      | Event.Interface_call
+          { caller; callee; iface; meth; remotable; request_bytes; reply_bytes; _ } ->
+          if String.equal iface "ICoCreateInstance" then
+            (* Instantiation requests are charged by the creation event
+               above (they only cross when the factory forwards). *)
+            ()
+          else if machine_of caller <> machine_of callee then
+            if remotable then charge ~request:request_bytes ~reply:reply_bytes
+            else violations := (iface, meth) :: !violations
+      | Event.Component_destroyed _ | Event.Interface_instantiated _
+      | Event.Interface_destroyed _ ->
+          ())
+    events;
+  let server_instances =
+    Hashtbl.fold
+      (fun inst m acc ->
+        if inst <> Runtime.main_instance && m = Constraints.Server then acc + 1 else acc)
+      machines 0
+  in
+  {
+    re_comm_us = !comm;
+    re_remote_calls = !calls;
+    re_remote_bytes = !bytes;
+    re_server_instances = server_instances;
+    re_violations = List.rev !violations;
+  }
+
+let record_scenario ~registry ~classifier scenario =
+  let ctx = Runtime.create_ctx registry in
+  let recorder, events = Logger.event_recorder () in
+  let rte = Rte.install_profiling ~loggers:[ recorder ] ~classifier ctx in
+  scenario ctx;
+  Rte.uninstall rte;
+  events ()
+
+let what_if ~events ~distribution ~network =
+  replay ~events ~placement:(Analysis.location_of distribution) ~network

@@ -1,0 +1,51 @@
+(** Event-log-driven distribution simulation.
+
+    Paper §3.3: "a colleague has used logs from the event logger to
+    drive detailed application simulations." This module is that use
+    case: take the full event trace of one profiling run and replay it
+    under an arbitrary placement and network — estimating what a
+    distributed execution would cost without re-running the
+    application. Because scenarios are deterministic, replaying the
+    trace under a placement reproduces exactly the communication the
+    distributed RTE would charge (a tested property).
+
+    Replay also reports would-be faults: calls that cross machines over
+    non-remotable interfaces, which a real run would abort with
+    [E_cannot_marshal] — useful for checking hand-made placements
+    before trying them. *)
+
+type estimate = {
+  re_comm_us : float;          (** total cross-machine communication *)
+  re_remote_calls : int;       (** calls and forwarded instantiations *)
+  re_remote_bytes : int;
+  re_server_instances : int;   (** instances the placement sends away *)
+  re_violations : (string * string) list;
+      (** (interface, method) of every non-remotable cross-machine
+          call the placement would cause *)
+}
+
+val replay :
+  events:Coign_core.Event.t list ->
+  placement:(int -> Coign_core.Constraints.location) ->
+  network:Coign_netsim.Network.t ->
+  estimate
+(** [placement] maps a classification to a machine (as
+    {!Coign_core.Analysis.location_of} does); instances whose
+    classification maps nowhere follow their creator, like the
+    component factory. The trace must come from a profiling run (it
+    needs the instantiation events to track instance machines). *)
+
+val record_scenario :
+  registry:Coign_com.Runtime.registry ->
+  classifier:Coign_core.Classifier.t ->
+  (Coign_com.Runtime.ctx -> unit) ->
+  Coign_core.Event.t list
+(** Convenience: run a scenario once under the profiling RTE with an
+    event recorder attached and return the trace. *)
+
+val what_if :
+  events:Coign_core.Event.t list ->
+  distribution:Coign_core.Analysis.distribution ->
+  network:Coign_netsim.Network.t ->
+  estimate
+(** Replay under an analyzer-chosen distribution. *)

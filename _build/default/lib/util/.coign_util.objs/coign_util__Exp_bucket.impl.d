@@ -1,0 +1,1 @@
+lib/util/exp_bucket.ml: Array Format

@@ -1,0 +1,1 @@
+lib/util/exp_bucket.mli: Format

@@ -1,0 +1,60 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. floor rank in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Stats.dot: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm a = sqrt (dot a a)
+
+let cosine_correlation a b =
+  let na = norm a and nb = norm b in
+  if na = 0. && nb = 0. then 1.
+  else if na = 0. || nb = 0. then 0.
+  else dot a b /. (na *. nb)
+
+let linear_fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let nf = float_of_int n in
+  let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  if denom = 0. then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. nf in
+  (intercept, slope)
+
+let ratio_error ~predicted ~measured =
+  if measured = 0. then if predicted = 0. then 0. else infinity
+  else (predicted -. measured) /. measured

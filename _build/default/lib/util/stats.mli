@@ -1,0 +1,35 @@
+(** Small statistics toolkit used by the network profiler, the
+    classifier-accuracy evaluation, and the benchmark reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on empty input. *)
+
+val variance : float array -> float
+(** Population variance; 0 on inputs shorter than 2. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]]; linear interpolation
+    between order statistics. Raises [Invalid_argument] on empty
+    input. *)
+
+val dot : float array -> float array -> float
+(** Dot product; arrays must have equal length. *)
+
+val norm : float array -> float
+
+val cosine_correlation : float array -> float array -> float
+(** Normalized dot product in [\[0,1\]] for non-negative vectors; the
+    paper's communication-vector correlation (§4.2). Two zero vectors
+    correlate at 1 (identical behaviour); a zero vector against a
+    non-zero vector correlates at 0. *)
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit points] is [(intercept, slope)] of the least-squares
+    line through [(x, y)] points — used to recover latency and 1/bandwidth
+    from sampled message timings. Requires at least two distinct [x]. *)
+
+val ratio_error : predicted:float -> measured:float -> float
+(** Signed relative error [(predicted - measured) / measured]; 0 when
+    both are 0. *)

@@ -1,0 +1,70 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { columns : (string * align) list; mutable rows : row list (* reversed *) }
+
+let create columns = { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Tablefmt.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let aligns = List.map snd t.columns in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) (List.nth widths i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1))
+  in
+  emit_cells headers;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Separator ->
+          Buffer.add_string buf (String.make total_width '-');
+          Buffer.add_char buf '\n'
+      | Cells cells -> emit_cells cells)
+    rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_newline ();
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)
+
+let cell_float ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v
+
+let cell_pct r = Printf.sprintf "%.0f%%" (r *. 100.)

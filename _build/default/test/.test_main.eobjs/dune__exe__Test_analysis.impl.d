@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Classifier Coign_core Coign_flowgraph Coign_netsim Constraints Float Fun Icc List Net_profiler Network Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App Benefits Classifier Coign_apps Coign_com Coign_core Coign_idl Common Constraints Hresult Icc List Octarine Photodraw Rte Runtime Static_analysis Suite

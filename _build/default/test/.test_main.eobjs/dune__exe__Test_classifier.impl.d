@@ -1,0 +1,1 @@
+test/test_classifier.ml: Alcotest Classifier Coign_core Frame List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Coign_core Coign_image Filename Fun Option Sys Unix

@@ -1,0 +1,1 @@
+test/test_com.ml: Alcotest Coign_com Coign_idl Combuild Guid Hresult Idl_type Itype List Runtime String Value

@@ -1,0 +1,1 @@
+test/test_flowgraph.ml: Alcotest Array Coign_flowgraph Flow_network List Mincut Multiway Printf QCheck QCheck_alcotest String

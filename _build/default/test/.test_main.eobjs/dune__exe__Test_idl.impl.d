@@ -1,0 +1,1 @@
+test/test_idl.ml: Alcotest Coign_idl Format Idl_type List Marshal_size Midl Printf QCheck QCheck_alcotest Value

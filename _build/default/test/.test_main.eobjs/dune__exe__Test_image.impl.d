@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Binary_image Codec Coign_image Config_record Filename Format Fun List Option QCheck QCheck_alcotest Rewriter String Sys

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_adps Test_analysis Test_apps Test_classifier Test_cli Test_com Test_core Test_extensions Test_flowgraph Test_idl Test_image Test_netsim Test_rte Test_sim Test_util

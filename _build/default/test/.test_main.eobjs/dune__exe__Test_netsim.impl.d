@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Coign_netsim Coign_util Float Int64 List Net_profiler Network Printf Prng QCheck QCheck_alcotest

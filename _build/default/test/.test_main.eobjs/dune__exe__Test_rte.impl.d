@@ -1,0 +1,1 @@
+test/test_rte.ml: Alcotest Classifier Coign_com Coign_core Coign_idl Coign_netsim Combuild Constraints Event Factory Float Hresult Icc Idl_type Itype List Logger Option Rte Runtime String Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Classifier Classifier_eval Coign_apps Coign_core Coign_netsim Coign_sim Experiment Float Lazy List Octarine Overhead Suite

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Coign_util Exp_bucket Float Fun List Printf Prng QCheck QCheck_alcotest Stats String Tablefmt

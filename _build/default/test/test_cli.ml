@@ -1,0 +1,77 @@
+(* Integration test of the command-line toolchain: the stages of paper
+   Figure 1 run as separate processes over image files, exactly as a
+   user would drive them. *)
+
+let exe = "../bin/coign.exe"
+
+let run_cmd args =
+  let cmd = Filename.quote_command exe args in
+  Sys.command (cmd ^ " > /dev/null 2>&1")
+
+let with_tmp f =
+  let dir = Filename.temp_file "coign_cli" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let check_ok what rc = Alcotest.(check int) what 0 rc
+
+let test_full_pipeline () =
+  if not (Sys.file_exists exe) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "oct.img" in
+        check_ok "instrument" (run_cmd [ "instrument"; "--app"; "octarine"; "-o"; img ]);
+        check_ok "profile wp0" (run_cmd [ "profile"; img; "--scenario"; "o_oldwp0"; "-o"; img ]);
+        check_ok "profile tb0" (run_cmd [ "profile"; img; "--scenario"; "o_oldtb0"; "-o"; img ]);
+        check_ok "analyze" (run_cmd [ "analyze"; img; "--network"; "ethernet10"; "-o"; img ]);
+        check_ok "show" (run_cmd [ "show"; img ]);
+        check_ok "run" (run_cmd [ "run"; img; "--scenario"; "o_oldtb0"; "--compare-default" ]);
+        (* The distributed image is a valid, decodable binary image. *)
+        let image = Coign_image.Binary_image.load img in
+        Alcotest.(check bool) "distribution stored" true
+          (Coign_core.Adps.load_distribution image <> None))
+
+let test_log_combine_flow () =
+  if not (Sys.file_exists exe) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "oct.img" in
+        let scratch = Filename.concat dir "scratch.img" in
+        let log1 = Filename.concat dir "wp0.cpl" in
+        let log2 = Filename.concat dir "tb0.cpl" in
+        check_ok "instrument" (run_cmd [ "instrument"; "--app"; "octarine"; "-o"; img ]);
+        check_ok "profile+log 1"
+          (run_cmd [ "profile"; img; "--scenario"; "o_oldwp0"; "--log"; log1; "-o"; scratch ]);
+        check_ok "profile+log 2"
+          (run_cmd [ "profile"; img; "--scenario"; "o_oldtb0"; "--log"; log2; "-o"; scratch ]);
+        check_ok "combine" (run_cmd [ "combine"; img; log1; log2; "-o"; img ]);
+        check_ok "analyze combined" (run_cmd [ "analyze"; img; "-o"; img ]);
+        let image = Coign_image.Binary_image.load img in
+        let classifier, _ = Option.get (Coign_core.Adps.load_distribution image) in
+        Alcotest.(check bool) "classifications from both runs" true
+          (Coign_core.Classifier.classification_count classifier > 30))
+
+let test_error_reporting () =
+  if not (Sys.file_exists exe) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "x.img" in
+        Alcotest.(check bool) "unknown app rejected" true
+          (run_cmd [ "instrument"; "--app"; "nonesuch"; "-o"; img ] <> 0);
+        check_ok "instrument" (run_cmd [ "instrument"; "--app"; "benefits"; "-o"; img ]);
+        Alcotest.(check bool) "unknown scenario rejected" true
+          (run_cmd [ "profile"; img; "--scenario"; "o_oldwp0"; "-o"; img ] <> 0);
+        Alcotest.(check bool) "analyze without profile rejected" true
+          (run_cmd [ "analyze"; img; "-o"; img ] <> 0))
+
+let suite =
+  [
+    Alcotest.test_case "cli full pipeline" `Slow test_full_pipeline;
+    Alcotest.test_case "cli log/combine flow" `Slow test_log_combine_flow;
+    Alcotest.test_case "cli error reporting" `Quick test_error_reporting;
+  ]

@@ -1,0 +1,261 @@
+open Coign_idl
+open Coign_com
+
+(* --- Guid ----------------------------------------------------------- *)
+
+let test_guid_deterministic () =
+  Alcotest.(check bool) "equal for same name" true
+    (Guid.equal (Guid.of_name "IID_IFoo") (Guid.of_name "IID_IFoo"));
+  Alcotest.(check bool) "distinct for different names" false
+    (Guid.equal (Guid.of_name "IID_IFoo") (Guid.of_name "IID_IBar"))
+
+let test_guid_rendering () =
+  let g = Guid.of_name "X" in
+  let s = Guid.to_string g in
+  Alcotest.(check bool) "braced" true (s.[0] = '{' && s.[String.length s - 1] = '}');
+  Alcotest.(check string) "name kept" "X" (Guid.name g)
+
+let test_guid_map () =
+  let m = Guid.Map.singleton (Guid.of_name "a") 1 in
+  Alcotest.(check (option int)) "found" (Some 1) (Guid.Map.find_opt (Guid.of_name "a") m)
+
+(* --- Itype ---------------------------------------------------------- *)
+
+let i_calc =
+  Itype.declare "ICalc"
+    [
+      Idl_type.method_ ~ret:Idl_type.Int32 "add"
+        [ Idl_type.param "a" Idl_type.Int32; Idl_type.param "b" Idl_type.Int32 ];
+      Idl_type.method_ ~ret:Idl_type.Int32 "total" [];
+    ]
+
+let i_raw =
+  Itype.declare "IRawPixels" [ Idl_type.method_ "blit" [ Idl_type.param "p" (Idl_type.Opaque "SHM") ] ]
+
+let test_itype_lookup () =
+  Alcotest.(check int) "count" 2 (Itype.method_count i_calc);
+  Alcotest.(check int) "index" 1 (Itype.method_index i_calc "total");
+  Alcotest.(check string) "sig" "add" (Itype.method_sig i_calc 0).Idl_type.mname;
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Itype.method_index i_calc "nope"))
+
+let test_itype_remotable () =
+  Alcotest.(check bool) "calc" true (Itype.remotable i_calc);
+  Alcotest.(check bool) "raw" false (Itype.remotable i_raw)
+
+(* --- Runtime: a tiny calculator component --------------------------- *)
+
+let c_calc =
+  Runtime.define_class "Test.Calc" ~api_refs:[ "kernel32.VirtualAlloc" ] (fun _ctx _self ->
+      let total = ref 0 in
+      [
+        Combuild.iface i_calc
+          [
+            ( "add",
+              fun ctx args ->
+                let a = Combuild.get_int args 0 and b = Combuild.get_int args 1 in
+                total := !total + a + b;
+                Runtime.charge ctx ~us:1.;
+                Combuild.echo args (Value.Int (a + b)) );
+            ("total", fun _ctx args -> Combuild.echo args (Value.Int !total));
+          ];
+      ])
+
+(* A component that creates a Calc internally and exposes a pass-through. *)
+let i_chain =
+  Itype.declare "IChain"
+    [ Idl_type.method_ ~ret:Idl_type.Int32 "push" [ Idl_type.param "v" Idl_type.Int32 ] ]
+
+let c_chain =
+  Runtime.define_class "Test.Chain" (fun ctx0 _self ->
+      let calc = Runtime.create_instance ctx0 c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+      [
+        Combuild.iface i_chain
+          [
+            ( "push",
+              fun ctx args ->
+                let v = Combuild.get_int args 0 in
+                let _, r = Runtime.call_named ctx calc "add" [ Value.Int v; Value.Int 1 ] in
+                Combuild.echo args r );
+          ];
+      ])
+
+let make_ctx () = Runtime.create_ctx (Runtime.registry [ c_calc; c_chain ])
+
+let test_registry_duplicate () =
+  Alcotest.check_raises "duplicate class"
+    (Invalid_argument "Runtime.registry: duplicate class Test.Calc") (fun () ->
+      ignore (Runtime.registry [ c_calc; c_calc ]))
+
+let test_create_and_call () =
+  let ctx = make_ctx () in
+  let h = Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+  let _, r = Runtime.call_named ctx h "add" [ Value.Int 2; Value.Int 3 ] in
+  Alcotest.(check bool) "sum" true (r = Value.Int 5);
+  let _, t = Runtime.call_named ctx h "total" [] in
+  Alcotest.(check bool) "total" true (t = Value.Int 5)
+
+let test_create_unknown_class () =
+  let ctx = make_ctx () in
+  Alcotest.(check bool) "raises E_noclass" true
+    (try
+       ignore (Runtime.create_instance ctx (Guid.of_name "CLSID_Nope") ~iid:(Itype.iid i_calc));
+       false
+     with Hresult.Com_error (Hresult.E_noclass _) -> true)
+
+let test_query_interface_identity () =
+  let ctx = make_ctx () in
+  let h = Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+  let h2 = Runtime.query_interface ctx h ~iid:(Itype.iid i_calc) in
+  Alcotest.(check int) "canonical handle reused" h h2
+
+let test_query_interface_missing () =
+  let ctx = make_ctx () in
+  let h = Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+  Alcotest.(check bool) "raises E_nointerface" true
+    (try
+       ignore (Runtime.query_interface ctx h ~iid:(Itype.iid i_chain));
+       false
+     with Hresult.Com_error (Hresult.E_nointerface _) -> true)
+
+let test_nested_instantiation () =
+  let ctx = make_ctx () in
+  let h = Runtime.create_instance ctx c_chain.Runtime.clsid ~iid:(Itype.iid i_chain) in
+  let _, r = Runtime.call_named ctx h "push" [ Value.Int 9 ] in
+  Alcotest.(check bool) "chained" true (r = Value.Int 10);
+  (* main + chain + inner calc *)
+  Alcotest.(check int) "instances" 3 (Runtime.instance_count ctx)
+
+let test_destroy_semantics () =
+  let ctx = make_ctx () in
+  let h = Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+  let inst = Runtime.handle_owner ctx h in
+  Runtime.destroy_instance ctx inst;
+  Alcotest.(check bool) "dead" false (Runtime.instance_alive ctx inst);
+  Alcotest.(check bool) "call through stale handle fails" true
+    (try
+       ignore (Runtime.call_named ctx h "total" []);
+       false
+     with Hresult.Com_error (Hresult.E_pointer _) -> true);
+  Alcotest.(check bool) "double destroy fails" true
+    (try
+       Runtime.destroy_instance ctx inst;
+       false
+     with Hresult.Com_error (Hresult.E_invalidarg _) -> true)
+
+let test_destroy_main_forbidden () =
+  let ctx = make_ctx () in
+  Alcotest.(check bool) "main protected" true
+    (try
+       Runtime.destroy_instance ctx Runtime.main_instance;
+       false
+     with Hresult.Com_error (Hresult.E_invalidarg _) -> true)
+
+let test_create_hook_interception () =
+  let ctx = make_ctx () in
+  let seen = ref [] in
+  Runtime.set_create_hook ctx
+    (Some
+       (fun req ->
+         seen := req.Runtime.req_class.Runtime.cname :: !seen;
+         Runtime.raw_create_instance ctx req.Runtime.req_clsid ~iid:req.Runtime.req_iid));
+  ignore (Runtime.create_instance ctx c_chain.Runtime.clsid ~iid:(Itype.iid i_chain));
+  (* The chain's constructor creates a Calc: both go through the hook. *)
+  Alcotest.(check (list string)) "both intercepted" [ "Test.Chain"; "Test.Calc" ]
+    (List.rev !seen);
+  Runtime.set_create_hook ctx None;
+  ignore (Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc));
+  Alcotest.(check int) "hook removed" 2 (List.length !seen)
+
+let test_foreign_handle_wrapping () =
+  let ctx = make_ctx () in
+  let h = Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+  let calls = ref 0 in
+  let wrapper =
+    Runtime.alloc_foreign_handle ctx ~owner:(Runtime.handle_owner ctx h)
+      ~itype:(Runtime.handle_itype ctx h) ~wrapper:true
+      (fun ctx ~meth args ->
+        incr calls;
+        Runtime.call ctx h ~meth args)
+  in
+  Alcotest.(check bool) "wrapper flagged" true (Runtime.handle_is_wrapper ctx wrapper);
+  Alcotest.(check bool) "original not" false (Runtime.handle_is_wrapper ctx h);
+  let _, r = Runtime.call_named ctx wrapper "add" [ Value.Int 1; Value.Int 1 ] in
+  Alcotest.(check bool) "forwarded" true (r = Value.Int 2);
+  Alcotest.(check int) "intercepted" 1 !calls
+
+let test_compute_accounting () =
+  let ctx = make_ctx () in
+  let h = Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+  ignore (Runtime.call_named ctx h "add" [ Value.Int 1; Value.Int 2 ]);
+  ignore (Runtime.call_named ctx h "add" [ Value.Int 1; Value.Int 2 ]);
+  Alcotest.(check (float 1e-9)) "charged" 2. (Runtime.compute_us ctx);
+  Runtime.reset_compute ctx;
+  Alcotest.(check (float 1e-9)) "reset" 0. (Runtime.compute_us ctx)
+
+let test_data_slots () =
+  let ctx = make_ctx () in
+  let key : string Runtime.key = Runtime.new_key () in
+  Alcotest.(check (option string)) "empty" None (Runtime.get_data ctx key);
+  Runtime.set_data ctx key "hello";
+  Alcotest.(check (option string)) "stored" (Some "hello") (Runtime.get_data ctx key)
+
+let test_live_instances () =
+  let ctx = make_ctx () in
+  let h1 = Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+  let h2 = Runtime.create_instance ctx c_calc.Runtime.clsid ~iid:(Itype.iid i_calc) in
+  ignore h2;
+  Runtime.destroy_instance ctx (Runtime.handle_owner ctx h1);
+  Alcotest.(check int) "one live (excluding main)" 1 (List.length (Runtime.live_instances ctx))
+
+(* --- Combuild ------------------------------------------------------- *)
+
+let test_combuild_validation () =
+  Alcotest.(check bool) "missing handler rejected" true
+    (try
+       ignore (Combuild.iface i_calc [ ("add", Combuild.nop) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown handler rejected" true
+    (try
+       ignore
+         (Combuild.iface i_calc
+            [ ("add", Combuild.nop); ("total", Combuild.nop); ("bogus", Combuild.nop) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_combuild_getters () =
+  let args = [ Value.Int 4; Value.Str "s"; Value.Blob 10; Value.Iface_ref 2; Value.Bool true ] in
+  Alcotest.(check int) "int" 4 (Combuild.get_int args 0);
+  Alcotest.(check string) "str" "s" (Combuild.get_str args 1);
+  Alcotest.(check int) "blob" 10 (Combuild.get_blob args 2);
+  Alcotest.(check int) "iface" 2 (Combuild.get_iface args 3);
+  Alcotest.(check bool) "bool" true (Combuild.get_bool args 4);
+  Alcotest.(check bool) "wrong shape raises" true
+    (try
+       ignore (Combuild.get_int args 1);
+       false
+     with Hresult.Com_error (Hresult.E_invalidarg _) -> true)
+
+let suite =
+  [
+    Alcotest.test_case "guid deterministic" `Quick test_guid_deterministic;
+    Alcotest.test_case "guid rendering" `Quick test_guid_rendering;
+    Alcotest.test_case "guid map" `Quick test_guid_map;
+    Alcotest.test_case "itype lookup" `Quick test_itype_lookup;
+    Alcotest.test_case "itype remotable" `Quick test_itype_remotable;
+    Alcotest.test_case "registry duplicate" `Quick test_registry_duplicate;
+    Alcotest.test_case "create and call" `Quick test_create_and_call;
+    Alcotest.test_case "create unknown class" `Quick test_create_unknown_class;
+    Alcotest.test_case "query interface identity" `Quick test_query_interface_identity;
+    Alcotest.test_case "query interface missing" `Quick test_query_interface_missing;
+    Alcotest.test_case "nested instantiation" `Quick test_nested_instantiation;
+    Alcotest.test_case "destroy semantics" `Quick test_destroy_semantics;
+    Alcotest.test_case "destroy main forbidden" `Quick test_destroy_main_forbidden;
+    Alcotest.test_case "create hook interception" `Quick test_create_hook_interception;
+    Alcotest.test_case "foreign handle wrapping" `Quick test_foreign_handle_wrapping;
+    Alcotest.test_case "compute accounting" `Quick test_compute_accounting;
+    Alcotest.test_case "data slots" `Quick test_data_slots;
+    Alcotest.test_case "live instances" `Quick test_live_instances;
+    Alcotest.test_case "combuild validation" `Quick test_combuild_validation;
+    Alcotest.test_case "combuild getters" `Quick test_combuild_getters;
+  ]

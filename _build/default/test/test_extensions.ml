@@ -1,0 +1,409 @@
+open Coign_netsim
+open Coign_core
+open Coign_apps
+open Coign_sim
+
+(* --- Replay ---------------------------------------------------------- *)
+
+let octarine_trace id =
+  let app = Octarine.app in
+  let sc = App.scenario app id in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let events =
+    Replay.record_scenario ~registry:app.App.app_registry ~classifier sc.App.sc_run
+  in
+  (app, sc, classifier, events)
+
+let test_replay_matches_distributed_run () =
+  (* Replaying the trace under the analyzer's distribution must charge
+     exactly what the jitter-free distributed execution charges. *)
+  let app = Octarine.app in
+  let sc = App.scenario app "o_oldwp7" in
+  let image = Adps.instrument app.App.app_image in
+  let recorder, events = Logger.event_recorder () in
+  (* Profile with a recorder so we get both the trace and the image. *)
+  let config = Option.get image.Coign_image.Binary_image.config in
+  ignore config;
+  let classifier = Classifier.create Classifier.Ifcb in
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~loggers:[ recorder ] ~classifier ctx in
+  sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  let net = Net_profiler.exact Network.ethernet_10 in
+  let constraints = Constraints.of_image app.App.app_image in
+  let distribution = Analysis.choose ~classifier ~icc:(Rte.icc rte) ~constraints ~net () in
+  let estimate =
+    Replay.what_if ~events:(events ()) ~distribution ~network:Network.ethernet_10
+  in
+  (* Ground truth: actually run distributed with zero jitter. *)
+  let es =
+    Adps.execute_with_policy ~registry:app.App.app_registry ~classifier
+      ~policy:(Factory.By_classification distribution) ~network:Network.ethernet_10
+      ~jitter:0. sc.App.sc_run
+  in
+  Alcotest.(check int) "remote exchanges" es.Adps.es_remote_calls estimate.Replay.re_remote_calls;
+  Alcotest.(check int) "remote bytes" es.Adps.es_remote_bytes estimate.Replay.re_remote_bytes;
+  Alcotest.(check (float 1e-3)) "communication time" es.Adps.es_comm_us
+    estimate.Replay.re_comm_us;
+  Alcotest.(check int) "server instances" es.Adps.es_server_instances
+    estimate.Replay.re_server_instances;
+  Alcotest.(check (list (pair string string))) "no violations" [] estimate.Replay.re_violations
+
+let test_replay_all_client_is_free () =
+  let _, _, _, events = octarine_trace "o_newtbl" in
+  let estimate =
+    Replay.replay ~events ~placement:(fun _ -> Constraints.Client)
+      ~network:Network.ethernet_10
+  in
+  Alcotest.(check (float 0.)) "no communication" 0. estimate.Replay.re_comm_us;
+  Alcotest.(check int) "no remote calls" 0 estimate.Replay.re_remote_calls
+
+let test_replay_detects_violations () =
+  (* Split a non-remotable pair on purpose: the main window on the
+     server, the widgets it repaints on the client. A real run would
+     fault on the device-context interface; replay reports it. *)
+  let _, _, classifier, events = octarine_trace "o_newtbl" in
+  let placement c =
+    if
+      c >= 0
+      && c < Classifier.classification_count classifier
+      && String.equal (Classifier.class_of_classification classifier c) "Octarine.MainWindow"
+    then Constraints.Server
+    else Constraints.Client
+  in
+  let estimate = Replay.replay ~events ~placement ~network:Network.ethernet_10 in
+  Alcotest.(check bool) "violations detected" true (estimate.Replay.re_violations <> []);
+  Alcotest.(check bool) "paint among them" true
+    (List.exists (fun (iface, _) -> String.equal iface "IPaint") estimate.Replay.re_violations)
+
+let test_replay_cheaper_placement_costs_less () =
+  let app, _, classifier, events = octarine_trace "o_oldwp7" in
+  ignore app;
+  ignore classifier;
+  let cost placement =
+    (Replay.replay ~events ~placement ~network:Network.ethernet_10).Replay.re_comm_us
+  in
+  (* The all-client placement pays only file-server traffic; a random
+     split pays more. *)
+  Alcotest.(check bool) "clientward cheaper than odd/even split" true
+    (cost (fun _ -> Constraints.Client)
+    < cost (fun c -> if c mod 2 = 0 then Constraints.Client else Constraints.Server))
+
+(* --- Drift ----------------------------------------------------------- *)
+
+let run_distributed_counts (app : App.t) classifier policy (sc : App.scenario) =
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte =
+    Rte.install_distributed ~classifier
+      ~config:
+        {
+          Rte.dc_factory_policy = policy;
+          dc_network = Network.loopback;
+          dc_jitter = 0.;
+          dc_seed = 1L;
+        }
+      ctx
+  in
+  sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  Rte.call_counts rte
+
+let test_drift_same_usage_similar () =
+  let app = Octarine.app in
+  let sc = App.scenario app "o_oldwp0" in
+  let classifier = Classifier.create Classifier.Ifcb in
+  (* Profile. *)
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  let profile = Drift.of_icc (Rte.icc rte) in
+  (* Same scenario under the lightweight runtime. *)
+  let counts = run_distributed_counts app classifier Factory.All_client sc in
+  let observed = Drift.of_counts counts in
+  Alcotest.(check bool) "high similarity" true (Drift.similarity profile observed > 0.95);
+  Alcotest.(check bool) "no drift" false (Drift.drifted ~profile observed)
+
+let test_drift_changed_usage_detected () =
+  let app = Octarine.app in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  (App.scenario app "o_oldwp0").App.sc_run ctx;
+  Rte.uninstall rte;
+  let profile = Drift.of_icc (Rte.icc rte) in
+  (* The user switches to a radically different document type. *)
+  let counts =
+    run_distributed_counts app classifier Factory.All_client (App.scenario app "o_oldtb3")
+  in
+  let observed = Drift.of_counts counts in
+  Alcotest.(check bool) "similarity degrades" true
+    (Drift.similarity profile observed < 0.9);
+  Alcotest.(check bool) "drift detected" true (Drift.drifted ~profile observed)
+
+let test_drift_signature_basics () =
+  let a = Drift.of_counts [ ((0, 1), 10); ((1, 2), 5) ] in
+  let b = Drift.of_counts [ ((0, 1), 20); ((1, 2), 10) ] in
+  Alcotest.(check (float 1e-9)) "scale invariant" 1. (Drift.similarity a b);
+  let c = Drift.of_counts [ ((3, 4), 7) ] in
+  Alcotest.(check (float 1e-9)) "disjoint" 0. (Drift.similarity a c);
+  Alcotest.(check (float 1e-9)) "empty vs empty" 1.
+    (Drift.similarity (Drift.of_counts []) (Drift.of_counts []));
+  Alcotest.(check int) "pair count" 2 (Drift.pair_count a)
+
+(* --- Multiway analysis ------------------------------------------------ *)
+
+let benefits_multiway () =
+  let app = Benefits.app in
+  let sc = App.scenario app "b_vueone" in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  let net = Net_profiler.exact Network.ethernet_10 in
+  let pins cname =
+    match Static_analysis.class_verdict (Coign_image.Binary_image.class_api_refs app.App.app_image cname) with
+    | Static_analysis.Pin_client -> Some "client"
+    | Static_analysis.Pin_server -> Some "database"
+    | Static_analysis.Free -> None
+  in
+  let mw =
+    Multiway_analysis.choose ~classifier ~icc:(Rte.icc rte)
+      ~machines:[ "client"; "middle"; "database" ] ~pins ~net ()
+  in
+  (classifier, mw)
+
+let test_multiway_benefits_three_tier () =
+  let classifier, mw = benefits_multiway () in
+  (* The ODBC gateway is pinned to the database machine. *)
+  let machine_of_class cname =
+    let rec find c =
+      if c >= Classifier.classification_count classifier then None
+      else if String.equal (Classifier.class_of_classification classifier c) cname then
+        Some (Multiway_analysis.machine_of mw c)
+      else find (c + 1)
+    in
+    find 0
+  in
+  Alcotest.(check (option string)) "odbc on database" (Some "database")
+    (machine_of_class "Benefits.OdbcGateway");
+  Alcotest.(check (option string)) "forms on client" (Some "client")
+    (machine_of_class "Benefits.EmployeeForm");
+  (* Every machine name appears in the histogram. *)
+  let hist = Multiway_analysis.machine_histogram mw in
+  Alcotest.(check int) "three machines" 3 (List.length hist);
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+  Alcotest.(check int) "all classifications assigned"
+    (Classifier.classification_count classifier)
+    total
+
+let test_multiway_requires_two_machines () =
+  let classifier = Classifier.create Classifier.St in
+  ignore (Classifier.classify classifier ~cname:"A" ~stack:[]);
+  let icc = Icc.create () in
+  let net = Net_profiler.exact Network.ethernet_10 in
+  Alcotest.(check bool) "one machine rejected" true
+    (try
+       ignore
+         (Multiway_analysis.choose ~classifier ~icc ~machines:[ "solo" ]
+            ~pins:(fun _ -> None) ~net ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_multiway_unknown_pin_rejected () =
+  let classifier = Classifier.create Classifier.St in
+  ignore (Classifier.classify classifier ~cname:"A" ~stack:[]);
+  let icc = Icc.create () in
+  let net = Net_profiler.exact Network.ethernet_10 in
+  Alcotest.(check bool) "unknown machine rejected" true
+    (try
+       ignore
+         (Multiway_analysis.choose ~classifier ~icc ~machines:[ "a"; "b" ]
+            ~pins:(fun _ -> Some "mars") ~net ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_multiway_two_machines_matches_two_way () =
+  (* With machines = [client; server] and the same pins, the multiway
+     engine must equal the exact two-way engine's communication cost. *)
+  let app = Octarine.app in
+  let sc = App.scenario app "o_oldwp7" in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  let icc = Rte.icc rte in
+  let net = Net_profiler.exact Network.ethernet_10 in
+  let constraints = Constraints.of_image app.App.app_image in
+  let two_way = Analysis.choose ~classifier ~icc ~constraints ~net () in
+  let pins cname =
+    match Constraints.class_pin constraints ~cname with
+    | Some Constraints.Client -> Some "client"
+    | Some Constraints.Server -> Some "server"
+    | None -> None
+  in
+  let mw =
+    Multiway_analysis.choose ~classifier ~icc ~machines:[ "client"; "server" ] ~pins ~net ()
+  in
+  Alcotest.(check (float 1.)) "same communication cost" two_way.Analysis.predicted_comm_us
+    mw.Multiway_analysis.predicted_comm_us
+
+let suite =
+  [
+    Alcotest.test_case "replay matches distributed run" `Quick
+      test_replay_matches_distributed_run;
+    Alcotest.test_case "replay all-client is free" `Quick test_replay_all_client_is_free;
+    Alcotest.test_case "replay detects violations" `Quick test_replay_detects_violations;
+    Alcotest.test_case "replay placement comparison" `Quick
+      test_replay_cheaper_placement_costs_less;
+    Alcotest.test_case "drift: same usage similar" `Quick test_drift_same_usage_similar;
+    Alcotest.test_case "drift: changed usage detected" `Quick test_drift_changed_usage_detected;
+    Alcotest.test_case "drift: signature basics" `Quick test_drift_signature_basics;
+    Alcotest.test_case "multiway: benefits three-tier" `Quick test_multiway_benefits_three_tier;
+    Alcotest.test_case "multiway: requires two machines" `Quick
+      test_multiway_requires_two_machines;
+    Alcotest.test_case "multiway: unknown pin rejected" `Quick test_multiway_unknown_pin_rejected;
+    Alcotest.test_case "multiway: two machines matches two-way" `Quick
+      test_multiway_two_machines_matches_two_way;
+  ]
+
+(* --- Profile logs ------------------------------------------------------ *)
+
+let profile_log_of id =
+  let app, sc = Suite.find_scenario id in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let ctx = Coign_com.Runtime.create_ctx app.App.app_registry in
+  let rte = Rte.install_profiling ~classifier ctx in
+  sc.App.sc_run ctx;
+  Rte.uninstall rte;
+  Profile_log.of_run ~app:app.App.app_name ~scenario:id rte
+
+let test_profile_log_roundtrip () =
+  let log = profile_log_of "o_newtbl" in
+  let log' = Profile_log.decode (Profile_log.encode log) in
+  Alcotest.(check string) "app" log.Profile_log.pl_app log'.Profile_log.pl_app;
+  Alcotest.(check int) "instances" log.Profile_log.pl_instances log'.Profile_log.pl_instances;
+  Alcotest.(check int) "calls" (Icc.call_count log.Profile_log.pl_icc)
+    (Icc.call_count log'.Profile_log.pl_icc);
+  Alcotest.(check int) "classifications"
+    (Classifier.classification_count log.Profile_log.pl_classifier)
+    (Classifier.classification_count log'.Profile_log.pl_classifier)
+
+let test_profile_log_file_io () =
+  let log = profile_log_of "o_newtbl" in
+  let path = Filename.temp_file "coign" ".cpl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profile_log.save log path;
+      let log' = Profile_log.load path in
+      Alcotest.(check int) "bytes preserved"
+        (Icc.total_bytes log.Profile_log.pl_icc)
+        (Icc.total_bytes log'.Profile_log.pl_icc))
+
+let test_profile_log_combine_reconciles () =
+  (* Two independent runs of overlapping scenarios: shared contexts must
+     reconcile to shared classifications, so the combined count is far
+     below the sum. *)
+  let a = profile_log_of "o_oldwp0" in
+  let b = profile_log_of "o_oldtb0" in
+  let na = Classifier.classification_count a.Profile_log.pl_classifier in
+  let nb = Classifier.classification_count b.Profile_log.pl_classifier in
+  let c = Profile_log.combine a b in
+  let nc = Classifier.classification_count c.Profile_log.pl_classifier in
+  Alcotest.(check bool) "no duplication" true (nc < na + nb);
+  Alcotest.(check bool) "superset" true (nc >= max na nb);
+  Alcotest.(check int) "instances add"
+    (a.Profile_log.pl_instances + b.Profile_log.pl_instances)
+    c.Profile_log.pl_instances;
+  Alcotest.(check int) "icc calls add"
+    (Icc.call_count a.Profile_log.pl_icc + Icc.call_count b.Profile_log.pl_icc)
+    (Icc.call_count c.Profile_log.pl_icc);
+  Alcotest.(check int) "classifier instances add"
+    (Classifier.instance_count a.Profile_log.pl_classifier
+    + Classifier.instance_count b.Profile_log.pl_classifier)
+    (Classifier.instance_count c.Profile_log.pl_classifier)
+
+let test_profile_log_combine_mismatch () =
+  let a = profile_log_of "o_newtbl" in
+  let b = profile_log_of "b_vueone" in
+  Alcotest.(check bool) "different apps rejected" true
+    (try
+       ignore (Profile_log.combine a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_profile_log_into_image_matches_pipeline () =
+  (* Folding two standalone logs into a fresh instrumented image must
+     lead the analyzer to the same distribution as profiling the two
+     scenarios back-to-back through the pipeline. *)
+  let app = Octarine.app in
+  let net = Net_profiler.exact Network.ethernet_10 in
+  (* Pipeline path. *)
+  let image = Adps.instrument app.App.app_image in
+  let image, _ =
+    Adps.profile ~image ~registry:app.App.app_registry
+      (App.scenario app "o_oldwp0").App.sc_run
+  in
+  let image, _ =
+    Adps.profile ~image ~registry:app.App.app_registry
+      (App.scenario app "o_oldtb0").App.sc_run
+  in
+  let _, dist_pipeline = Adps.analyze ~image ~net () in
+  (* Log path. *)
+  let combined =
+    Profile_log.combine (profile_log_of "o_oldwp0") (profile_log_of "o_oldtb0")
+  in
+  let image2 = Profile_log.into_image combined (Adps.instrument app.App.app_image) in
+  let _, dist_logs = Adps.analyze ~image:image2 ~net () in
+  Alcotest.(check int) "same node count" dist_pipeline.Analysis.node_count
+    dist_logs.Analysis.node_count;
+  Alcotest.(check int) "same server count" dist_pipeline.Analysis.server_count
+    dist_logs.Analysis.server_count;
+  Alcotest.(check (float 500.)) "same predicted comm"
+    dist_pipeline.Analysis.predicted_comm_us dist_logs.Analysis.predicted_comm_us
+
+let test_classifier_merge_remap () =
+  let stack =
+    [ Frame.make ~inst:1 ~cls:"A" ~classification:0 ~iface:"I" ~meth:"m" ]
+  in
+  let a = Classifier.create Classifier.Ifcb in
+  ignore (Classifier.classify a ~cname:"X" ~stack);
+  let b = Classifier.create Classifier.Ifcb in
+  ignore (Classifier.classify b ~cname:"Y" ~stack);
+  ignore (Classifier.classify b ~cname:"X" ~stack);
+  let m, remap = Classifier.merge a b in
+  Alcotest.(check int) "union size" 2 (Classifier.classification_count m);
+  (* b's X (id 1) must map to a's X (id 0). *)
+  Alcotest.(check int) "shared descriptor reconciled" 0 remap.(1);
+  Alcotest.(check int) "new descriptor appended" 1 remap.(0);
+  Alcotest.(check int) "counts added" 2 (Classifier.instances_of m 0)
+
+let test_icc_map_classifications () =
+  let icc = Icc.create () in
+  Icc.record icc ~src:0 ~dst:1 ~iface:"I" ~remotable:true ~request:10 ~reply:10;
+  Icc.record icc ~src:(-1) ~dst:0 ~iface:"I" ~remotable:true ~request:5 ~reply:5;
+  let mapped = Icc.map_classifications (fun c -> c + 10) icc in
+  let entries = Icc.entries mapped in
+  Alcotest.(check bool) "ids shifted" true
+    (List.exists (fun e -> e.Icc.src = 10 && e.Icc.dst = 11) entries);
+  Alcotest.(check bool) "main preserved" true
+    (List.exists (fun e -> e.Icc.src = -1 && e.Icc.dst = 10) entries);
+  Alcotest.(check int) "calls preserved" 2 (Icc.call_count mapped)
+
+let log_suite =
+  [
+    Alcotest.test_case "profile log roundtrip" `Quick test_profile_log_roundtrip;
+    Alcotest.test_case "profile log file io" `Quick test_profile_log_file_io;
+    Alcotest.test_case "profile log combine reconciles" `Quick
+      test_profile_log_combine_reconciles;
+    Alcotest.test_case "profile log combine mismatch" `Quick test_profile_log_combine_mismatch;
+    Alcotest.test_case "profile logs equal pipeline accumulation" `Quick
+      test_profile_log_into_image_matches_pipeline;
+    Alcotest.test_case "classifier merge remap" `Quick test_classifier_merge_remap;
+    Alcotest.test_case "icc map classifications" `Quick test_icc_map_classifications;
+  ]
+
+let suite = suite @ log_suite

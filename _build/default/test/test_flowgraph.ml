@@ -1,0 +1,210 @@
+open Coign_flowgraph
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Flow_network -------------------------------------------------- *)
+
+let test_edge_accumulation () =
+  let g = Flow_network.create ~n:3 in
+  Flow_network.add_edge g ~src:0 ~dst:1 ~cap:5;
+  Flow_network.add_edge g ~src:0 ~dst:1 ~cap:7;
+  Alcotest.(check int) "accumulated" 12 (Flow_network.edge_cap g ~src:0 ~dst:1);
+  Alcotest.(check int) "absent" 0 (Flow_network.edge_cap g ~src:1 ~dst:0)
+
+let test_self_loop_ignored () =
+  let g = Flow_network.create ~n:2 in
+  Flow_network.add_edge g ~src:1 ~dst:1 ~cap:100;
+  Alcotest.(check int) "no edges" 0 (Flow_network.edge_count g)
+
+let test_infinity_saturation () =
+  let g = Flow_network.create ~n:2 in
+  Flow_network.add_edge g ~src:0 ~dst:1 ~cap:Flow_network.infinity_cap;
+  Flow_network.add_edge g ~src:0 ~dst:1 ~cap:Flow_network.infinity_cap;
+  Alcotest.(check int) "saturated" Flow_network.infinity_cap
+    (Flow_network.edge_cap g ~src:0 ~dst:1)
+
+let test_undirected () =
+  let g = Flow_network.create ~n:2 in
+  Flow_network.add_undirected g 0 1 ~cap:4;
+  Alcotest.(check int) "fwd" 4 (Flow_network.edge_cap g ~src:0 ~dst:1);
+  Alcotest.(check int) "bwd" 4 (Flow_network.edge_cap g ~src:1 ~dst:0)
+
+let test_copy_isolated () =
+  let g = Flow_network.create ~n:2 in
+  Flow_network.add_edge g ~src:0 ~dst:1 ~cap:1;
+  let h = Flow_network.copy g in
+  Flow_network.add_edge h ~src:0 ~dst:1 ~cap:1;
+  Alcotest.(check int) "original unchanged" 1 (Flow_network.edge_cap g ~src:0 ~dst:1)
+
+(* --- Min cut: textbook instances ----------------------------------- *)
+
+(* The classic CLRS figure 26.1-ish network. *)
+let clrs_network () =
+  let g = Flow_network.create ~n:6 in
+  let e src dst cap = Flow_network.add_edge g ~src ~dst ~cap in
+  e 0 1 16; e 0 2 13; e 1 2 10; e 2 1 4; e 1 3 12; e 3 2 9; e 2 4 14; e 4 3 7; e 3 5 20;
+  e 4 5 4;
+  g
+
+let test_clrs_maxflow () =
+  List.iter
+    (fun alg ->
+      Alcotest.(check int)
+        (Mincut.algorithm_name alg ^ " value")
+        23
+        (Mincut.max_flow alg (clrs_network ()) ~s:0 ~t:5))
+    Mincut.all_algorithms
+
+let test_cut_edges_sum_to_value () =
+  let g = clrs_network () in
+  let cut = Mincut.min_cut g ~s:0 ~t:5 in
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Mincut.cut_edges g cut) in
+  Alcotest.(check int) "cut edges sum" cut.Mincut.value total
+
+let test_cut_separates_terminals () =
+  let g = clrs_network () in
+  let cut = Mincut.min_cut g ~s:0 ~t:5 in
+  Alcotest.(check bool) "s on source side" true cut.Mincut.source_side.(0);
+  Alcotest.(check bool) "t on sink side" false cut.Mincut.source_side.(5)
+
+let test_disconnected_zero_cut () =
+  let g = Flow_network.create ~n:4 in
+  Flow_network.add_edge g ~src:0 ~dst:1 ~cap:9;
+  Flow_network.add_edge g ~src:2 ~dst:3 ~cap:9;
+  let cut = Mincut.min_cut g ~s:0 ~t:3 in
+  Alcotest.(check int) "zero" 0 cut.Mincut.value
+
+let test_single_edge () =
+  let g = Flow_network.create ~n:2 in
+  Flow_network.add_edge g ~src:0 ~dst:1 ~cap:42;
+  List.iter
+    (fun alg ->
+      Alcotest.(check int) (Mincut.algorithm_name alg) 42 (Mincut.max_flow alg g ~s:0 ~t:1))
+    Mincut.all_algorithms
+
+let test_terminal_validation () =
+  let g = Flow_network.create ~n:3 in
+  Alcotest.check_raises "s = t" (Invalid_argument "Mincut: s = t") (fun () ->
+      ignore (Mincut.min_cut g ~s:1 ~t:1));
+  Alcotest.check_raises "out of range" (Invalid_argument "Mincut: terminal out of range")
+    (fun () -> ignore (Mincut.min_cut g ~s:0 ~t:9))
+
+let test_infinity_edge_never_cut () =
+  let g = Flow_network.create ~n:4 in
+  Flow_network.add_undirected g 0 1 ~cap:Flow_network.infinity_cap;
+  Flow_network.add_undirected g 1 2 ~cap:5;
+  Flow_network.add_undirected g 2 3 ~cap:Flow_network.infinity_cap;
+  let cut = Mincut.min_cut g ~s:0 ~t:3 in
+  Alcotest.(check int) "cut at finite edge" 5 cut.Mincut.value;
+  Alcotest.(check bool) "1 with source" true cut.Mincut.source_side.(1);
+  Alcotest.(check bool) "2 with sink" false cut.Mincut.source_side.(2)
+
+(* --- Min cut: randomized agreement --------------------------------- *)
+
+let gen_graph =
+  QCheck.Gen.(
+    int_range 4 9 >>= fun n ->
+    list_size (int_range 3 20)
+      (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 0 50))
+    >>= fun edges -> return (n, edges))
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ";"
+           (List.map (fun (a, b, c) -> Printf.sprintf "%d->%d:%d" a b c) edges)))
+    gen_graph
+
+let build (n, edges) =
+  let g = Flow_network.create ~n in
+  List.iter (fun (src, dst, cap) -> Flow_network.add_edge g ~src ~dst ~cap) edges;
+  g
+
+let prop_algorithms_agree =
+  QCheck.Test.make ~name:"all max-flow algorithms agree" ~count:300 arb_graph (fun spec ->
+      let flows =
+        List.map (fun alg -> Mincut.max_flow alg (build spec) ~s:0 ~t:1) Mincut.all_algorithms
+      in
+      match flows with f :: rest -> List.for_all (( = ) f) rest | [] -> true)
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"min cut equals brute force" ~count:200 arb_graph (fun spec ->
+      let g = build spec in
+      let cut = Mincut.min_cut g ~s:0 ~t:1 in
+      let brute = Mincut.brute_force_min_cut g ~s:0 ~t:1 in
+      cut.Mincut.value = brute.Mincut.value)
+
+let prop_cut_edges_sum =
+  QCheck.Test.make ~name:"cut edge capacities sum to cut value" ~count:200 arb_graph
+    (fun spec ->
+      let g = build spec in
+      let cut = Mincut.min_cut g ~s:0 ~t:1 in
+      List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Mincut.cut_edges g cut)
+      = cut.Mincut.value)
+
+(* --- Multiway ------------------------------------------------------ *)
+
+let test_multiway_two_terminals_exact () =
+  let g = clrs_network () in
+  let p = Multiway.multiway_cut g ~terminals:[ 0; 5 ] in
+  let exact = Mincut.min_cut g ~s:0 ~t:5 in
+  Alcotest.(check int) "reduces to exact cut" exact.Mincut.value p.Multiway.cost
+
+let test_multiway_three_terminals () =
+  (* A triangle of cheap bridges between three heavy clusters. *)
+  let g = Flow_network.create ~n:9 in
+  let heavy a b = Flow_network.add_undirected g a b ~cap:100 in
+  let light a b = Flow_network.add_undirected g a b ~cap:3 in
+  (* clusters {0,1,2} {3,4,5} {6,7,8} with terminals 0,3,6 *)
+  heavy 0 1; heavy 1 2; heavy 3 4; heavy 4 5; heavy 6 7; heavy 7 8;
+  light 2 3; light 5 6; light 8 0;
+  let p = Multiway.multiway_cut g ~terminals:[ 0; 3; 6 ] in
+  (* Each undirected bridge contributes both directed arcs (2 * 3). *)
+  Alcotest.(check int) "cost is the three bridges" 18 p.Multiway.cost;
+  Alcotest.(check int) "cluster 1 intact" p.Multiway.assignment.(0) p.Multiway.assignment.(1);
+  Alcotest.(check int) "cluster 2 intact" p.Multiway.assignment.(3) p.Multiway.assignment.(4);
+  Alcotest.(check int) "cluster 3 intact" p.Multiway.assignment.(6) p.Multiway.assignment.(8)
+
+let test_multiway_terminal_ownership () =
+  let g = Flow_network.create ~n:5 in
+  Flow_network.add_undirected g 0 1 ~cap:1;
+  Flow_network.add_undirected g 2 3 ~cap:1;
+  let p = Multiway.multiway_cut g ~terminals:[ 0; 2; 4 ] in
+  Alcotest.(check int) "terminal 0" 0 p.Multiway.assignment.(0);
+  Alcotest.(check int) "terminal 2" 1 p.Multiway.assignment.(2);
+  Alcotest.(check int) "terminal 4" 2 p.Multiway.assignment.(4)
+
+let prop_multiway_cost_consistent =
+  QCheck.Test.make ~name:"multiway reported cost equals recomputed cost" ~count:100 arb_graph
+    (fun spec ->
+      let g = build spec in
+      let n = Flow_network.node_count g in
+      let terminals = [ 0; 1; n - 1 ] |> List.sort_uniq compare in
+      if List.length terminals < 2 then true
+      else
+        let p = Multiway.multiway_cut g ~terminals in
+        Multiway.partition_cost g p.Multiway.assignment = p.Multiway.cost)
+
+let suite =
+  [
+    Alcotest.test_case "edge accumulation" `Quick test_edge_accumulation;
+    Alcotest.test_case "self loop ignored" `Quick test_self_loop_ignored;
+    Alcotest.test_case "infinity saturation" `Quick test_infinity_saturation;
+    Alcotest.test_case "undirected" `Quick test_undirected;
+    Alcotest.test_case "copy isolated" `Quick test_copy_isolated;
+    Alcotest.test_case "clrs maxflow (all algorithms)" `Quick test_clrs_maxflow;
+    Alcotest.test_case "cut edges sum to value" `Quick test_cut_edges_sum_to_value;
+    Alcotest.test_case "cut separates terminals" `Quick test_cut_separates_terminals;
+    Alcotest.test_case "disconnected zero cut" `Quick test_disconnected_zero_cut;
+    Alcotest.test_case "single edge" `Quick test_single_edge;
+    Alcotest.test_case "terminal validation" `Quick test_terminal_validation;
+    Alcotest.test_case "infinity edge never cut" `Quick test_infinity_edge_never_cut;
+    qtest prop_algorithms_agree;
+    qtest prop_matches_brute_force;
+    qtest prop_cut_edges_sum;
+    Alcotest.test_case "multiway two terminals exact" `Quick test_multiway_two_terminals_exact;
+    Alcotest.test_case "multiway three terminals" `Quick test_multiway_three_terminals;
+    Alcotest.test_case "multiway terminal ownership" `Quick test_multiway_terminal_ownership;
+    qtest prop_multiway_cost_consistent;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "coign"
+    [
+      ("util", Test_util.suite);
+      ("idl", Test_idl.suite);
+      ("com", Test_com.suite);
+      ("image", Test_image.suite);
+      ("netsim", Test_netsim.suite);
+      ("flowgraph", Test_flowgraph.suite);
+      ("classifier", Test_classifier.suite);
+      ("core", Test_core.suite);
+      ("analysis", Test_analysis.suite);
+      ("rte", Test_rte.suite);
+      ("adps", Test_adps.suite);
+      ("apps", Test_apps.suite);
+      ("sim", Test_sim.suite);
+      ("extensions", Test_extensions.suite);
+      ("cli", Test_cli.suite);
+    ]

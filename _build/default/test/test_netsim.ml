@@ -1,0 +1,100 @@
+open Coign_util
+open Coign_netsim
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_message_time_formula () =
+  let net = Network.make ~name:"t" ~latency_us:100. ~bandwidth_mbps:8. ~proc_us:50. in
+  (* 1000 bytes at 8 Mbps = 1000 us *)
+  Alcotest.(check (float 1e-6)) "formula" 1150. (Network.message_us net ~bytes:1000)
+
+let test_round_trip () =
+  let net = Network.ethernet_10 in
+  Alcotest.(check (float 1e-9)) "request+reply"
+    (Network.message_us net ~bytes:100 +. Network.message_us net ~bytes:200)
+    (Network.round_trip_us net ~request:100 ~reply:200)
+
+let test_monotone_in_size () =
+  List.iter
+    (fun net ->
+      Alcotest.(check bool)
+        (net.Network.net_name ^ " monotone")
+        true
+        (Network.message_us net ~bytes:100 < Network.message_us net ~bytes:10_000))
+    Network.presets
+
+let test_loopback_free () =
+  Alcotest.(check bool) "negligible" true
+    (Network.message_us Network.loopback ~bytes:1_000_000 < 0.01)
+
+let test_preset_ordering () =
+  (* For bulk data, faster networks are faster. *)
+  let bulk net = Network.message_us net ~bytes:1_000_000 in
+  Alcotest.(check bool) "isdn slowest" true (bulk Network.isdn_128 > bulk Network.ethernet_10);
+  Alcotest.(check bool) "ethernet10 > ethernet100" true
+    (bulk Network.ethernet_10 > bulk Network.ethernet_100);
+  Alcotest.(check bool) "san fastest" true (bulk Network.san_1g < bulk Network.atm_155)
+
+let test_invalid_network () =
+  Alcotest.check_raises "bad params" (Invalid_argument "Network.make: nonsensical parameters")
+    (fun () -> ignore (Network.make ~name:"x" ~latency_us:1. ~bandwidth_mbps:0. ~proc_us:1.))
+
+(* --- Net_profiler --------------------------------------------------- *)
+
+let test_profile_fit_close_to_truth () =
+  let rng = Prng.create 42L in
+  let net = Network.ethernet_10 in
+  let p = Net_profiler.profile rng net in
+  List.iter
+    (fun bytes ->
+      let truth = Network.message_us net ~bytes in
+      let predicted = Net_profiler.predict_us p ~bytes in
+      let err = Float.abs (predicted -. truth) /. truth in
+      Alcotest.(check bool)
+        (Printf.sprintf "fit within 10%% at %d bytes (err %.3f)" bytes err)
+        true (err < 0.10))
+    [ 64; 1_024; 32_768; 500_000 ]
+
+let test_exact_profile_is_exact () =
+  let net = Network.ethernet_10 in
+  let p = Net_profiler.exact net in
+  List.iter
+    (fun bytes ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "%d bytes" bytes)
+        (Network.message_us net ~bytes)
+        (Net_profiler.predict_us p ~bytes))
+    [ 0; 100; 9_999 ]
+
+let test_profile_deterministic_per_seed () =
+  let p1 = Net_profiler.profile (Prng.create 9L) Network.ethernet_10 in
+  let p2 = Net_profiler.profile (Prng.create 9L) Network.ethernet_10 in
+  Alcotest.(check (float 0.)) "same fit" p1.Net_profiler.fixed_us p2.Net_profiler.fixed_us
+
+let test_round_trip_prediction () =
+  let p = Net_profiler.exact Network.ethernet_10 in
+  Alcotest.(check (float 1e-9)) "sum of directions"
+    (Net_profiler.predict_us p ~bytes:10 +. Net_profiler.predict_us p ~bytes:20)
+    (Net_profiler.predict_round_trip_us p ~request:10 ~reply:20)
+
+let prop_predictions_nonnegative =
+  QCheck.Test.make ~name:"predictions are non-negative" ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1000))
+    (fun (bytes, seed) ->
+      let p = Net_profiler.profile (Prng.create (Int64.of_int seed)) Network.isdn_128 in
+      Net_profiler.predict_us p ~bytes >= 0.)
+
+let suite =
+  [
+    Alcotest.test_case "message time formula" `Quick test_message_time_formula;
+    Alcotest.test_case "round trip" `Quick test_round_trip;
+    Alcotest.test_case "monotone in size" `Quick test_monotone_in_size;
+    Alcotest.test_case "loopback free" `Quick test_loopback_free;
+    Alcotest.test_case "preset ordering" `Quick test_preset_ordering;
+    Alcotest.test_case "invalid network" `Quick test_invalid_network;
+    Alcotest.test_case "profiler fit close to truth" `Quick test_profile_fit_close_to_truth;
+    Alcotest.test_case "exact profile is exact" `Quick test_exact_profile_is_exact;
+    Alcotest.test_case "profile deterministic per seed" `Quick test_profile_deterministic_per_seed;
+    Alcotest.test_case "round trip prediction" `Quick test_round_trip_prediction;
+    qtest prop_predictions_nonnegative;
+  ]

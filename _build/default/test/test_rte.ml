@@ -1,0 +1,255 @@
+open Coign_idl
+open Coign_com
+open Coign_core
+
+(* A miniature application: Main creates a Front (GUI-ish) component;
+   Front creates a Back (storage-ish) component and pumps blobs at it;
+   Back answers small acks. Front and Back also share a non-remotable
+   interface. *)
+
+let i_front =
+  Itype.declare "IFront"
+    [
+      Idl_type.method_ "run" [ Idl_type.param "rounds" Idl_type.Int32 ];
+      Idl_type.method_ ~ret:(Idl_type.Iface "IBack") "back" [];
+    ]
+
+let i_back =
+  Itype.declare "IBack"
+    [
+      Idl_type.method_ ~ret:Idl_type.Int32 "store" [ Idl_type.param "data" Idl_type.Blob ];
+    ]
+
+let i_shm =
+  Itype.declare "ISharedRegion" [ Idl_type.method_ "map" [ Idl_type.param "p" (Idl_type.Opaque "SHM") ] ]
+
+let c_back =
+  Runtime.define_class "Mini.Back" (fun _ctx _self ->
+      let stored = ref 0 in
+      [
+        Combuild.iface i_back
+          [
+            ( "store",
+              fun ctx args ->
+                stored := !stored + Combuild.get_blob args 0;
+                Runtime.charge ctx ~us:10.;
+                Combuild.echo args (Value.Int !stored) );
+          ];
+        Combuild.iface i_shm [ ("map", fun _ctx args -> Combuild.echo args Value.Unit) ];
+      ])
+
+let c_front =
+  Runtime.define_class "Mini.Front" ~api_refs:[ "user32.GetDC" ] (fun ctx0 _self ->
+      let back = Runtime.create_instance ctx0 c_back.Runtime.clsid ~iid:(Itype.iid i_back) in
+      [
+        Combuild.iface i_front
+          [
+            ( "run",
+              fun ctx args ->
+                let rounds = Combuild.get_int args 0 in
+                for _ = 1 to rounds do
+                  ignore (Runtime.call_named ctx back "store" [ Value.Blob 1_000 ])
+                done;
+                Combuild.echo args Value.Unit );
+            ("back", fun _ctx args -> Combuild.echo args (Value.Iface_ref back));
+          ];
+      ])
+
+let registry () = Runtime.registry [ c_front; c_back ]
+
+let profile_mini rounds =
+  let ctx = Runtime.create_ctx (registry ()) in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let rte = Rte.install_profiling ~classifier ctx in
+  let front = Runtime.create_instance ctx c_front.Runtime.clsid ~iid:(Itype.iid i_front) in
+  ignore (Runtime.call_named ctx front "run" [ Value.Int rounds ]);
+  (ctx, rte, front)
+
+let test_profiling_intercepts_all_calls () =
+  let _, rte, _ = profile_mini 5 in
+  (* run + 5 stores *)
+  Alcotest.(check int) "intercepted" 6 (Rte.intercepted_calls rte)
+
+let test_instances_classified () =
+  let _, rte, _ = profile_mini 1 in
+  let pairs = Rte.instance_classifications rte in
+  Alcotest.(check int) "two components" 2 (List.length pairs);
+  List.iter
+    (fun (_, c) -> Alcotest.(check bool) "classification assigned" true (c >= 0))
+    pairs;
+  Alcotest.(check int) "classifier knows both" 2
+    (Classifier.classification_count (Rte.classifier rte))
+
+let test_icc_collected () =
+  let _, rte, _ = profile_mini 3 in
+  let icc = Rte.icc rte in
+  (* run + 3 stores + 2 instantiation requests (Front, Back). *)
+  Alcotest.(check int) "calls summarized" 6 (Icc.call_count icc);
+  Alcotest.(check bool) "bytes include blob payloads" true (Icc.total_bytes icc > 3_000)
+
+let test_returned_handles_are_wrapped () =
+  let ctx, _, front = profile_mini 1 in
+  Alcotest.(check bool) "create returns wrapper" true (Runtime.handle_is_wrapper ctx front);
+  let _, back_v = Runtime.call_named ctx front "back" [] in
+  match back_v with
+  | Value.Iface_ref h ->
+      Alcotest.(check bool) "escaping handle wrapped" true (Runtime.handle_is_wrapper ctx h)
+  | _ -> Alcotest.fail "expected interface"
+
+let test_wrap_idempotent_identity () =
+  let ctx, _, front = profile_mini 1 in
+  let _, b1 = Runtime.call_named ctx front "back" [] in
+  let _, b2 = Runtime.call_named ctx front "back" [] in
+  Alcotest.(check bool) "same wrapper both times" true (b1 = b2)
+
+let test_query_interface_through_rte () =
+  let ctx, _, front = profile_mini 1 in
+  let _, back_v = Runtime.call_named ctx front "back" [] in
+  match back_v with
+  | Value.Iface_ref back ->
+      let shm = Runtime.query_interface ctx back ~iid:(Itype.iid i_shm) in
+      Alcotest.(check bool) "QI result wrapped" true (Runtime.handle_is_wrapper ctx shm);
+      (* calling through it still works *)
+      ignore (Runtime.call_named ctx shm "map" [ Value.Opaque_handle "SHM" ])
+  | _ -> Alcotest.fail "expected interface"
+
+let test_uninstall_restores () =
+  let ctx, rte, _ = profile_mini 1 in
+  Rte.uninstall rte;
+  let h = Runtime.create_instance ctx c_back.Runtime.clsid ~iid:(Itype.iid i_back) in
+  Alcotest.(check bool) "no wrapper after uninstall" false (Runtime.handle_is_wrapper ctx h)
+
+let test_event_logger_sees_lifecycle () =
+  let ctx = Runtime.create_ctx (registry ()) in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let recorder, events = Logger.event_recorder () in
+  let rte = Rte.install_profiling ~loggers:[ recorder ] ~classifier ctx in
+  let front = Runtime.create_instance ctx c_front.Runtime.clsid ~iid:(Itype.iid i_front) in
+  ignore (Runtime.call_named ctx front "run" [ Value.Int 1 ]);
+  Runtime.destroy_instance ctx (Runtime.handle_owner ctx front);
+  Rte.uninstall rte;
+  let evs = events () in
+  let count p = List.length (List.filter p evs) in
+  Alcotest.(check int) "two instantiations"
+    2
+    (count (function Event.Component_instantiated _ -> true | _ -> false));
+  Alcotest.(check int) "one destruction"
+    1
+    (count (function Event.Component_destroyed _ -> true | _ -> false));
+  Alcotest.(check bool) "interface instantiations seen" true
+    (count (function Event.Interface_instantiated _ -> true | _ -> false) >= 2);
+  (* run + 1 store, plus one instantiation-request record per created
+     component (Front and Back). *)
+  Alcotest.(check int) "calls logged"
+    4
+    (count (function Event.Interface_call _ -> true | _ -> false))
+
+(* --- Distributed execution ------------------------------------------ *)
+
+let distributed_config policy =
+  {
+    Rte.dc_factory_policy = policy;
+    dc_network = Coign_netsim.Network.ethernet_10;
+    dc_jitter = 0.;
+    dc_seed = 1L;
+  }
+
+let run_distributed policy rounds =
+  let ctx = Runtime.create_ctx (registry ()) in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let rte = Rte.install_distributed ~classifier ~config:(distributed_config policy) ctx in
+  let front = Runtime.create_instance ctx c_front.Runtime.clsid ~iid:(Itype.iid i_front) in
+  ignore (Runtime.call_named ctx front "run" [ Value.Int rounds ]);
+  (ctx, rte)
+
+let by_class_placement cname =
+  if String.equal cname "Mini.Back" then Constraints.Server else Constraints.Client
+
+let test_all_client_no_comm () =
+  let _, rte = run_distributed Factory.All_client 5 in
+  Alcotest.(check (float 0.)) "no communication" 0. (Rte.comm_us rte);
+  Alcotest.(check int) "no remote calls" 0 (Rte.remote_calls rte)
+
+let test_split_placement_accounts_comm () =
+  let _, rte = run_distributed (Factory.By_class by_class_placement) 5 in
+  (* 5 remote stores plus the forwarded instantiation round trip. *)
+  Alcotest.(check int) "remote exchanges" 6 (Rte.remote_calls rte);
+  Alcotest.(check bool) "time charged" true (Rte.comm_us rte > 0.);
+  Alcotest.(check bool) "bytes counted" true (Rte.remote_bytes rte > 5_000);
+  let factory = Option.get (Rte.factory rte) in
+  Alcotest.(check int) "one forwarded instantiation" 1 (Factory.forwarded_requests factory)
+
+let test_distributed_deterministic_without_jitter () =
+  let _, r1 = run_distributed (Factory.By_class by_class_placement) 4 in
+  let _, r2 = run_distributed (Factory.By_class by_class_placement) 4 in
+  Alcotest.(check (float 0.)) "deterministic" (Rte.comm_us r1) (Rte.comm_us r2)
+
+let test_jitter_perturbs () =
+  let run jitter seed =
+    let ctx = Runtime.create_ctx (registry ()) in
+    let rte =
+      Rte.install_distributed ~classifier:(Classifier.create Classifier.Ifcb)
+        ~config:
+          {
+            Rte.dc_factory_policy = Factory.By_class by_class_placement;
+            dc_network = Coign_netsim.Network.ethernet_10;
+            dc_jitter = jitter;
+            dc_seed = seed;
+          }
+        ctx
+    in
+    let front = Runtime.create_instance ctx c_front.Runtime.clsid ~iid:(Itype.iid i_front) in
+    ignore (Runtime.call_named ctx front "run" [ Value.Int 5 ]);
+    Rte.comm_us rte
+  in
+  let base = run 0. 1L in
+  let j = run 0.05 2L in
+  Alcotest.(check bool) "jitter changes time" true (Float.abs (j -. base) > 1e-9);
+  Alcotest.(check bool) "but stays close" true (Float.abs (j -. base) /. base < 0.5)
+
+let test_non_remotable_cross_machine_fails () =
+  let ctx, _ = run_distributed (Factory.By_class by_class_placement) 1 in
+  (* Fetch the back interface and call its opaque method from the
+     client side: a cross-machine call on a non-remotable interface. *)
+  let front_h =
+    (* main's handle to front: recreate one (front is on the client) *)
+    Runtime.create_instance ctx c_front.Runtime.clsid ~iid:(Itype.iid i_front)
+  in
+  let _, back_v = Runtime.call_named ctx front_h "back" [] in
+  match back_v with
+  | Value.Iface_ref back ->
+      let shm = Runtime.query_interface ctx back ~iid:(Itype.iid i_shm) in
+      Alcotest.(check bool) "E_cannot_marshal" true
+        (try
+           ignore (Runtime.call_named ctx shm "map" [ Value.Opaque_handle "SHM" ]);
+           false
+         with Hresult.Com_error (Hresult.E_cannot_marshal _) -> true)
+  | _ -> Alcotest.fail "expected interface"
+
+let test_factory_machine_tracking () =
+  let _, rte = run_distributed (Factory.By_class by_class_placement) 1 in
+  let factory = Option.get (Rte.factory rte) in
+  let servers = Factory.instances_on factory Constraints.Server in
+  Alcotest.(check int) "one component on server" 1 (List.length servers);
+  Alcotest.(check bool) "main on client" true
+    (Factory.machine_of factory Runtime.main_instance = Constraints.Client)
+
+let suite =
+  [
+    Alcotest.test_case "profiling intercepts all calls" `Quick test_profiling_intercepts_all_calls;
+    Alcotest.test_case "instances classified" `Quick test_instances_classified;
+    Alcotest.test_case "icc collected" `Quick test_icc_collected;
+    Alcotest.test_case "returned handles wrapped" `Quick test_returned_handles_are_wrapped;
+    Alcotest.test_case "wrap idempotent identity" `Quick test_wrap_idempotent_identity;
+    Alcotest.test_case "query interface through rte" `Quick test_query_interface_through_rte;
+    Alcotest.test_case "uninstall restores" `Quick test_uninstall_restores;
+    Alcotest.test_case "event logger lifecycle" `Quick test_event_logger_sees_lifecycle;
+    Alcotest.test_case "all client no comm" `Quick test_all_client_no_comm;
+    Alcotest.test_case "split placement accounts comm" `Quick test_split_placement_accounts_comm;
+    Alcotest.test_case "deterministic without jitter" `Quick
+      test_distributed_deterministic_without_jitter;
+    Alcotest.test_case "jitter perturbs" `Quick test_jitter_perturbs;
+    Alcotest.test_case "non-remotable cross-machine fails" `Quick
+      test_non_remotable_cross_machine_fails;
+    Alcotest.test_case "factory machine tracking" `Quick test_factory_machine_tracking;
+  ]

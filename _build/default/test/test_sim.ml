@@ -1,0 +1,166 @@
+open Coign_core
+open Coign_apps
+open Coign_sim
+
+(* Use cheap scenarios so the suite stays fast. *)
+
+let row id =
+  let app, sc = Suite.find_scenario id in
+  Experiment.run_scenario app sc
+
+let test_row_basics () =
+  let r = row "o_oldwp0" in
+  Alcotest.(check string) "id" "o_oldwp0" r.Experiment.row_id;
+  Alcotest.(check bool) "savings in range" true
+    (r.Experiment.savings >= 0. && r.Experiment.savings <= 1.);
+  Alcotest.(check bool) "coign never worse (Table 4 invariant)" true
+    (r.Experiment.coign_comm_us <= r.Experiment.default_comm_us *. 1.02);
+  Alcotest.(check bool) "prediction close (Table 5 invariant)" true
+    (Float.abs r.Experiment.prediction_error < 0.12)
+
+let test_benefits_moves_caches () =
+  let r = row "b_vueone" in
+  Alcotest.(check bool) "meaningful savings" true (r.Experiment.savings > 0.15);
+  let hist = Experiment.server_class_histogram r in
+  (* The ODBC gateway must stay on the server; the caches must not. *)
+  Alcotest.(check bool) "odbc on server" true
+    (List.mem_assoc "Benefits.OdbcGateway" hist);
+  Alcotest.(check bool) "employee cache moved off the middle tier" false
+    (List.mem_assoc "Benefits.EmployeeCache" hist)
+
+let test_photodraw_property_sets_server () =
+  let r = row "p_oldmsr" in
+  let hist = Experiment.server_class_histogram r in
+  Alcotest.(check bool) "reader on server" true (List.mem_assoc "PhotoDraw.MixReader" hist);
+  Alcotest.(check bool) "property sets on server" true
+    (List.mem_assoc "PhotoDraw.PropertySet" hist);
+  Alcotest.(check bool) "sprite caches stay on client" false
+    (List.mem_assoc "PhotoDraw.SpriteCache" hist);
+  (* Figure 4 shape: a small handful of server components. *)
+  Alcotest.(check bool) "few components on server" true (r.Experiment.server_instances <= 12)
+
+let test_octarine_reader_server () =
+  (* The 35-page document of Figure 5: the reader and text properties
+     go to the server; for the 5-page o_oldwp0 the optimal distribution
+     equals the default (Table 4's 0% row), so use the bigger one. *)
+  let r = Experiment.run_scenario Octarine.app Octarine.figure5 in
+  let hist = Experiment.server_class_histogram r in
+  Alcotest.(check bool) "reader on server" true
+    (List.mem_assoc "Octarine.DocumentReader" hist);
+  Alcotest.(check bool) "text properties on server" true
+    (List.mem_assoc "Octarine.TextProperties" hist);
+  Alcotest.(check bool) "GUI stays on client" false (List.mem_assoc "Octarine.Button" hist)
+
+let test_placements_by_class_consistent () =
+  let r = row "o_newtbl" in
+  let rows = Experiment.placements_by_class r in
+  let total = List.fold_left (fun acc (_, _, t) -> acc + t) 0 rows in
+  Alcotest.(check int) "totals cover all classifications" r.Experiment.node_count total;
+  List.iter
+    (fun (cls, s, t) ->
+      Alcotest.(check bool) (cls ^ " server <= total") true (s <= t))
+    rows
+
+let test_across_networks_monotone_comm () =
+  let app, sc = Suite.find_scenario "o_oldwp0" in
+  let rows =
+    Experiment.across_networks
+      ~networks:[ Coign_netsim.Network.isdn_128; Coign_netsim.Network.san_1g ]
+      app sc
+  in
+  match rows with
+  | [ isdn; san ] ->
+      Alcotest.(check bool) "slower network costs more" true
+        (isdn.Experiment.ar_predicted_comm_us > san.Experiment.ar_predicted_comm_us)
+  | _ -> Alcotest.fail "expected two rows"
+
+(* --- Classifier evaluation ------------------------------------------ *)
+
+let rows2 = lazy (Classifier_eval.table2 Octarine.app)
+
+let find kind = List.find (fun r -> r.Classifier_eval.cr_kind = kind) (Lazy.force rows2)
+
+let test_table2_incremental_straw_man () =
+  let r = find Classifier.Incremental in
+  Alcotest.(check (float 1e-9)) "one instance per classification" 1.
+    r.Classifier_eval.cr_avg_instances;
+  Alcotest.(check bool) "all bigone instances new" true (r.Classifier_eval.cr_new_in_bigone > 0);
+  Alcotest.(check bool) "worst correlation" true
+    (List.for_all
+       (fun other -> other.Classifier_eval.cr_avg_correlation >= r.Classifier_eval.cr_avg_correlation)
+       (Lazy.force rows2))
+
+let test_table2_context_classifiers_stable () =
+  List.iter
+    (fun kind ->
+      let r = find kind in
+      Alcotest.(check int)
+        (Classifier.kind_name kind ^ " no new classifications in bigone")
+        0 r.Classifier_eval.cr_new_in_bigone)
+    [ Classifier.Pcb; Classifier.St; Classifier.Stcb; Classifier.Ifcb; Classifier.Epcb;
+      Classifier.Ib ]
+
+let test_table2_granularity_ordering () =
+  (* IFCB identifies the most classifications; ST the fewest among the
+     context-based classifiers (paper Table 2 shape). *)
+  let n kind = (find kind).Classifier_eval.cr_profiled_classifications in
+  Alcotest.(check bool) "ifcb >= epcb" true (n Classifier.Ifcb >= n Classifier.Epcb);
+  Alcotest.(check bool) "epcb >= stcb" true (n Classifier.Epcb >= n Classifier.Stcb);
+  Alcotest.(check bool) "stcb >= ib" true (n Classifier.Stcb >= n Classifier.Ib);
+  Alcotest.(check bool) "ib >= st" true (n Classifier.Ib >= n Classifier.St);
+  Alcotest.(check bool) "ifcb >= pcb" true (n Classifier.Ifcb >= n Classifier.Pcb)
+
+let test_table2_accuracy_ordering () =
+  let c kind = (find kind).Classifier_eval.cr_avg_correlation in
+  Alcotest.(check bool) "ifcb beats st" true (c Classifier.Ifcb > c Classifier.St);
+  Alcotest.(check bool) "all context classifiers decent" true
+    (List.for_all
+       (fun k -> c k > 0.5)
+       [ Classifier.Pcb; Classifier.St; Classifier.Stcb; Classifier.Ifcb; Classifier.Epcb;
+         Classifier.Ib ])
+
+let test_table3_depth_monotone () =
+  let rows = Classifier_eval.table3 ~depths:[ 1; 4 ] Octarine.app in
+  match rows with
+  | [ d1; d4; full ] ->
+      Alcotest.(check bool) "classifications grow with depth" true
+        (d1.Classifier_eval.cr_profiled_classifications
+        <= d4.Classifier_eval.cr_profiled_classifications);
+      Alcotest.(check bool) "deep saturates to full" true
+        (d4.Classifier_eval.cr_profiled_classifications
+        <= full.Classifier_eval.cr_profiled_classifications);
+      Alcotest.(check bool) "correlation grows with depth" true
+        (d1.Classifier_eval.cr_avg_correlation <= d4.Classifier_eval.cr_avg_correlation +. 1e-9)
+  | _ -> Alcotest.fail "expected three rows"
+
+(* --- Overhead -------------------------------------------------------- *)
+
+let test_overhead_shape () =
+  (* Wall-clock comparisons are noisy at sub-millisecond scale; use the
+     suite's largest scenario and generous bounds. *)
+  let app, sc = Suite.find_scenario "o_oldwp7" in
+  let r = Overhead.measure ~repeats:3 app sc in
+  Alcotest.(check bool) "calls counted" true (r.Overhead.intercepted_calls > 1_000);
+  Alcotest.(check bool) "profiling slower than bare" true
+    (r.Overhead.profiling_s >= r.Overhead.bare_s);
+  Alcotest.(check bool) "distribution not dramatically heavier than profiling" true
+    (r.Overhead.distributed_us_per_call <= (r.Overhead.profiling_us_per_call *. 2.) +. 1.)
+
+let suite =
+  [
+    Alcotest.test_case "experiment row basics" `Quick test_row_basics;
+    Alcotest.test_case "benefits moves caches" `Quick test_benefits_moves_caches;
+    Alcotest.test_case "photodraw property sets server" `Quick
+      test_photodraw_property_sets_server;
+    Alcotest.test_case "octarine reader server" `Quick test_octarine_reader_server;
+    Alcotest.test_case "placements by class consistent" `Quick
+      test_placements_by_class_consistent;
+    Alcotest.test_case "across networks monotone" `Quick test_across_networks_monotone_comm;
+    Alcotest.test_case "table2 incremental straw man" `Slow test_table2_incremental_straw_man;
+    Alcotest.test_case "table2 context classifiers stable" `Slow
+      test_table2_context_classifiers_stable;
+    Alcotest.test_case "table2 granularity ordering" `Slow test_table2_granularity_ordering;
+    Alcotest.test_case "table2 accuracy ordering" `Slow test_table2_accuracy_ordering;
+    Alcotest.test_case "table3 depth monotone" `Slow test_table3_depth_monotone;
+    Alcotest.test_case "overhead shape" `Quick test_overhead_shape;
+  ]

@@ -1,0 +1,211 @@
+open Coign_util
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Prng ---------------------------------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 99L and b = Prng.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  Alcotest.(check bool) "different streams" false
+    (List.init 8 (fun _ -> Prng.next_int64 a) = List.init 8 (fun _ -> Prng.next_int64 b))
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 3.5)
+  done
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 11L in
+  let xs = Array.init 20_000 (fun _ -> Prng.gaussian rng ~mu:5. ~sigma:2.) in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (Stats.mean xs -. 5.) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (Stats.stddev xs -. 2.) < 0.1)
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create 13L in
+  let xs = Array.init 20_000 (fun _ -> Prng.exponential rng ~mean:3.) in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (Stats.mean xs -. 3.) < 0.15)
+
+let test_prng_split_independent () =
+  let rng = Prng.create 5L in
+  let child = Prng.split rng in
+  Alcotest.(check bool) "diverged" true (Prng.next_int64 rng <> Prng.next_int64 child)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 3L in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+(* --- Exp_bucket ---------------------------------------------------- *)
+
+let test_bucket_bounds_contiguous () =
+  for i = 0 to 20 do
+    let _, hi = Exp_bucket.bucket_bounds i in
+    let lo', _ = Exp_bucket.bucket_bounds (i + 1) in
+    Alcotest.(check int) "contiguous" (hi + 1) lo'
+  done
+
+let test_bucket_index_within_bounds () =
+  List.iter
+    (fun bytes ->
+      let i = Exp_bucket.bucket_index bytes in
+      let lo, hi = Exp_bucket.bucket_bounds i in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d in [%d,%d]" bytes lo hi)
+        true
+        (bytes >= lo && bytes <= hi))
+    [ 0; 1; 31; 32; 63; 64; 100; 1024; 65536; 1_000_000; 123_456_789 ]
+
+let test_bucket_counts () =
+  let b = Exp_bucket.create () in
+  Exp_bucket.add b ~bytes:10;
+  Exp_bucket.add b ~bytes:20;
+  Exp_bucket.add b ~bytes:1000;
+  Alcotest.(check int) "count" 3 (Exp_bucket.message_count b);
+  Alcotest.(check int) "bytes" 1030 (Exp_bucket.total_bytes b)
+
+let test_bucket_merge () =
+  let a = Exp_bucket.create () and b = Exp_bucket.create () in
+  Exp_bucket.add a ~bytes:5;
+  Exp_bucket.add_many b ~bytes:100 ~count:4;
+  let m = Exp_bucket.merge a b in
+  Alcotest.(check int) "count" 5 (Exp_bucket.message_count m);
+  Alcotest.(check int) "bytes" 405 (Exp_bucket.total_bytes m);
+  (* inputs untouched *)
+  Alcotest.(check int) "a intact" 1 (Exp_bucket.message_count a)
+
+let test_bucket_mean () =
+  let b = Exp_bucket.create () in
+  Exp_bucket.add b ~bytes:40;
+  Exp_bucket.add b ~bytes:60;
+  let i = Exp_bucket.bucket_index 40 in
+  Alcotest.(check int) "same bucket" i (Exp_bucket.bucket_index 60);
+  Alcotest.(check (float 0.001)) "mean" 50. (Exp_bucket.mean_bytes_in_bucket b i)
+
+let prop_bucket_index_monotone =
+  QCheck.Test.make ~name:"bucket index monotone in size" ~count:500
+    QCheck.(pair (int_bound 10_000_000) (int_bound 10_000_000))
+    (fun (a, b) ->
+      let a, b = (min a b, max a b) in
+      Exp_bucket.bucket_index a <= Exp_bucket.bucket_index b)
+
+let prop_bucket_merge_totals =
+  QCheck.Test.make ~name:"merge preserves counts and bytes" ~count:200
+    QCheck.(pair (small_list (int_bound 100_000)) (small_list (int_bound 100_000)))
+    (fun (xs, ys) ->
+      let mk sizes =
+        let b = Exp_bucket.create () in
+        List.iter (fun s -> Exp_bucket.add b ~bytes:s) sizes;
+        b
+      in
+      let m = Exp_bucket.merge (mk xs) (mk ys) in
+      Exp_bucket.message_count m = List.length xs + List.length ys
+      && Exp_bucket.total_bytes m = List.fold_left ( + ) 0 xs + List.fold_left ( + ) 0 ys)
+
+(* --- Stats --------------------------------------------------------- *)
+
+let test_stats_mean_var () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Stats.variance xs)
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  Alcotest.(check (float 1e-9)) "p0" 10. (Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p50" 30. (Stats.percentile xs 50.);
+  Alcotest.(check (float 1e-9)) "p100" 50. (Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "p25" 20. (Stats.percentile xs 25.)
+
+let test_stats_correlation_basics () =
+  Alcotest.(check (float 1e-9)) "identical" 1. (Stats.cosine_correlation [| 1.; 2. |] [| 2.; 4. |]);
+  Alcotest.(check (float 1e-9)) "orthogonal" 0. (Stats.cosine_correlation [| 1.; 0. |] [| 0.; 1. |]);
+  Alcotest.(check (float 1e-9)) "both zero" 1. (Stats.cosine_correlation [| 0.; 0. |] [| 0.; 0. |]);
+  Alcotest.(check (float 1e-9)) "one zero" 0. (Stats.cosine_correlation [| 0.; 0. |] [| 1.; 0. |])
+
+let test_stats_linear_fit () =
+  let points = Array.init 10 (fun i -> (float_of_int i, 3. +. (2. *. float_of_int i))) in
+  let intercept, slope = Stats.linear_fit points in
+  Alcotest.(check (float 1e-9)) "intercept" 3. intercept;
+  Alcotest.(check (float 1e-9)) "slope" 2. slope
+
+let test_stats_ratio_error () =
+  Alcotest.(check (float 1e-9)) "under" (-0.5) (Stats.ratio_error ~predicted:5. ~measured:10.);
+  Alcotest.(check (float 1e-9)) "exact" 0. (Stats.ratio_error ~predicted:10. ~measured:10.);
+  Alcotest.(check (float 1e-9)) "zero-zero" 0. (Stats.ratio_error ~predicted:0. ~measured:0.)
+
+let prop_correlation_range =
+  QCheck.Test.make ~name:"correlation in [0,1] for non-negative vectors" ~count:300
+    QCheck.(pair (array_of_size (QCheck.Gen.return 6) (float_bound_inclusive 100.))
+              (array_of_size (QCheck.Gen.return 6) (float_bound_inclusive 100.)))
+    (fun (a, b) ->
+      let c = Stats.cosine_correlation a b in
+      c >= -1e-9 && c <= 1. +. 1e-9)
+
+(* --- Tablefmt ------------------------------------------------------ *)
+
+let test_tablefmt_alignment () =
+  let t = Tablefmt.create [ ("name", Tablefmt.Left); ("value", Tablefmt.Right) ] in
+  Tablefmt.add_row t [ "x"; "1" ];
+  Tablefmt.add_row t [ "longer"; "22" ];
+  let rendered = Tablefmt.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check bool) "header present" true
+    (match lines with h :: _ -> String.length h > 0 && h.[0] = 'n' | [] -> false);
+  (* all non-empty lines same width or shorter *)
+  Alcotest.(check bool) "right aligned"
+    true
+    (List.exists (fun l -> String.length l > 0 && l.[String.length l - 1] = '1') lines)
+
+let test_tablefmt_cell_mismatch () =
+  let t = Tablefmt.create [ ("a", Tablefmt.Left) ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Tablefmt.add_row: cell count mismatch")
+    (fun () -> Tablefmt.add_row t [ "x"; "y" ])
+
+let test_tablefmt_cells () =
+  Alcotest.(check string) "float" "1.50" (Tablefmt.cell_float ~decimals:2 1.5);
+  Alcotest.(check string) "pct" "95%" (Tablefmt.cell_pct 0.95)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
+    Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
+    Alcotest.test_case "prng exponential mean" `Quick test_prng_exponential_mean;
+    Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "bucket bounds contiguous" `Quick test_bucket_bounds_contiguous;
+    Alcotest.test_case "bucket index within bounds" `Quick test_bucket_index_within_bounds;
+    Alcotest.test_case "bucket counts" `Quick test_bucket_counts;
+    Alcotest.test_case "bucket merge" `Quick test_bucket_merge;
+    Alcotest.test_case "bucket mean" `Quick test_bucket_mean;
+    qtest prop_bucket_index_monotone;
+    qtest prop_bucket_merge_totals;
+    Alcotest.test_case "stats mean/var" `Quick test_stats_mean_var;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats correlation" `Quick test_stats_correlation_basics;
+    Alcotest.test_case "stats linear fit" `Quick test_stats_linear_fit;
+    Alcotest.test_case "stats ratio error" `Quick test_stats_ratio_error;
+    qtest prop_correlation_range;
+    Alcotest.test_case "tablefmt alignment" `Quick test_tablefmt_alignment;
+    Alcotest.test_case "tablefmt cell mismatch" `Quick test_tablefmt_cell_mismatch;
+    Alcotest.test_case "tablefmt cells" `Quick test_tablefmt_cells;
+  ]
