@@ -183,6 +183,29 @@ let combine_cmd =
           instrumented image's configuration record.")
     term
 
+(* lint ------------------------------------------------------------- *)
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
+  in
+  let run image_path json =
+    let image = Binary_image.load image_path in
+    let diags = Lint.lint_image image in
+    if json then print_endline (Lint.to_json diags)
+    else if diags = [] then print_endline "no diagnostics"
+    else Format.printf "%a" Lint.pp_text diags;
+    if Lint.worst diags = Some Lint.Error then exit 1
+  in
+  let term = Term.(const run $ image_arg $ json) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static remotability linter over an image: interface-flow analysis, \
+          non-remotable interface checks, pin conflicts, and co-location constraints \
+          (diagnostic codes CG000-CG007).")
+    term
+
 (* analyze ---------------------------------------------------------- *)
 
 let analyze_cmd =
@@ -190,7 +213,21 @@ let analyze_cmd =
     let image = Binary_image.load image_path in
     let net = Net_profiler.profile (Prng.create 0xC01L) network in
     Printf.printf "network profile: %s\n" (Format.asprintf "%a" Net_profiler.pp net);
-    let image, dist = Adps.analyze ~image ~net () in
+    (* The linter runs automatically ahead of the cut; warnings are
+       informational, errors cannot occur here (they come from the
+       validator below, as Lint.Rejected). *)
+    (match
+       List.filter (fun d -> d.Lint.severity <> Lint.Info) (Lint.lint_image image)
+     with
+    | [] -> ()
+    | warnings -> Format.printf "%a" Lint.pp_text warnings);
+    let image, dist =
+      try Adps.analyze ~image ~net ()
+      with Lint.Rejected diags ->
+        Format.eprintf "%a" Lint.pp_text diags;
+        Printf.eprintf "error: distribution rejected by the static validator\n";
+        exit 1
+    in
     Binary_image.save image output;
     let classifier, _ = Option.get (Adps.load_distribution image) in
     Printf.printf "distribution: %d of %d classifications on the server (cut %.3f s)\n"
@@ -306,4 +343,7 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
-          [ instrument_cmd; profile_cmd; combine_cmd; analyze_cmd; show_cmd; run_cmd; list_cmd ]))
+          [
+            instrument_cmd; profile_cmd; combine_cmd; lint_cmd; analyze_cmd; show_cmd;
+            run_cmd; list_cmd;
+          ]))

@@ -16,15 +16,37 @@ type t = {
   app_scenarios : scenario list;
 }
 
-let make ~name ~classes ~default_placement ~scenarios =
+let make ~name ~roots ~classes ~default_placement ~scenarios =
   let classes =
     if List.exists (fun c -> c.Runtime.cname = Common.file_server_class_name) classes then
       classes
     else classes @ [ Common.file_server ]
   in
   let registry = Runtime.registry classes in
+  let meta =
+    let infos = Probe.run registry in
+    let itype_sigs it =
+      List.init (Itype.method_count it) (Itype.method_sig it)
+    in
+    let ifaces =
+      List.concat_map (fun i -> i.Probe.ci_provides) infos
+      |> List.map (fun it ->
+             { Coign_image.Image_meta.if_name = Itype.name it;
+               if_methods = itype_sigs it })
+    in
+    let cls_meta i =
+      {
+        Coign_image.Image_meta.cl_name = i.Probe.ci_cname;
+        cl_provides = List.map Itype.name i.Probe.ci_provides;
+        cl_creates = i.Probe.ci_creates;
+      }
+    in
+    Coign_image.Image_meta.create ~ifaces
+      ~classes:(List.map cls_meta infos)
+      ~roots
+  in
   let image =
-    Coign_image.Binary_image.create ~name
+    Coign_image.Binary_image.create ~name ~meta
       ~api_refs:(List.map (fun c -> (c.Runtime.cname, c.Runtime.api_refs)) classes)
       ()
   in

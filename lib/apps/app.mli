@@ -24,13 +24,16 @@ type t = {
 
 val make :
   name:string ->
+  roots:string list ->
   classes:Runtime.component_class list ->
   default_placement:(string -> Coign_core.Constraints.location) ->
   scenarios:scenario list ->
   t
-(** Builds the registry and the binary image (API-reference table from
-    the classes' [api_refs]). The storage file server is added to the
-    class list automatically. *)
+(** Builds the registry and the binary image: the API-reference table
+    from the classes' [api_refs], and static interface metadata from
+    probing every class ({!Coign_com.Probe}). [roots] names the classes
+    the main program instantiates directly. The storage file server is
+    added to the class list automatically. *)
 
 val scenario : t -> string -> scenario
 (** Lookup by id; raises [Not_found]. *)

@@ -270,7 +270,7 @@ let c_session_mgr =
       [ Combuild.iface i_session [ ("open_session", open_session); ("authorized", authorized) ] ])
 
 let logic_class name =
-  Runtime.define_class name (fun _ctx _self ->
+  Runtime.define_class name ~creates:[ "Benefits.RecordSet" ] (fun _ctx _self ->
       let db = ref None in
       let init ctx args =
         db := Some (Combuild.get_iface args 0);
@@ -367,7 +367,7 @@ let c_cached_row =
       [ Combuild.iface Common.i_blob_sink [ ("put", put); ("finish", finish) ] ])
 
 let cache_class name =
-  Runtime.define_class name (fun _ctx _self ->
+  Runtime.define_class name ~creates:[ "Benefits.CachedRow" ] (fun _ctx _self ->
       let logic = ref None in
       let entity = ref "" in
       let filled = ref false in
@@ -446,7 +446,18 @@ let c_report_logic =
 (* ---------------------------------------------------------------- *)
 
 let c_app =
-  Runtime.define_class "Benefits.App" ~api_refs:Widgets.gui_apis (fun _ctx _self ->
+  Runtime.define_class "Benefits.App" ~api_refs:Widgets.gui_apis
+    ~creates:
+      (Widgets.class_names kit
+      @ [
+          "Benefits.LoginForm"; "Benefits.EmployeeForm"; "Benefits.ReportForm";
+          "Benefits.GraphControl"; "Benefits.OdbcGateway"; "Benefits.EmployeeLogic";
+          "Benefits.BenefitsLogic"; "Benefits.DependentLogic"; "Benefits.HistoryLogic";
+          "Benefits.EmployeeCache"; "Benefits.BenefitListCache"; "Benefits.LookupCache";
+          "Benefits.DependentCache"; "Benefits.ValidationRules"; "Benefits.AuditLog";
+          "Benefits.SessionMgr"; "Benefits.ReportLogic";
+        ])
+    (fun _ctx _self ->
       let chrome = ref None in
       let caches = ref [] in
       let logics = ref [] in
@@ -693,7 +704,7 @@ let classes =
     ]
 
 let app =
-  App.make ~name:"benefits" ~classes
+  App.make ~name:"benefits" ~roots:[ "Benefits.App" ] ~classes
     ~default_placement:(fun cname ->
       if List.mem cname middle_tier_classes then Coign_core.Constraints.Server
       else Coign_core.Constraints.Client)

@@ -270,7 +270,10 @@ let kit = Widgets.kit ~prefix:"Octarine"
    nested menu item — only a walk deep enough to reach the requesting
    container can (the mechanism behind Table 3). *)
 let c_control_constructor =
-  Runtime.define_class "Octarine.ControlConstructor" (fun _ctx _self ->
+  Runtime.define_class "Octarine.ControlConstructor"
+    ~creates:
+      [ "Octarine.Menu"; "Octarine.Tooltip"; "Octarine.Button"; "Octarine.MenuPane" ]
+    (fun _ctx _self ->
       let make ctx args =
         let ctl =
           match Combuild.get_str args 0 with
@@ -436,7 +439,8 @@ let c_undo_record =
       [ Combuild.iface Common.i_blob_sink [ ("put", put); ("finish", finish) ] ])
 
 let c_undo_manager =
-  Runtime.define_class "Octarine.UndoManager" (fun _ctx _self ->
+  Runtime.define_class "Octarine.UndoManager"
+    ~creates:[ "Octarine.UndoRecord" ] (fun _ctx _self ->
       let stack = ref [] in
       let record_edit ctx args =
         let data = Combuild.get_blob args 1 in
@@ -486,7 +490,8 @@ let c_style =
       [ Combuild.iface Common.i_blob_sink [ ("put", put); ("finish", finish) ] ])
 
 let c_style_gallery =
-  Runtime.define_class "Octarine.StyleGallery" (fun _ctx _self ->
+  Runtime.define_class "Octarine.StyleGallery"
+    ~creates:[ "Octarine.Style" ] (fun _ctx _self ->
       let styles = ref [] in
       let load_template ctx args =
         let data = Combuild.get_blob args 0 in
@@ -664,7 +669,8 @@ let c_text_properties =
    server to paginate (so its file traffic scales with document size),
    then serves parsed pages from its in-memory index. *)
 let c_document_reader =
-  Runtime.define_class "Octarine.DocumentReader" (fun ctx0 _self ->
+  Runtime.define_class "Octarine.DocumentReader"
+    ~creates:[ "Octarine.TextProperties" ] (fun ctx0 _self ->
       let fs = Common.create_file_server ctx0 in
       let state = ref None in
       let opened_name = ref "" in
@@ -783,7 +789,8 @@ let c_document_reader =
       ])
 
 let c_story =
-  Runtime.define_class "Octarine.Story" (fun ctx0 _self ->
+  Runtime.define_class "Octarine.Story"
+    ~creates:[ "Octarine.Paragraph" ] (fun ctx0 _self ->
       let breaker = Common.create ctx0 c_line_breaker i_breaker in
       let layout = Common.create ctx0 c_page_layout i_layout in
       let src = ref None and render = ref None and props = ref None in
@@ -922,7 +929,8 @@ let c_table_row =
       [ Combuild.iface i_run [ ("set_text", set_text); ("metrics", metrics) ] ])
 
 let c_table_model =
-  Runtime.define_class "Octarine.TableModel" (fun _ctx _self ->
+  Runtime.define_class "Octarine.TableModel"
+    ~creates:[ "Octarine.TableRow" ] (fun _ctx _self ->
       let src = ref None in
       let index = ref (-1) in
       let rows = ref 0 in
@@ -1056,7 +1064,8 @@ let c_trial_layout =
       [ Combuild.iface i_breaker [ ("break_lines", break_lines) ] ])
 
 let c_page_placement =
-  Runtime.define_class "Octarine.PagePlacement" (fun _ctx _self ->
+  Runtime.define_class "Octarine.PagePlacement"
+    ~creates:[ "Octarine.TrialLayout" ] (fun _ctx _self ->
       let src = ref None and props = ref None in
       let paras = ref [] and tables = ref [] in
       let set_source ctx args =
@@ -1137,7 +1146,8 @@ let c_music_bar =
       [ Combuild.iface i_music_staff [ ("add_note", add_note); ("layout_staff", layout_staff) ] ])
 
 let c_music_staff =
-  Runtime.define_class "Octarine.MusicStaff" (fun _ctx _self ->
+  Runtime.define_class "Octarine.MusicStaff"
+    ~creates:[ "Octarine.MusicBar" ] (fun _ctx _self ->
       let bars = ref [] in
       let count = ref 0 in
       let add_note ctx args =
@@ -1159,7 +1169,8 @@ let c_music_staff =
       [ Combuild.iface i_music_staff [ ("add_note", add_note); ("layout_staff", layout_staff) ] ])
 
 let c_music_sheet =
-  Runtime.define_class "Octarine.MusicSheet" (fun _ctx _self ->
+  Runtime.define_class "Octarine.MusicSheet"
+    ~creates:[ "Octarine.MusicStaff" ] (fun _ctx _self ->
       let render = ref None in
       let staves = ref [] in
       let init ctx args =
@@ -1201,7 +1212,13 @@ let c_music_sheet =
 (* ---------------------------------------------------------------- *)
 
 let c_document =
-  Runtime.define_class "Octarine.Document" (fun ctx0 _self ->
+  Runtime.define_class "Octarine.Document"
+    ~creates:
+      [
+        "Octarine.Story"; "Octarine.TableModel"; "Octarine.TableView";
+        "Octarine.PagePlacement"; "Octarine.MusicSheet";
+      ]
+    (fun ctx0 _self ->
       let undo = Common.create ctx0 c_undo_manager i_undo in
       let spell = Common.create ctx0 c_spell_checker i_spell in
       let src = ref None and render = ref None in
@@ -1381,7 +1398,14 @@ let c_document =
 (* ---------------------------------------------------------------- *)
 
 let c_app =
-  Runtime.define_class "Octarine.App" ~api_refs:Widgets.gui_apis (fun _ctx _self ->
+  Runtime.define_class "Octarine.App" ~api_refs:Widgets.gui_apis
+    ~creates:
+      (Widgets.class_names kit
+      @ [
+          "Octarine.WidgetFactory"; "Octarine.CommandBar"; "Octarine.DocumentReader";
+          "Octarine.Document"; "Octarine.StyleGallery"; Common.file_server_class_name;
+        ])
+    (fun _ctx _self ->
       let chrome = ref None in
       let fs = ref None in
       let container_paints = ref [] in
@@ -1617,6 +1641,6 @@ let figure5 =
   }
 
 let app =
-  App.make ~name:"octarine" ~classes
+  App.make ~name:"octarine" ~roots:[ "Octarine.App" ] ~classes
     ~default_placement:(fun _cname -> Coign_core.Constraints.Client)
     ~scenarios

@@ -148,7 +148,8 @@ let c_property_set =
    server, builds the property sets from the file data, and serves
    parsed sprites from its index. *)
 let c_mix_reader =
-  Runtime.define_class "PhotoDraw.MixReader" (fun ctx0 _self ->
+  Runtime.define_class "PhotoDraw.MixReader"
+    ~creates:[ "PhotoDraw.PropertySet" ] (fun ctx0 _self ->
       let fs = Common.create_file_server ctx0 in
       let state = ref None in
       (* (spec, propset query handles) *)
@@ -322,7 +323,8 @@ let c_effect_instance =
       [ Combuild.iface i_effect [ ("run", run) ] ])
 
 let c_transform =
-  Runtime.define_class "PhotoDraw.Transform" (fun _ctx _self ->
+  Runtime.define_class "PhotoDraw.Transform"
+    ~creates:[ "PhotoDraw.EffectInstance" ] (fun _ctx _self ->
       let apply ctx args =
         let target = Combuild.get_iface args 0 in
         let effect = Common.create ctx c_effect_instance i_effect in
@@ -383,7 +385,8 @@ let c_renderer =
       ])
 
 let c_composition =
-  Runtime.define_class "PhotoDraw.Composition" (fun _ctx _self ->
+  Runtime.define_class "PhotoDraw.Composition"
+    ~creates:[ "PhotoDraw.Layer" ] (fun _ctx _self ->
       let src = ref None and target = ref None and render = ref None in
       let layers = ref [] in
       let init ctx args =
@@ -444,7 +447,14 @@ let c_composition =
       ])
 
 let c_app =
-  Runtime.define_class "PhotoDraw.App" ~api_refs:Widgets.gui_apis (fun _ctx _self ->
+  Runtime.define_class "PhotoDraw.App" ~api_refs:Widgets.gui_apis
+    ~creates:
+      (Widgets.class_names kit
+      @ [
+          "PhotoDraw.Renderer"; "PhotoDraw.MixReader"; "PhotoDraw.Composition";
+          "PhotoDraw.Thumbnail"; "PhotoDraw.Transform"; Common.file_server_class_name;
+        ])
+    (fun _ctx _self ->
       let chrome = ref None in
       let renderer = ref None in
       let fs = ref None in
@@ -621,6 +631,6 @@ let classes =
     ]
 
 let app =
-  App.make ~name:"photodraw" ~classes
+  App.make ~name:"photodraw" ~roots:[ "PhotoDraw.App" ] ~classes
     ~default_placement:(fun _cname -> Coign_core.Constraints.Client)
     ~scenarios

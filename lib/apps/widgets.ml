@@ -122,6 +122,8 @@ let kit ~prefix =
 let classes k =
   [ k.window; k.button; k.menu; k.toolbar; k.statusbar; k.scrollbar; k.tooltip; k.dialog ]
 
+let class_names k = List.map (fun c -> c.Runtime.cname) (classes k)
+
 type chrome = {
   window_notify : Runtime.handle;
   window_paint : Runtime.handle;

@@ -27,6 +27,10 @@ val kit : prefix:string -> kit
 
 val classes : kit -> Runtime.component_class list
 
+val class_names : kit -> string list
+(** Names of {!classes}, for [creates] annotations of classes that
+    build chrome in their method bodies. *)
+
 type chrome = {
   window_notify : Runtime.handle;   (** the window's INotify *)
   window_paint : Runtime.handle;

@@ -1,0 +1,22 @@
+(** Static class prober.
+
+    Coign's static analyzer scans each component binary for the
+    interfaces it exports and the CLSIDs its code references (paper
+    §4). Our "binaries" are OCaml closures, so the equivalent is to
+    instantiate every registered class once in a scratch context and
+    observe (a) the interface table the constructor installs and (b)
+    which other classes the constructor instantiates — attributed to
+    the directly-constructing class via a create-hook stack.
+    Method-body instantiations are taken from the class's [creates]
+    annotation (see {!Runtime.component_class}). *)
+
+type class_info = {
+  ci_cname : string;
+  ci_provides : Itype.t list;  (** interfaces the class implements *)
+  ci_creates : string list;    (** classes it can instantiate (ctor-observed
+                                   ∪ annotated), sorted, deduped *)
+}
+
+val run : Runtime.registry -> class_info list
+(** One entry per registered class, in registration order. A class
+    whose constructor raises probes as providing no interfaces. *)

@@ -24,6 +24,7 @@ and component_class = {
   clsid : Guid.t;
   cname : string;
   api_refs : string list;
+  creates : string list;
   constructor : ctx -> instance_id -> impl;
 }
 
@@ -46,8 +47,8 @@ and handle_entry = {
 
 and create_request = { req_clsid : Guid.t; req_iid : Guid.t; req_class : component_class }
 
-let define_class ?(api_refs = []) cname constructor =
-  { clsid = Guid.of_name ("CLSID_" ^ cname); cname; api_refs; constructor }
+let define_class ?(api_refs = []) ?(creates = []) cname constructor =
+  { clsid = Guid.of_name ("CLSID_" ^ cname); cname; api_refs; creates; constructor }
 
 let registry classes =
   let by_clsid = Hashtbl.create 64 in
@@ -174,6 +175,20 @@ let raw_create_instance ctx clsid ~iid =
       inst.inst_impl <- cls.constructor ctx id;
       canonical_handle ctx inst iid
 
+(* Instantiation without registry lookup or handle allocation: the
+   static prober (see {!Probe}) uses this to run a constructor it has
+   already resolved and then inspect the implementation table. *)
+let raw_instantiate ctx cls =
+  grow_instances ctx;
+  let id = ctx.ninstances in
+  let inst =
+    { inst_id = id; inst_class = Some cls; inst_impl = []; inst_handles = []; inst_alive = true }
+  in
+  ctx.instances.(id) <- inst;
+  ctx.ninstances <- id + 1;
+  inst.inst_impl <- cls.constructor ctx id;
+  id
+
 let create_instance ctx clsid ~iid =
   match ctx.create_hook with
   | None -> raw_create_instance ctx clsid ~iid
@@ -233,6 +248,8 @@ let instance_class_name ctx id =
   match (get_instance ctx id).inst_class with
   | None -> main_class_name
   | Some c -> c.cname
+
+let instance_itypes ctx id = List.map fst (get_instance ctx id).inst_impl
 
 let instance_clsid ctx id =
   match (get_instance ctx id).inst_class with None -> None | Some c -> Some c.clsid

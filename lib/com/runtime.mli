@@ -46,11 +46,17 @@ type component_class = {
       (** System APIs the class's code references (e.g. ["gdi32.BitBlt"],
           ["kernel32.ReadFile"]); the static-analysis constraint pass
           scans these. *)
+  creates : string list;
+      (** Class names this class's *method bodies* can instantiate, the
+          analog of CLSIDs visible in a binary's relocated data (§4).
+          Constructor-time instantiations need not be listed: the static
+          prober observes those directly. *)
   constructor : ctx -> instance_id -> impl;
 }
 
 val define_class :
-  ?api_refs:string list -> string -> (ctx -> instance_id -> impl) -> component_class
+  ?api_refs:string list -> ?creates:string list -> string ->
+  (ctx -> instance_id -> impl) -> component_class
 (** [define_class name ctor] derives the CLSID from [name]. *)
 
 (** {1 Registry} *)
@@ -85,6 +91,11 @@ val create_instance : ctx -> Guid.t -> iid:Guid.t -> handle
 val raw_create_instance : ctx -> Guid.t -> iid:Guid.t -> handle
 (** Instantiate bypassing the hook (what the hook itself calls to
     perform the real local instantiation). Runs the class constructor. *)
+
+val raw_instantiate : ctx -> component_class -> instance_id
+(** Run [cls]'s constructor on a fresh instance and return its id
+    without negotiating an interface handle. Used by the static prober
+    to enumerate the interfaces a class implements. *)
 
 val query_interface : ctx -> handle -> iid:Guid.t -> handle
 (** Ask an instance for another of its interfaces; consults the query
@@ -121,6 +132,9 @@ val alloc_foreign_handle :
 (** Mint a new handle not produced by [query_interface] — the RTE uses
     this to interpose instrumented interfaces and the factory to expose
     remote proxies. *)
+
+val instance_itypes : ctx -> instance_id -> Itype.t list
+(** The interfaces an instance implements, in declaration order. *)
 
 val instance_class_name : ctx -> instance_id -> string
 val instance_clsid : ctx -> instance_id -> Guid.t option

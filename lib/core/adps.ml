@@ -87,12 +87,37 @@ let load_distribution image =
       | Some cls, Some dist -> Some (Classifier.decode cls, Analysis.decode dist)
       | _ -> None)
 
+let static_constraints image =
+  match image.Binary_image.meta with
+  | None -> Constraints.empty
+  | Some meta -> Interface_flow.constraints_of (Interface_flow.analyze meta)
+
 let analyze ?algorithm ?(extra_constraints = Constraints.empty) ~image ~net () =
   match load_profile image with
   | None -> invalid_arg "Adps.analyze: image holds no profile"
   | Some (classifier, icc) ->
-      let constraints = Constraints.merge (Constraints.of_image image) extra_constraints in
+      let constraints =
+        Constraints.merge
+          (Constraints.merge (Constraints.of_image image) (static_constraints image))
+          extra_constraints
+      in
       let distribution = Analysis.choose ?algorithm ~classifier ~icc ~constraints ~net () in
+      (* The cut construction cannot violate the constraints it was
+         given, but hand-forced extra constraints can be mutually
+         unsatisfiable (e.g. pins splitting a static co-location pair).
+         Prove the result before writing it into the image — the
+         analyze-time replacement for Replay's runtime abort. *)
+      (match Analysis.validate ~classifier ~constraints distribution with
+      | [] -> ()
+      | violations ->
+          raise
+            (Lint.Rejected
+               (Lint.order
+                  (List.map
+                     (fun v ->
+                       Lint.diag "CG007" Lint.Error image.Binary_image.img_name
+                         (Format.asprintf "%a" Analysis.pp_violation v))
+                     violations))));
       let image =
         Rewriter.write_distribution image
           ~entries:

@@ -54,6 +54,11 @@ val profile_results :
 
 (** {1 Stage 3: analyze} *)
 
+val static_constraints : Coign_image.Binary_image.t -> Constraints.t
+(** Constraints the static interface-flow analysis derives from the
+    image's metadata ({!Interface_flow.constraints_of}); empty when the
+    image carries none. *)
+
 val analyze :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->
   ?extra_constraints:Constraints.t ->
@@ -61,11 +66,17 @@ val analyze :
   net:Coign_netsim.Net_profiler.t ->
   unit ->
   Coign_image.Binary_image.t * Analysis.distribution
-(** Combine the accumulated profile with constraints (static analysis
-    of the image plus [extra_constraints]) and the network profile;
-    choose the distribution; rewrite the image into distributed mode
-    carrying the classifier state and placement. Raises
-    [Invalid_argument] if the image holds no profile. *)
+(** Combine the accumulated profile with constraints (API-pin static
+    analysis of the image, {!static_constraints} from its interface
+    metadata, and [extra_constraints]) and the network profile; choose
+    the distribution; prove it with {!Analysis.validate}; rewrite the
+    image into distributed mode carrying the classifier state and
+    placement. Raises [Invalid_argument] if the image holds no profile,
+    and {!Lint.Rejected} (CG007 errors) if the constraints are mutually
+    unsatisfiable — e.g. hand-forced pins splitting a statically
+    detected non-remotable pair. The rejection happens at analyze time,
+    before the distribution can ever reach {!Coign_sim.Replay}'s
+    runtime abort. *)
 
 val load_profile : Coign_image.Binary_image.t -> (Classifier.t * Icc.t) option
 (** The accumulated classifier state and ICC summary, if any. *)

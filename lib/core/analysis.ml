@@ -65,6 +65,26 @@ let choose ?(algorithm = Mincut.Relabel_to_front) ~classifier ~icc ~constraints 
       if a >= 0 && a < n && b >= 0 && b < n then
         Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
     (Constraints.colocated_pairs constraints);
+  (* Static class-pair co-location: every classification of one class
+     must end up with every classification of the other. *)
+  let classifications_of =
+    let tbl : (string, int list) Hashtbl.t = Hashtbl.create 32 in
+    for c = n - 1 downto 0 do
+      let cname = Classifier.class_of_classification classifier c in
+      Hashtbl.replace tbl cname
+        (c :: Option.value ~default:[] (Hashtbl.find_opt tbl cname))
+    done;
+    fun cname -> Option.value ~default:[] (Hashtbl.find_opt tbl cname)
+  in
+  List.iter
+    (fun (ca, cb) ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b -> Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
+            (classifications_of cb))
+        (classifications_of ca))
+    (Constraints.colocated_class_pairs constraints);
   (* A cut must exist even in a graph with no server-pinned component:
      guarantee terminals are present (no edge needed; the cut just puts
      everything on the client). *)
@@ -115,6 +135,68 @@ let choose ?(algorithm = Mincut.Relabel_to_front) ~classifier ~icc ~constraints 
 
 let location_of d c =
   if c < 0 || c >= Array.length d.placement then Constraints.Client else d.placement.(c)
+
+type violation =
+  | Split_pair of string * string
+  | Split_classifications of int * int
+  | Pin_violated of string * Constraints.location
+
+(* Independent re-check of a distribution against the constraint set:
+   the cut construction above makes violations impossible for
+   distributions it computes itself, but distributions can also arrive
+   from a config record or a caller's hand-forced placement. *)
+let validate ~classifier ~constraints d =
+  let n = Classifier.classification_count classifier in
+  let classifications_of cname =
+    let acc = ref [] in
+    for c = n - 1 downto 0 do
+      if Classifier.class_of_classification classifier c = cname then acc := c :: !acc
+    done;
+    !acc
+  in
+  let pin_violations =
+    List.concat_map
+      (fun (cname, loc) ->
+        if List.exists (fun c -> location_of d c <> loc) (classifications_of cname)
+        then [ Pin_violated (cname, loc) ]
+        else [])
+      (Constraints.pinned_classes constraints)
+    @ List.concat_map
+        (fun (c, loc) ->
+          if c >= 0 && c < n && location_of d c <> loc then
+            [ Pin_violated (Printf.sprintf "classification %d" c, loc) ]
+          else [])
+        (Constraints.pinned_classifications constraints)
+  in
+  let split_classifications =
+    List.filter_map
+      (fun (a, b) ->
+        if location_of d a <> location_of d b then Some (Split_classifications (a, b))
+        else None)
+      (Constraints.colocated_pairs constraints)
+  in
+  let split_pairs =
+    List.filter_map
+      (fun (ca, cb) ->
+        let locs cname = List.map (location_of d) (classifications_of cname) in
+        match (locs ca, locs cb) with
+        | [], _ | _, [] -> None
+        | la, lb ->
+            if List.exists (fun x -> List.exists (fun y -> x <> y) lb) la then
+              Some (Split_pair (ca, cb))
+            else None)
+      (Constraints.colocated_class_pairs constraints)
+  in
+  pin_violations @ split_classifications @ split_pairs
+
+let pp_violation ppf = function
+  | Split_pair (a, b) ->
+      Format.fprintf ppf "co-location pair %s <-> %s is split across the cut" a b
+  | Split_classifications (a, b) ->
+      Format.fprintf ppf "co-located classifications %d and %d are split across the cut" a b
+  | Pin_violated (what, loc) ->
+      Format.fprintf ppf "%s is pinned to the %s but placed elsewhere" what
+        (Constraints.location_name loc)
 
 let server_classifications d =
   let acc = ref [] in

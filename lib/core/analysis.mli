@@ -42,6 +42,23 @@ val location_of : distribution -> int -> Constraints.location
     range (new at run time) default to [Client]. [-1] (main) is
     [Client]. *)
 
+type violation =
+  | Split_pair of string * string
+      (** a class co-location pair has classifications on both sides *)
+  | Split_classifications of int * int
+  | Pin_violated of string * Constraints.location
+
+val validate :
+  classifier:Classifier.t -> constraints:Constraints.t -> distribution ->
+  violation list
+(** Prove a distribution honours every constraint. Empty for any
+    distribution {!choose} computed from the same constraints;
+    non-empty for hand-forced or stale placements that split a
+    co-location pair or contradict a pin — the analyze-time replacement
+    for {!Coign_sim.Replay}'s runtime remotability abort. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
 val server_classifications : distribution -> int list
 
 val comm_time_under :

@@ -5,13 +5,32 @@ let location_name = function Client -> "client" | Server -> "server"
 module Smap = Map.Make (String)
 module Imap = Map.Make (Int)
 
+module Ipair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module Spair_set = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
 type t = {
   by_class : location Smap.t;
   by_classification : location Imap.t;
-  pairs : (int * int) list;  (* normalized (min, max), deduplicated *)
+  pairs : Ipair_set.t;  (* normalized (min, max) classification pairs *)
+  class_pairs : Spair_set.t;  (* normalized (min, max) class-name pairs *)
 }
 
-let empty = { by_class = Smap.empty; by_classification = Imap.empty; pairs = [] }
+let empty =
+  {
+    by_class = Smap.empty;
+    by_classification = Imap.empty;
+    pairs = Ipair_set.empty;
+    class_pairs = Spair_set.empty;
+  }
 
 let conflict what a b =
   if a <> b then invalid_arg ("Constraints: conflicting pins for " ^ what);
@@ -35,9 +54,11 @@ let pin_classification t c loc =
 
 let colocate t a b =
   if a = b then t
-  else
-    let pair = (min a b, max a b) in
-    if List.mem pair t.pairs then t else { t with pairs = pair :: t.pairs }
+  else { t with pairs = Ipair_set.add (min a b, max a b) t.pairs }
+
+let colocate_classes t a b =
+  if a = b then t
+  else { t with class_pairs = Spair_set.add (min a b, max a b) t.class_pairs }
 
 let of_image img =
   List.fold_left
@@ -58,12 +79,16 @@ let merge a b =
       (fun c la lb -> Some (conflict (Printf.sprintf "classification %d" c) la lb))
       a.by_classification b.by_classification
   in
-  let pairs =
-    List.fold_left (fun acc p -> if List.mem p acc then acc else p :: acc) a.pairs b.pairs
-  in
-  { by_class; by_classification; pairs }
+  {
+    by_class;
+    by_classification;
+    pairs = Ipair_set.union a.pairs b.pairs;
+    class_pairs = Spair_set.union a.class_pairs b.class_pairs;
+  }
 
 let class_pin t ~cname = Smap.find_opt cname t.by_class
 let classification_pin t c = Imap.find_opt c t.by_classification
-let colocated_pairs t = List.sort compare t.pairs
+let pinned_classifications t = Imap.bindings t.by_classification
+let colocated_pairs t = Ipair_set.elements t.pairs
+let colocated_class_pairs t = Spair_set.elements t.class_pairs
 let pinned_classes t = Smap.bindings t.by_class

@@ -26,6 +26,13 @@ val pin_classification : t -> int -> location -> t
 val colocate : t -> int -> int -> t
 (** Pair-wise constraint between two classifications. *)
 
+val colocate_classes : t -> string -> string -> t
+(** Pair-wise constraint between two component classes: every
+    classification of one must share a machine with every
+    classification of the other. This is what the static interface-flow
+    analysis emits — it reasons about classes, before any profile
+    exists to split them into classifications. *)
+
 val of_image : Coign_image.Binary_image.t -> t
 (** Class pins derived by static analysis ({!Static_analysis}). *)
 
@@ -37,4 +44,6 @@ val merge : t -> t -> t
 val class_pin : t -> cname:string -> location option
 val classification_pin : t -> int -> location option
 val colocated_pairs : t -> (int * int) list
+val colocated_class_pairs : t -> (string * string) list
 val pinned_classes : t -> (string * location) list
+val pinned_classifications : t -> (int * location) list

@@ -1,0 +1,54 @@
+(** Whole-program static interface-flow analysis.
+
+    The paper's analysis engine derives pairwise co-location constraints
+    statically, before any profile exists (§2, §4): two components that
+    can exchange an interface DCOM cannot marshal must share an address
+    space. This module computes, from the image's static metadata
+    ({!Coign_image.Image_meta}), which classes can ever hold an
+    interface handle on which other classes, by propagating handles
+    through instantiation, method returns, [Out] parameters and [In]
+    parameters to a fixpoint.
+
+    One COM subtlety is central: holding {e any} interface of an object
+    allows obtaining {e all} of its interfaces via [QueryInterface], so
+    reachability is tracked per class {e pair}, not per (class,
+    interface) — a container that receives a child as [IControl] can
+    still paint it through [IPaint].
+
+    The result deliberately over-approximates the dynamic profiler's
+    observations: every non-remotable pair the profiler can ever see is
+    a static pair, so the emitted constraints make the runtime
+    remotability abort in {!Coign_sim.Replay} unreachable. *)
+
+type t
+
+val analyze : Coign_image.Image_meta.t -> t
+
+val method_ifaces : Coign_idl.Idl_type.method_sig -> string list
+(** Interface names mentioned anywhere in a method signature (return,
+    parameters, nested in structs/arrays/pointers). *)
+
+val references : t -> (string * string) list
+(** Directed: [(a, b)] iff code in class [a] can hold an interface
+    handle on an instance of class [b]. ["MAIN"] denotes the main
+    program. *)
+
+val non_remotable_ifaces : t -> string list
+(** Interfaces with at least one non-remotable method. *)
+
+val non_remotable_pairs : t -> (string * string) list
+(** Unordered (normalized [min, max]) class pairs that can exchange a
+    non-remotable interface and therefore must be co-located. Pairs
+    involving ["MAIN"] are reported via {!client_pins} instead. *)
+
+val client_pins : t -> string list
+(** Classes the main program itself can call through a non-remotable
+    interface: they must stay on the client. *)
+
+val unreachable_classes : t -> string list
+(** Registered classes no interface handle can ever reach from the main
+    program — creatable but dead weight in the image. *)
+
+val constraints_of : t -> Constraints.t
+(** {!non_remotable_pairs} as class co-location constraints plus
+    {!client_pins} as client pins, ready to merge ahead of the cut. *)

@@ -31,6 +31,25 @@ let rec remotable = function
 let method_remotable m =
   remotable m.ret && List.for_all (fun p -> remotable p.pty) m.params
 
+(* Cyclic values are possible through [let rec] bindings (the analog of
+   a self-referential struct in an IDL file). The marshaler would
+   recurse forever on one, so the static analyzer needs to detect them:
+   walk the structure keeping the physical identities of the enclosing
+   nodes; revisiting an ancestor block proves a cycle. Constant
+   constructors are shared and can never be cyclic, so only the
+   recursive blocks are tracked. *)
+let finite ty =
+  let rec go ancestors t =
+    match t with
+    | Void | Int32 | Int64 | Double | Bool | Str | Blob | Iface _ | Opaque _ -> true
+    | Array u | Ptr u ->
+        (not (List.memq t ancestors)) && go (t :: ancestors) u
+    | Struct fields ->
+        (not (List.memq t ancestors))
+        && List.for_all (fun (_, u) -> go (t :: ancestors) u) fields
+  in
+  go [] ty
+
 let rec contains_iface = function
   | Iface _ -> true
   | Void | Int32 | Int64 | Double | Bool | Str | Blob | Opaque _ -> false

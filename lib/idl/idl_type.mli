@@ -49,6 +49,11 @@ val remotable : t -> bool
 val method_remotable : method_sig -> bool
 (** All parameters and the return type are remotable. *)
 
+val finite : t -> bool
+(** [false] iff the value is cyclic (built with [let rec], the analog
+    of an unbounded recursive struct): the marshaler would never
+    terminate on it. Detected by physical identity of ancestor nodes. *)
+
 val contains_iface : t -> bool
 (** Whether values of this type can carry interface pointers (needed by
     the distribution informer, which walks parameters only far enough

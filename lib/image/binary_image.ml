@@ -6,12 +6,13 @@ type t = {
   sections : section list;
   api_refs : (string * string list) list;
   config : Config_record.t option;
+  meta : Image_meta.t option;
 }
 
 let create ~name ?(imports = [ "ole32.dll"; "kernel32.dll"; "user32.dll" ])
     ?(sections = [ { sec_name = ".text"; sec_size = 65536 }; { sec_name = ".data"; sec_size = 16384 } ])
-    ~api_refs () =
-  { img_name = name; imports; sections; api_refs; config = None }
+    ?meta ~api_refs () =
+  { img_name = name; imports; sections; api_refs; config = None; meta }
 
 let class_api_refs t cname =
   Option.value ~default:[] (List.assoc_opt cname t.api_refs)
@@ -44,6 +45,11 @@ let encode t =
   | Some c ->
       Codec.w_u8 w 1;
       Codec.w_str w (Config_record.encode c));
+  (match t.meta with
+  | None -> Codec.w_u8 w 0
+  | Some m ->
+      Codec.w_u8 w 1;
+      Codec.w_str w (Image_meta.encode m));
   Codec.contents w
 
 let decode s =
@@ -69,8 +75,18 @@ let decode s =
     | 1 -> Some (Config_record.decode (Codec.r_str r))
     | n -> raise (Codec.Malformed (Printf.sprintf "bad config tag %d" n))
   in
+  (* Images written before the metadata section existed simply end
+     here, so its absence (not just a 0 tag) must decode as None. *)
+  let meta =
+    if Codec.at_end r then None
+    else
+      match Codec.r_u8 r with
+      | 0 -> None
+      | 1 -> Some (Image_meta.decode (Codec.r_str r))
+      | n -> raise (Codec.Malformed (Printf.sprintf "bad meta tag %d" n))
+  in
   Codec.expect_end r;
-  { img_name; imports; sections; api_refs; config }
+  { img_name; imports; sections; api_refs; config; meta }
 
 let save t path =
   let oc = open_out_bin path in
@@ -87,6 +103,10 @@ let load path =
 let equal a b =
   a.img_name = b.img_name && a.imports = b.imports && a.sections = b.sections
   && a.api_refs = b.api_refs
+  && (match (a.meta, b.meta) with
+     | None, None -> true
+     | Some x, Some y -> Image_meta.equal x y
+     | _ -> false)
   &&
   match (a.config, b.config) with
   | None, None -> true
@@ -96,7 +116,9 @@ let equal a b =
 let pp ppf t =
   Format.fprintf ppf "image %s: %d imports, %d sections, %d classes%s" t.img_name
     (List.length t.imports) (List.length t.sections) (List.length t.api_refs)
-    (match t.config with
+    ((match t.meta with None -> "" | Some _ -> ", meta")
+    ^
+    match t.config with
     | None -> ""
     | Some c ->
         ", config "

@@ -17,10 +17,14 @@ type t = {
   api_refs : (string * string list) list;
       (** component class name -> system APIs its code references *)
   config : Config_record.t option;
+  meta : Image_meta.t option;
+      (** static interface metadata for lint / flow analysis; [None] on
+          images built before the metadata section existed *)
 }
 
 val create :
   name:string -> ?imports:string list -> ?sections:section list ->
+  ?meta:Image_meta.t ->
   api_refs:(string * string list) list -> unit -> t
 
 val class_api_refs : t -> string -> string list

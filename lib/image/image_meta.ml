@@ -1,0 +1,176 @@
+open Coign_idl
+
+type iface = { if_name : string; if_methods : Idl_type.method_sig list }
+
+type cls = {
+  cl_name : string;
+  cl_provides : string list;
+  cl_creates : string list;
+}
+
+type t = { ifaces : iface list; classes : cls list; roots : string list }
+
+let recursive_marker = "<recursive>"
+
+(* A cyclic type (built with [let rec]) would send both the marshaler
+   and the codec below into infinite recursion, so it is replaced
+   wholesale by an opaque marker before it enters the metadata. The
+   marker is non-remotable, which is the conservative reading, and the
+   linter reports it as CG005. *)
+let rec sanitize_type ty =
+  if not (Idl_type.finite ty) then Idl_type.Opaque recursive_marker
+  else
+    match ty with
+    | Idl_type.Array u -> Idl_type.Array (sanitize_type u)
+    | Idl_type.Ptr u -> Idl_type.Ptr (sanitize_type u)
+    | Idl_type.Struct fields ->
+        Idl_type.Struct (List.map (fun (n, u) -> (n, sanitize_type u)) fields)
+    | t -> t
+
+let sanitize_method (m : Idl_type.method_sig) =
+  {
+    m with
+    Idl_type.ret = sanitize_type m.Idl_type.ret;
+    params =
+      List.map
+        (fun p -> { p with Idl_type.pty = sanitize_type p.Idl_type.pty })
+        m.Idl_type.params;
+  }
+
+let create ~ifaces ~classes ~roots =
+  let by_name i = i.if_name in
+  let ifaces =
+    List.sort_uniq (fun a b -> compare (by_name a) (by_name b)) ifaces
+    |> List.map (fun i -> { i with if_methods = List.map sanitize_method i.if_methods })
+  in
+  let classes = List.sort_uniq (fun a b -> compare a.cl_name b.cl_name) classes in
+  { ifaces; classes; roots = List.sort_uniq compare roots }
+
+let iface t name = List.find_opt (fun i -> i.if_name = name) t.ifaces
+let cls t name = List.find_opt (fun c -> c.cl_name = name) t.classes
+
+(* --- codec ------------------------------------------------------------ *)
+
+let rec w_type w ty =
+  match ty with
+  | Idl_type.Void -> Codec.w_u8 w 0
+  | Idl_type.Int32 -> Codec.w_u8 w 1
+  | Idl_type.Int64 -> Codec.w_u8 w 2
+  | Idl_type.Double -> Codec.w_u8 w 3
+  | Idl_type.Bool -> Codec.w_u8 w 4
+  | Idl_type.Str -> Codec.w_u8 w 5
+  | Idl_type.Blob -> Codec.w_u8 w 6
+  | Idl_type.Array u ->
+      Codec.w_u8 w 7;
+      w_type w u
+  | Idl_type.Struct fields ->
+      Codec.w_u8 w 8;
+      Codec.w_list w
+        (fun (n, u) ->
+          Codec.w_str w n;
+          w_type w u)
+        fields
+  | Idl_type.Ptr u ->
+      Codec.w_u8 w 9;
+      w_type w u
+  | Idl_type.Iface n ->
+      Codec.w_u8 w 10;
+      Codec.w_str w n
+  | Idl_type.Opaque n ->
+      Codec.w_u8 w 11;
+      Codec.w_str w n
+
+let rec r_type r =
+  match Codec.r_u8 r with
+  | 0 -> Idl_type.Void
+  | 1 -> Idl_type.Int32
+  | 2 -> Idl_type.Int64
+  | 3 -> Idl_type.Double
+  | 4 -> Idl_type.Bool
+  | 5 -> Idl_type.Str
+  | 6 -> Idl_type.Blob
+  | 7 -> Idl_type.Array (r_type r)
+  | 8 ->
+      Idl_type.Struct
+        (Codec.r_list r (fun r ->
+             let n = Codec.r_str r in
+             (n, r_type r)))
+  | 9 -> Idl_type.Ptr (r_type r)
+  | 10 -> Idl_type.Iface (Codec.r_str r)
+  | 11 -> Idl_type.Opaque (Codec.r_str r)
+  | n -> raise (Codec.Malformed (Printf.sprintf "bad idl type tag %d" n))
+
+let w_dir w = function
+  | Idl_type.In -> Codec.w_u8 w 0
+  | Idl_type.Out -> Codec.w_u8 w 1
+  | Idl_type.In_out -> Codec.w_u8 w 2
+
+let r_dir r =
+  match Codec.r_u8 r with
+  | 0 -> Idl_type.In
+  | 1 -> Idl_type.Out
+  | 2 -> Idl_type.In_out
+  | n -> raise (Codec.Malformed (Printf.sprintf "bad direction tag %d" n))
+
+let w_method w (m : Idl_type.method_sig) =
+  Codec.w_str w m.Idl_type.mname;
+  Codec.w_list w
+    (fun (p : Idl_type.param) ->
+      Codec.w_str w p.Idl_type.pname;
+      w_type w p.Idl_type.pty;
+      w_dir w p.Idl_type.pdir)
+    m.Idl_type.params;
+  w_type w m.Idl_type.ret
+
+let r_method r =
+  let mname = Codec.r_str r in
+  let params =
+    Codec.r_list r (fun r ->
+        let pname = Codec.r_str r in
+        let pty = r_type r in
+        let pdir = r_dir r in
+        { Idl_type.pname; pty; pdir })
+  in
+  let ret = r_type r in
+  { Idl_type.mname; params; ret }
+
+let encode t =
+  let w = Codec.writer () in
+  Codec.w_list w
+    (fun i ->
+      Codec.w_str w i.if_name;
+      Codec.w_list w (w_method w) i.if_methods)
+    t.ifaces;
+  Codec.w_list w
+    (fun c ->
+      Codec.w_str w c.cl_name;
+      Codec.w_list w (Codec.w_str w) c.cl_provides;
+      Codec.w_list w (Codec.w_str w) c.cl_creates)
+    t.classes;
+  Codec.w_list w (Codec.w_str w) t.roots;
+  Codec.contents w
+
+let decode s =
+  let r = Codec.reader s in
+  let ifaces =
+    Codec.r_list r (fun r ->
+        let if_name = Codec.r_str r in
+        let if_methods = Codec.r_list r r_method in
+        { if_name; if_methods })
+  in
+  let classes =
+    Codec.r_list r (fun r ->
+        let cl_name = Codec.r_str r in
+        let cl_provides = Codec.r_list r Codec.r_str in
+        let cl_creates = Codec.r_list r Codec.r_str in
+        { cl_name; cl_provides; cl_creates })
+  in
+  let roots = Codec.r_list r (Codec.r_str) in
+  Codec.expect_end r;
+  { ifaces; classes; roots }
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "meta: %d interfaces, %d classes, %d roots"
+    (List.length t.ifaces) (List.length t.classes) (List.length t.roots)

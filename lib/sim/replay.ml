@@ -50,7 +50,12 @@ let replay ~events ~placement ~network =
             ()
           else if machine_of caller <> machine_of callee then
             if remotable then charge ~request:request_bytes ~reply:reply_bytes
-            else violations := (iface, meth) :: !violations
+            else
+              (* Defense in depth: distributions produced by Adps.analyze
+                 are already proven free of cross-cut non-remotable edges
+                 by the static validator (Analysis.validate), so this only
+                 fires for hand-built placements that bypassed it. *)
+              violations := (iface, meth) :: !violations
       | Event.Component_destroyed _ | Event.Interface_instantiated _
       | Event.Interface_destroyed _ ->
           ())

@@ -128,6 +128,14 @@ let prop_algorithms_agree =
       in
       match flows with f :: rest -> List.for_all (( = ) f) rest | [] -> true)
 
+let prop_each_algorithm_matches_brute_force =
+  QCheck.Test.make ~name:"each algorithm matches brute force" ~count:150 arb_graph
+    (fun spec ->
+      let brute = Mincut.brute_force_min_cut (build spec) ~s:0 ~t:1 in
+      List.for_all
+        (fun alg -> Mincut.max_flow alg (build spec) ~s:0 ~t:1 = brute.Mincut.value)
+        Mincut.all_algorithms)
+
 let prop_matches_brute_force =
   QCheck.Test.make ~name:"min cut equals brute force" ~count:200 arb_graph (fun spec ->
       let g = build spec in
@@ -201,6 +209,7 @@ let suite =
     Alcotest.test_case "terminal validation" `Quick test_terminal_validation;
     Alcotest.test_case "infinity edge never cut" `Quick test_infinity_edge_never_cut;
     qtest prop_algorithms_agree;
+    qtest prop_each_algorithm_matches_brute_force;
     qtest prop_matches_brute_force;
     qtest prop_cut_edges_sum;
     Alcotest.test_case "multiway two terminals exact" `Quick test_multiway_two_terminals_exact;

@@ -15,5 +15,6 @@ let () =
       ("apps", Test_apps.suite);
       ("sim", Test_sim.suite);
       ("extensions", Test_extensions.suite);
+      ("lint", Test_lint.suite);
       ("cli", Test_cli.suite);
     ]
