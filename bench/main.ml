@@ -3,9 +3,14 @@
    network-adaptivity argument, and runs bechamel microbenchmarks of
    the core kernels.
 
-   Usage: dune exec bench/main.exe [-- section ...]
+   Usage: dune exec bench/main.exe [-- section ...] [--json FILE]
    Sections: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 table4
-             table5 overhead adaptive micro (default: all). *)
+             table5 overhead adaptive session micro (default: all).
+
+   --json FILE additionally writes the machine-readable results of the
+   sections that ran (micro estimates, the session-vs-fresh analysis
+   comparison, table 4/5 rows) so successive runs leave a perf
+   trajectory (BENCH_*.json). *)
 
 open Coign_util
 open Coign_core
@@ -15,6 +20,18 @@ open Coign_sim
 let network = Coign_netsim.Network.ethernet_10
 
 let note fmt = Printf.printf fmt
+
+(* Machine-readable section results, accumulated as JSON fragments in
+   run order by the sections that produce them. *)
+let json_sections : (string * string) list ref = ref []
+
+let add_json name fragment = json_sections := (name, fragment) :: !json_sections
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
 
 let section_header title paper =
   Printf.printf "\n%s\n%s\n(paper reference: %s)\n" title (String.make (String.length title) '=') paper
@@ -165,7 +182,10 @@ let fig8 () =
 (* Tables 4 and 5: scenario sweep                                      *)
 (* ------------------------------------------------------------------ *)
 
-let sweep = lazy (List.concat_map (fun app -> Experiment.run_app ~network app) Suite.all)
+(* Scenario rows are independent end-to-end pipeline runs with fixed
+   seeds; the domain pool runs them concurrently and run_suite returns
+   them in suite order, identical to the sequential path. *)
+let sweep = lazy (Experiment.run_suite ~network ~pool:(Parallel.default ()) Suite.all)
 
 let table4 () =
   section_header "Table 4: Reduction in Communication Time" "Table 4";
@@ -187,6 +207,17 @@ let table4 () =
         ])
     (Lazy.force sweep);
   print_string (Tablefmt.render t);
+  add_json "table4"
+    (Printf.sprintf "[%s]"
+       (String.concat ", "
+          (List.map
+             (fun (r : Experiment.row) ->
+               Printf.sprintf
+                 "{\"scenario\": \"%s\", \"default_comm_us\": %.17g, \"coign_comm_us\": \
+                  %.17g, \"savings\": %.17g}"
+                 (json_escape r.Experiment.row_id) r.Experiment.default_comm_us
+                 r.Experiment.coign_comm_us r.Experiment.savings)
+             (Lazy.force sweep))));
   note
     "Expected shape: Coign never worse than the default; ~99%% on large table\n\
      documents, ~95%% on the 208-page text document, ~0%% on small/new documents,\n\
@@ -214,6 +245,17 @@ let table5 () =
         ])
     (Lazy.force sweep);
   print_string (Tablefmt.render t);
+  add_json "table5"
+    (Printf.sprintf "[%s]"
+       (String.concat ", "
+          (List.map
+             (fun (r : Experiment.row) ->
+               Printf.sprintf
+                 "{\"scenario\": \"%s\", \"predicted_total_us\": %.17g, \
+                  \"measured_total_us\": %.17g, \"prediction_error\": %.17g}"
+                 (json_escape r.Experiment.row_id) r.Experiment.predicted_total_us
+                 r.Experiment.measured_total_us r.Experiment.prediction_error)
+             (Lazy.force sweep))));
   note "Worst absolute error: %.1f%% (paper: none above 8%%).\n" (!worst *. 100.)
 
 (* ------------------------------------------------------------------ *)
@@ -283,6 +325,89 @@ let adaptive () =
     "\nExpected shape: predicted communication falls monotonically with faster\n\
      networks, and the chosen distribution itself shifts as the\n\
      bandwidth-to-latency tradeoff moves.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Two-stage engine: session reprice+recut vs fresh analysis           *)
+(* ------------------------------------------------------------------ *)
+
+let session_bench () =
+  section_header "Two-Stage Engine: Session Reprice+Recut vs Fresh Analysis"
+    "Sec. 4.4 adaptivity; ISSUE 2 acceptance criterion";
+  let app = Photodraw.app in
+  let sc = App.scenario app "p_oldmsr" in
+  let image = Adps.instrument app.App.app_image in
+  let image, stats = Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run in
+  let classifier, icc =
+    match Adps.load_profile image with Some p -> p | None -> assert false
+  in
+  let constraints =
+    Constraints.merge (Constraints.of_image image) (Adps.static_constraints image)
+  in
+  let points = 24 in
+  let nets =
+    List.map
+      (fun net -> Coign_netsim.Net_profiler.profile (Prng.create 11L) net)
+      (Coign_netsim.Network.geometric_sweep ~points
+         ~from_net:Coign_netsim.Network.isdn_128 ~to_net:Coign_netsim.Network.san_1g ())
+  in
+  Printf.printf
+    "PhotoDraw %s profile: %d classifications, %d calls; sweeping %d network points.\n"
+    sc.App.sc_id stats.Adps.ps_classifications stats.Adps.ps_calls points;
+  let time f =
+    let reps = 3 in
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    ((match !result with Some r -> r | None -> assert false), !best)
+  in
+  let fresh_dists, fresh_s =
+    time (fun () ->
+        List.map (fun net -> Analysis.choose ~classifier ~icc ~constraints ~net ()) nets)
+  in
+  let session_dists, session_s =
+    time (fun () ->
+        let session = Analysis.Session.create ~classifier ~icc ~constraints () in
+        List.map (fun net -> Analysis.Session.solve session ~net) nets)
+  in
+  let identical =
+    List.for_all2
+      (fun a b -> String.equal (Analysis.encode a) (Analysis.encode b))
+      fresh_dists session_dists
+  in
+  let ratio = fresh_s /. session_s in
+  let t =
+    Tablefmt.create [ ("Path", Tablefmt.Left); ("Total (ms)", Tablefmt.Right);
+                      ("Per point (ms)", Tablefmt.Right) ]
+  in
+  Tablefmt.add_row t
+    [ Printf.sprintf "fresh Analysis.choose x%d" points;
+      Tablefmt.cell_float (fresh_s *. 1e3);
+      Tablefmt.cell_float ~decimals:3 (fresh_s *. 1e3 /. float_of_int points) ];
+  Tablefmt.add_row t
+    [ Printf.sprintf "one session, %d x reprice+recut" points;
+      Tablefmt.cell_float (session_s *. 1e3);
+      Tablefmt.cell_float ~decimals:3 (session_s *. 1e3 /. float_of_int points) ];
+  print_string (Tablefmt.render t);
+  Printf.printf "speedup: %.2fx; distributions %s\n" ratio
+    (if identical then "bit-identical across all points" else "DIFFER (BUG)");
+  add_json "session"
+    (Printf.sprintf
+       "{\"app\": \"photodraw\", \"scenario\": \"%s\", \"points\": %d, \
+        \"classifications\": %d, \"fresh_s\": %.17g, \"session_s\": %.17g, \"speedup\": \
+        %.17g, \"identical\": %b}"
+       (json_escape sc.App.sc_id) points stats.Adps.ps_classifications fresh_s session_s
+       ratio identical);
+  if not identical then exit 3;
+  note
+    "Expected shape: the session path skips the per-network abstract-graph and\n\
+     constraint-edge rebuild (stage 1), paying only pricing + cut per point, so\n\
+     it beats repeated fresh analysis while producing identical cuts.\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
@@ -380,6 +505,14 @@ let micro () =
     (fun (name, est) -> Tablefmt.add_row t [ name; Tablefmt.cell_float ~decimals:1 est ])
     (List.sort compare !rows);
   print_string (Tablefmt.render t);
+  add_json "micro"
+    (Printf.sprintf "[%s]"
+       (String.concat ", "
+          (List.map
+             (fun (name, est) ->
+               Printf.sprintf "{\"kernel\": \"%s\", \"ns_per_run\": %.17g}"
+                 (json_escape name) est)
+             (List.sort compare !rows))));
   note
     "Expected shape: the exact lift-to-front algorithm is Theta(V^3) and trails\n\
      the blocking-flow baselines as graphs grow — affordable only because ICC\n\
@@ -576,15 +709,21 @@ let sections =
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig4", fig4);
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8); ("table4", table4);
     ("table5", table5); ("overhead", overhead); ("adaptive", adaptive);
-    ("multiway", multiway); ("drift", drift); ("whatif", whatif); ("micro", micro);
+    ("multiway", multiway); ("drift", drift); ("whatif", whatif);
+    ("session", session_bench); ("micro", micro);
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+  let rec split_json acc = function
+    | [] -> (List.rev acc, None)
+    | [ "--json" ] ->
+        Printf.eprintf "--json needs a file argument\n";
+        exit 2
+    | "--json" :: path :: rest -> (List.rev acc @ rest, Some path)
+    | arg :: rest -> split_json (arg :: acc) rest
   in
+  let args, json_path = split_json [] (List.tl (Array.to_list Sys.argv)) in
+  let requested = match args with [] -> List.map fst sections | args -> args in
   Printf.printf
     "Coign ADPS experiment harness — reproduces the evaluation of\n\
      \"The Coign Automatic Distributed Partitioning System\" (OSDI '99).\n\
@@ -598,4 +737,18 @@ let () =
           Printf.eprintf "unknown section %S (known: %s)\n" name
             (String.concat ", " (List.map fst sections));
           exit 2)
-    requested
+    requested;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc "{\n  \"harness\": \"coign-bench\",\n  \"network\": \"%s\",\n"
+        (json_escape network.Coign_netsim.Network.net_name);
+      Printf.fprintf oc "  \"sections\": {\n%s\n  }\n}\n"
+        (String.concat ",\n"
+           (List.rev_map
+              (fun (name, fragment) ->
+                Printf.sprintf "    \"%s\": %s" (json_escape name) fragment)
+              !json_sections));
+      close_out oc;
+      Printf.printf "\nwrote machine-readable results to %s\n" path

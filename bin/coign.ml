@@ -248,6 +248,115 @@ let analyze_cmd =
           the chosen distribution.")
     term
 
+(* sweep ------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let from_arg =
+    Arg.(
+      value
+      & opt network_conv Network.isdn_128
+      & info [ "from" ] ~docv:"NET" ~doc:"Slow end of the sweep (default isdn).")
+  in
+  let to_arg =
+    Arg.(
+      value
+      & opt network_conv Network.san_1g
+      & info [ "to" ] ~docv:"NET" ~doc:"Fast end of the sweep (default san).")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "points" ] ~docv:"N"
+          ~doc:"Number of geometrically interpolated network models (>= 2).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the table as a JSON array.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains solving sweep points concurrently: 1 = sequential, 0 (default) = one \
+             per core. The output is identical either way.")
+  in
+  let run image_path from_net to_net points json jobs =
+    if points < 2 then begin
+      Printf.eprintf "error: --points must be at least 2\n";
+      exit 1
+    end;
+    if jobs < 0 then begin
+      Printf.eprintf "error: --jobs must be >= 0\n";
+      exit 1
+    end;
+    let image = Binary_image.load image_path in
+    let session =
+      try Adps.analysis_session image
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let networks = Network.geometric_sweep ~points ~from_net ~to_net () in
+    (* One session, many networks: stage 1 of the analysis ran once in
+       analysis_session; each point below is a reprice+recut. *)
+    let pool, owned =
+      match jobs with
+      | 1 -> (None, None)
+      | 0 -> (Some (Parallel.default ()), None)
+      | n ->
+          let p = Parallel.create ~domains:(n - 1) () in
+          (Some p, Some p)
+    in
+    let rows = Coign_sim.Experiment.sweep ?pool ~session networks in
+    Option.iter Parallel.shutdown owned;
+    if json then begin
+      let escape s =
+        String.concat ""
+          (List.map
+             (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+             (List.init (String.length s) (String.get s)))
+      in
+      let row (r : Coign_sim.Experiment.sweep_point) =
+        Printf.sprintf
+          "{\"network\": \"%s\", \"latency_us\": %g, \"bandwidth_mbps\": %g, \"proc_us\": \
+           %g, \"server_classifications\": %d, \"cut_ns\": %d, \"predicted_comm_us\": %.17g}"
+          (escape r.Coign_sim.Experiment.sw_network.Network.net_name)
+          r.Coign_sim.Experiment.sw_network.Network.latency_us
+          r.Coign_sim.Experiment.sw_network.Network.bandwidth_mbps
+          r.Coign_sim.Experiment.sw_network.Network.proc_us
+          r.Coign_sim.Experiment.sw_server_classifications
+          r.Coign_sim.Experiment.sw_cut_ns r.Coign_sim.Experiment.sw_predicted_comm_us
+      in
+      Printf.printf "[\n%s\n]\n" (String.concat ",\n" (List.map row rows))
+    end
+    else begin
+      Printf.printf "placement vs. network over %d analyzed classifications\n"
+        (Analysis.Session.node_count session);
+      Printf.printf "%-20s  %14s  %12s  %10s  %18s\n" "network" "bandwidth Mbps" "latency us"
+        "server cls" "predicted comm (s)";
+      print_endline (String.make 82 '-');
+      List.iter
+        (fun (r : Coign_sim.Experiment.sweep_point) ->
+          Printf.printf "%-20s  %14.3f  %12.1f  %10d  %18.3f\n"
+            r.Coign_sim.Experiment.sw_network.Network.net_name
+            r.Coign_sim.Experiment.sw_network.Network.bandwidth_mbps
+            r.Coign_sim.Experiment.sw_network.Network.latency_us
+            r.Coign_sim.Experiment.sw_server_classifications
+            (r.Coign_sim.Experiment.sw_predicted_comm_us /. 1e6))
+        rows
+    end
+  in
+  let term =
+    Term.(const run $ image_arg $ from_arg $ to_arg $ points_arg $ json_arg $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Re-cut one accumulated profile against a range of network models (paper Figures \
+          4-8): build the analysis session once, then reprice and recut per point, \
+          optionally across domains.")
+    term
+
 (* show ------------------------------------------------------------- *)
 
 let show_cmd =
@@ -344,6 +453,6 @@ let () =
        (Cmd.group
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
           [
-            instrument_cmd; profile_cmd; combine_cmd; lint_cmd; analyze_cmd; show_cmd;
-            run_cmd; list_cmd;
+            instrument_cmd; profile_cmd; combine_cmd; lint_cmd; analyze_cmd; sweep_cmd;
+            show_cmd; run_cmd; list_cmd;
           ]))

@@ -46,8 +46,12 @@ let run_distributed image (app : App.t) (sc : App.scenario) =
 let profile_and_cut (app : App.t) (sc : App.scenario) =
   let image = Adps.instrument app.App.app_image in
   let image, _ = Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run in
+  (* The session (abstract graph + constraint edges) belongs to the new
+     profile; a production repartitioner would keep it and re-cut
+     whenever the network profile moves, without re-deriving stage 1. *)
+  let session = Adps.analysis_session image in
   let net = Net_profiler.profile (Prng.create 21L) network in
-  let image, dist = Adps.analyze ~image ~net () in
+  let image, dist = Adps.analyze_with ~session ~image ~net () in
   (image, dist)
 
 let () =

@@ -92,7 +92,7 @@ let static_constraints image =
   | None -> Constraints.empty
   | Some meta -> Interface_flow.constraints_of (Interface_flow.analyze meta)
 
-let analyze ?algorithm ?(extra_constraints = Constraints.empty) ~image ~net () =
+let analysis_session ?(extra_constraints = Constraints.empty) image =
   match load_profile image with
   | None -> invalid_arg "Adps.analyze: image holds no profile"
   | Some (classifier, icc) ->
@@ -101,32 +101,41 @@ let analyze ?algorithm ?(extra_constraints = Constraints.empty) ~image ~net () =
           (Constraints.merge (Constraints.of_image image) (static_constraints image))
           extra_constraints
       in
-      let distribution = Analysis.choose ?algorithm ~classifier ~icc ~constraints ~net () in
-      (* The cut construction cannot violate the constraints it was
-         given, but hand-forced extra constraints can be mutually
-         unsatisfiable (e.g. pins splitting a static co-location pair).
-         Prove the result before writing it into the image — the
-         analyze-time replacement for Replay's runtime abort. *)
-      (match Analysis.validate ~classifier ~constraints distribution with
-      | [] -> ()
-      | violations ->
-          raise
-            (Lint.Rejected
-               (Lint.order
-                  (List.map
-                     (fun v ->
-                       Lint.diag "CG007" Lint.Error image.Binary_image.img_name
-                         (Format.asprintf "%a" Analysis.pp_violation v))
-                     violations))));
-      let image =
-        Rewriter.write_distribution image
-          ~entries:
-            [
-              (key_classifier, Classifier.encode classifier);
-              (key_distribution, Analysis.encode distribution);
-            ]
-      in
-      (image, distribution)
+      Analysis.Session.create ~classifier ~icc ~constraints ()
+
+let analyze_with ?algorithm ~session ~image ~net () =
+  let classifier = Analysis.Session.classifier session in
+  let constraints = Analysis.Session.constraints session in
+  let distribution = Analysis.Session.solve ?algorithm session ~net in
+  (* The cut construction cannot violate the constraints it was
+     given, but hand-forced extra constraints can be mutually
+     unsatisfiable (e.g. pins splitting a static co-location pair).
+     Prove the result before writing it into the image — the
+     analyze-time replacement for Replay's runtime abort. *)
+  (match Analysis.validate ~classifier ~constraints distribution with
+  | [] -> ()
+  | violations ->
+      raise
+        (Lint.Rejected
+           (Lint.order
+              (List.map
+                 (fun v ->
+                   Lint.diag "CG007" Lint.Error image.Binary_image.img_name
+                     (Format.asprintf "%a" Analysis.pp_violation v))
+                 violations))));
+  let image =
+    Rewriter.write_distribution image
+      ~entries:
+        [
+          (key_classifier, Classifier.encode classifier);
+          (key_distribution, Analysis.encode distribution);
+        ]
+  in
+  (image, distribution)
+
+let analyze ?algorithm ?extra_constraints ~image ~net () =
+  let session = analysis_session ?extra_constraints image in
+  analyze_with ?algorithm ~session ~image ~net ()
 
 type exec_stats = {
   es_comm_us : float;

@@ -59,6 +59,30 @@ val static_constraints : Coign_image.Binary_image.t -> Constraints.t
     image's metadata ({!Interface_flow.constraints_of}); empty when the
     image carries none. *)
 
+val analysis_session :
+  ?extra_constraints:Constraints.t ->
+  Coign_image.Binary_image.t ->
+  Analysis.Session.t
+(** Stage 1 of {!analyze}, reusable across networks: load the image's
+    accumulated profile, combine every constraint source (API-pin
+    static analysis, {!static_constraints}, [extra_constraints]), and
+    build the network-independent analysis session. Raises
+    [Invalid_argument] if the image holds no profile. *)
+
+val analyze_with :
+  ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  session:Analysis.Session.t ->
+  image:Coign_image.Binary_image.t ->
+  net:Coign_netsim.Net_profiler.t ->
+  unit ->
+  Coign_image.Binary_image.t * Analysis.distribution
+(** Stage 2: solve an {!analysis_session} against one network profile,
+    prove the result with {!Analysis.validate} (raising
+    {!Lint.Rejected} on CG007 violations), and rewrite the image into
+    distributed mode. [image] should be the image the session was built
+    from. Adaptive callers keep one session and call this once per
+    network condition. *)
+
 val analyze :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->
   ?extra_constraints:Constraints.t ->

@@ -22,116 +22,182 @@ let price_entry net (e : Icc.entry) =
 
 let ns_of_us us = int_of_float (Float.round (us *. 1000.))
 
-let choose ?(algorithm = Mincut.Relabel_to_front) ~classifier ~icc ~constraints ~net () =
-  let n = Classifier.classification_count classifier in
-  (* Nodes: 0..n-1 classifications, n = client terminal, n+1 = server. *)
-  let client = n and server = n + 1 in
-  let g = Flow_network.create ~n:(n + 2) in
-  let node_of c = if c < 0 then client else c in
-  (* Traffic edges: symmetric communication cost per unordered pair. *)
-  let pair_cost : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
-  let pair_non_remotable : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (e : Icc.entry) ->
-      let a = node_of e.Icc.src and b = node_of e.Icc.dst in
-      if a <> b then begin
-        let key = (min a b, max a b) in
-        let cur = Option.value ~default:0. (Hashtbl.find_opt pair_cost key) in
-        Hashtbl.replace pair_cost key (cur +. price_entry net e);
-        if not e.Icc.remotable then Hashtbl.replace pair_non_remotable key ()
-      end)
-    (Icc.entries icc);
-  Hashtbl.iter
-    (fun (a, b) cost -> Flow_network.add_undirected g a b ~cap:(ns_of_us cost))
-    pair_cost;
-  Hashtbl.iter
-    (fun (a, b) () -> Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
-    pair_non_remotable;
-  (* Constraint edges. *)
-  let pin c loc =
-    let terminal = match loc with Constraints.Client -> client | Constraints.Server -> server in
-    Flow_network.add_undirected g c terminal ~cap:Flow_network.infinity_cap
-  in
-  for c = 0 to n - 1 do
-    (match Constraints.classification_pin constraints c with
-    | Some loc -> pin c loc
-    | None -> ());
-    match Constraints.class_pin constraints ~cname:(Classifier.class_of_classification classifier c) with
-    | Some loc -> pin c loc
-    | None -> ()
-  done;
-  List.iter
-    (fun (a, b) ->
-      if a >= 0 && a < n && b >= 0 && b < n then
-        Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
-    (Constraints.colocated_pairs constraints);
-  (* Static class-pair co-location: every classification of one class
-     must end up with every classification of the other. *)
-  let classifications_of =
-    let tbl : (string, int list) Hashtbl.t = Hashtbl.create 32 in
-    for c = n - 1 downto 0 do
-      let cname = Classifier.class_of_classification classifier c in
-      Hashtbl.replace tbl cname
-        (c :: Option.value ~default:[] (Hashtbl.find_opt tbl cname))
-    done;
-    fun cname -> Option.value ~default:[] (Hashtbl.find_opt tbl cname)
-  in
-  List.iter
-    (fun (ca, cb) ->
-      List.iter
-        (fun a ->
-          List.iter
-            (fun b -> Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
-            (classifications_of cb))
-        (classifications_of ca))
-    (Constraints.colocated_class_pairs constraints);
-  (* A cut must exist even in a graph with no server-pinned component:
-     guarantee terminals are present (no edge needed; the cut just puts
-     everything on the client). *)
-  let cut = Mincut.min_cut ~algorithm g ~s:client ~t:server in
-  (* A node the min cut leaves on the sink side belongs on the server
-     only if it is actually connected to the server's side; components
-     that never communicated are free and default to the client. *)
-  let adjacency = Array.make (n + 2) [] in
-  List.iter
-    (fun (a, b, _) ->
-      adjacency.(a) <- b :: adjacency.(a);
-      adjacency.(b) <- a :: adjacency.(b))
-    (Flow_network.edges g);
-  let server_side = Array.make (n + 2) false in
-  server_side.(server) <- true;
-  let queue = Queue.create () in
-  Queue.add server queue;
-  while not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
-    List.iter
-      (fun u ->
-        if (not server_side.(u)) && not cut.Mincut.source_side.(u) then begin
-          server_side.(u) <- true;
-          Queue.add u queue
-        end)
-      adjacency.(v)
-  done;
-  let placement =
-    Array.init n (fun c -> if server_side.(c) then Constraints.Server else Constraints.Client)
-  in
-  let server_count = Array.fold_left (fun acc l -> if l = Constraints.Server then acc + 1 else acc) 0 placement in
-  let location_of_c c = if c < 0 || c >= n then Constraints.Client else placement.(c) in
-  let predicted_comm_us =
-    List.fold_left
-      (fun acc (e : Icc.entry) ->
-        if location_of_c e.Icc.src <> location_of_c e.Icc.dst then acc +. price_entry net e
-        else acc)
-      0. (Icc.entries icc)
-  in
-  {
-    placement;
-    cut_ns = cut.Mincut.value;
-    predicted_comm_us;
-    server_count;
-    node_count = n;
-    algorithm;
+module Session = struct
+  type session = {
+    s_classifier : Classifier.t;
+    s_constraints : Constraints.t;
+    s_graph : Icc_graph.t;
+    s_flow : Flow_network.t;
+    s_client : int;  (* = main node of the abstract graph *)
+    s_server : int;
+    (* Network-independent adjacency (infinite edges: non-remotable
+       pairs, pins, co-locations), fixed at session creation. *)
+    s_base_adj : int list array;
+    (* Pair ids whose capacity must be re-priced per network: the pairs
+       not already held together by an infinite edge. *)
+    s_priced : int array;
   }
+
+  type t = session
+
+  let classifier t = t.s_classifier
+  let constraints t = t.s_constraints
+  let node_count t = Icc_graph.classification_count t.s_graph
+  let graph t = t.s_graph
+
+  let create ~classifier ~icc ~constraints () =
+    let graph = Icc_graph.build ~classifier ~icc in
+    let n = Icc_graph.classification_count graph in
+    (* Nodes: 0..n-1 classifications, n = client terminal (also the
+       main program's node), n+1 = server. *)
+    let client = n and server = n + 1 in
+    let g = Flow_network.create ~n:(n + 2) in
+    let base_adj = Array.make (n + 2) [] in
+    let fixed = Array.make (Icc_graph.pair_count graph) false in
+    let pair_id : (int * int, int) Hashtbl.t =
+      Hashtbl.create (max 16 (2 * Icc_graph.pair_count graph))
+    in
+    Icc_graph.iter_pairs graph (fun p ~a ~b ~non_remotable:_ ->
+        Hashtbl.replace pair_id (a, b) p);
+    let add_infinite a b =
+      Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap;
+      base_adj.(a) <- b :: base_adj.(a);
+      base_adj.(b) <- a :: base_adj.(b);
+      (* An infinite edge dominates any finite traffic on the pair, so
+         its price can never change the cut: skip it when repricing. *)
+      match Hashtbl.find_opt pair_id (min a b, max a b) with
+      | Some p -> fixed.(p) <- true
+      | None -> ()
+    in
+    Icc_graph.iter_pairs graph (fun _ ~a ~b ~non_remotable ->
+        if non_remotable then add_infinite a b);
+    (* Constraint edges. *)
+    let pin c loc =
+      let terminal =
+        match loc with Constraints.Client -> client | Constraints.Server -> server
+      in
+      add_infinite c terminal
+    in
+    for c = 0 to n - 1 do
+      (match Constraints.classification_pin constraints c with
+      | Some loc -> pin c loc
+      | None -> ());
+      match
+        Constraints.class_pin constraints
+          ~cname:(Classifier.class_of_classification classifier c)
+      with
+      | Some loc -> pin c loc
+      | None -> ()
+    done;
+    List.iter
+      (fun (a, b) -> if a >= 0 && a < n && b >= 0 && b < n then add_infinite a b)
+      (Constraints.colocated_pairs constraints);
+    (* Static class-pair co-location: every classification of one class
+       must end up with every classification of the other. *)
+    let classifications_of =
+      let tbl : (string, int list) Hashtbl.t = Hashtbl.create 32 in
+      for c = n - 1 downto 0 do
+        let cname = Classifier.class_of_classification classifier c in
+        Hashtbl.replace tbl cname
+          (c :: Option.value ~default:[] (Hashtbl.find_opt tbl cname))
+      done;
+      fun cname -> Option.value ~default:[] (Hashtbl.find_opt tbl cname)
+    in
+    List.iter
+      (fun (ca, cb) ->
+        List.iter
+          (fun a -> List.iter (fun b -> add_infinite a b) (classifications_of cb))
+          (classifications_of ca))
+      (Constraints.colocated_class_pairs constraints);
+    let priced = ref [] in
+    for p = Icc_graph.pair_count graph - 1 downto 0 do
+      if not fixed.(p) then priced := p :: !priced
+    done;
+    {
+      s_classifier = classifier;
+      s_constraints = constraints;
+      s_graph = graph;
+      s_flow = g;
+      s_client = client;
+      s_server = server;
+      s_base_adj = base_adj;
+      s_priced = Array.of_list !priced;
+    }
+
+  let copy t = { t with s_flow = Flow_network.copy t.s_flow }
+
+  let solve ?(algorithm = Mincut.Relabel_to_front) t ~net =
+    let graph = t.s_graph in
+    let n = Icc_graph.classification_count graph in
+    let pricing = Icc_graph.price graph ~net in
+    (* Reprice: replace (not accumulate) the traffic capacity of every
+       non-fixed pair. set_edge removes zero-cost pairs, so the edge
+       set is exactly what a from-scratch build produces. *)
+    Array.iter
+      (fun p ->
+        let a, b = Icc_graph.pair graph p in
+        Flow_network.set_undirected t.s_flow a b
+          ~cap:(ns_of_us pricing.Icc_graph.pair_us.(p)))
+      t.s_priced;
+    (* A cut must exist even in a graph with no server-pinned component:
+       terminals are always present (the cut just puts everything on
+       the client). *)
+    let cut = Mincut.min_cut ~algorithm t.s_flow ~s:t.s_client ~t:t.s_server in
+    (* A node the min cut leaves on the sink side belongs on the server
+       only if it is actually connected to the server's side; components
+       that never communicated are free and default to the client. *)
+    let adjacency = Array.copy t.s_base_adj in
+    Array.iter
+      (fun p ->
+        if ns_of_us pricing.Icc_graph.pair_us.(p) > 0 then begin
+          let a, b = Icc_graph.pair graph p in
+          adjacency.(a) <- b :: adjacency.(a);
+          adjacency.(b) <- a :: adjacency.(b)
+        end)
+      t.s_priced;
+    let server_side = Array.make (n + 2) false in
+    server_side.(t.s_server) <- true;
+    let queue = Queue.create () in
+    Queue.add t.s_server queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun u ->
+          if (not server_side.(u)) && not cut.Mincut.source_side.(u) then begin
+            server_side.(u) <- true;
+            Queue.add u queue
+          end)
+        adjacency.(v)
+    done;
+    let placement =
+      Array.init n (fun c ->
+          if server_side.(c) then Constraints.Server else Constraints.Client)
+    in
+    let server_count =
+      Array.fold_left
+        (fun acc l -> if l = Constraints.Server then acc + 1 else acc)
+        0 placement
+    in
+    let location_of_node v =
+      if v < 0 || v >= n then Constraints.Client else placement.(v)
+    in
+    let predicted_comm_us =
+      Icc_graph.predicted_us graph pricing ~separated:(fun p ->
+          let a, b = Icc_graph.pair graph p in
+          location_of_node a <> location_of_node b)
+    in
+    {
+      placement;
+      cut_ns = cut.Mincut.value;
+      predicted_comm_us;
+      server_count;
+      node_count = n;
+      algorithm;
+    }
+end
+
+let choose ?algorithm ~classifier ~icc ~constraints ~net () =
+  Session.solve ?algorithm (Session.create ~classifier ~icc ~constraints ()) ~net
 
 let location_of d c =
   if c < 0 || c >= Array.length d.placement then Constraints.Client else d.placement.(c)

@@ -24,6 +24,56 @@ type distribution = {
   algorithm : Coign_flowgraph.Mincut.algorithm;
 }
 
+(** {1 Two-stage engine}
+
+    Stage 1 ({!Session.create}) builds everything network-independent
+    once per profile: the abstract ICC graph ({!Icc_graph}), the flow
+    network with its constraint/pin/non-remotable infinite edges, and
+    the list of traffic pairs whose capacity depends on the network.
+    Stage 2 ({!Session.solve}) prices those pairs against one concrete
+    network profile through {!Flow_network.set_undirected} and cuts.
+    Solving the same session across many networks (the paper's §4.4
+    adaptivity sweeps) skips the per-network graph rebuild entirely,
+    and is guaranteed — by construction and by property test — to
+    produce bit-identical distributions to a fresh {!choose}. *)
+
+module Session : sig
+  type t
+
+  val create :
+    classifier:Classifier.t ->
+    icc:Icc.t ->
+    constraints:Constraints.t ->
+    unit ->
+    t
+  (** Build the network-independent stage: abstract graph, constraint
+      edges, repriceable pair list. *)
+
+  val solve :
+    ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+    t ->
+    net:Coign_netsim.Net_profiler.t ->
+    distribution
+  (** Price the session's traffic pairs against [net], cut, and trim —
+      exactly {!choose} on the session's profile, without rebuilding
+      stage 1. Reusable: each call replaces the previous pricing. *)
+
+  val copy : t -> t
+  (** An independent session sharing the immutable abstract graph but
+      owning its own flow network — solve copies concurrently from
+      different domains (one session alone must not be solved from two
+      domains at once, since pricing mutates its capacities). *)
+
+  val classifier : t -> Classifier.t
+  val constraints : t -> Constraints.t
+
+  val node_count : t -> int
+  (** Classifications in the analyzed graph. *)
+
+  val graph : t -> Icc_graph.t
+  (** The underlying abstract ICC graph. *)
+end
+
 val choose :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->
   classifier:Classifier.t ->
@@ -35,7 +85,8 @@ val choose :
 (** Run the engine. Every classification known to the classifier gets a
     node even if it never communicated (such nodes land on the client).
     The main program (classification -1) is treated as pinned to the
-    client. *)
+    client. Equivalent to {!Session.create} followed by one
+    {!Session.solve}. *)
 
 val location_of : distribution -> int -> Constraints.location
 (** Placement of a classification; classifications outside the analyzed

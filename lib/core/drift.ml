@@ -10,12 +10,17 @@ let of_counts counts =
   t
 
 let of_icc icc =
-  of_counts
-    (List.map
-       (fun (e : Icc.entry) ->
-         (* Two messages per call in the summaries. *)
-         ((e.Icc.src, e.Icc.dst), Coign_util.Exp_bucket.message_count e.Icc.messages / 2))
-       (Icc.entries icc))
+  (* Two messages per call in the summaries. The signature is an
+     order-insensitive accumulation, so fold the ICC cells directly
+     instead of materializing the sorted entry list. *)
+  let t = Hashtbl.create 64 in
+  Icc.fold_messages
+    (fun ~src ~dst ~count () ->
+      let pair = (src, dst) in
+      let cur = Option.value ~default:0. (Hashtbl.find_opt t pair) in
+      Hashtbl.replace t pair (cur +. float_of_int (count / 2)))
+    icc ();
+  t
 
 let similarity a b =
   let dot = ref 0. and na = ref 0. and nb = ref 0. in

@@ -51,6 +51,12 @@ let pair_entries t =
   Hashtbl.fold (fun k es acc -> (k, List.rev es) :: acc) pairs []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let fold_messages f t init =
+  Hashtbl.fold
+    (fun k (c : cell) acc ->
+      f ~src:k.k_src ~dst:k.k_dst ~count:(Exp_bucket.message_count c.buckets) acc)
+    t.cells init
+
 let call_count t = t.calls
 
 let total_bytes t =

@@ -33,6 +33,13 @@ val pair_entries : t -> ((int * int) * entry list) list
 (** Entries grouped by unordered classification pair; the pair key is
     [(min, max)]. *)
 
+val fold_messages :
+  (src:int -> dst:int -> count:int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold the message count of every (src, dst, iface) cell without
+    materializing the sorted {!entries} list. One call per cell,
+    unspecified order — for callers (usage signatures, summaries) that
+    aggregate into their own order-insensitive structures. *)
+
 val call_count : t -> int
 (** Total calls recorded (= messages / 2). *)
 

@@ -1,0 +1,109 @@
+open Coign_util
+open Coign_netsim
+
+type segment = {
+  sg_pair : int;
+  sg_sizes : int array;    (* indices into [sizes] *)
+  sg_counts : float array; (* message count per item, as float *)
+}
+
+type t = {
+  n : int;
+  pairs : (int * int) array;
+  non_remotable : bool array;
+  segments : segment array;  (* one per a<>b ICC entry, in entry order *)
+  sizes : int array;         (* distinct rounded bucket-mean sizes *)
+}
+
+type pricing = { pair_us : float array; seg_us : float array }
+
+let classification_count t = t.n
+let main_node t = t.n
+let pair_count t = Array.length t.pairs
+let pair t p = t.pairs.(p)
+let pair_non_remotable t p = t.non_remotable.(p)
+
+let iter_pairs t f =
+  Array.iteri (fun p (a, b) -> f p ~a ~b ~non_remotable:t.non_remotable.(p)) t.pairs
+
+let build ~classifier ~icc =
+  let n = Classifier.classification_count classifier in
+  let node_of c = if c < 0 then n else c in
+  let pair_ids : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let pair_rev = ref [] and npairs = ref 0 in
+  let non_remotable_ids : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let size_ids : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let size_rev = ref [] and nsizes = ref 0 in
+  let seg_rev = ref [] in
+  let intern_size s =
+    match Hashtbl.find_opt size_ids s with
+    | Some i -> i
+    | None ->
+        let i = !nsizes in
+        incr nsizes;
+        Hashtbl.add size_ids s i;
+        size_rev := s :: !size_rev;
+        i
+  in
+  List.iter
+    (fun (e : Icc.entry) ->
+      let a = node_of e.Icc.src and b = node_of e.Icc.dst in
+      if a <> b then begin
+        let key = (min a b, max a b) in
+        let pid =
+          match Hashtbl.find_opt pair_ids key with
+          | Some id -> id
+          | None ->
+              let id = !npairs in
+              incr npairs;
+              Hashtbl.add pair_ids key id;
+              pair_rev := key :: !pair_rev;
+              id
+        in
+        if not e.Icc.remotable then Hashtbl.replace non_remotable_ids pid ();
+        let items =
+          Exp_bucket.fold
+            (fun ~index ~count ~bytes:_ acc ->
+              let mean = Exp_bucket.mean_bytes_in_bucket e.Icc.messages index in
+              (intern_size (int_of_float (Float.round mean)), float_of_int count) :: acc)
+            e.Icc.messages []
+        in
+        let items = Array.of_list (List.rev items) in
+        seg_rev :=
+          { sg_pair = pid; sg_sizes = Array.map fst items; sg_counts = Array.map snd items }
+          :: !seg_rev
+      end)
+    (Icc.entries icc);
+  {
+    n;
+    pairs = Array.of_list (List.rev !pair_rev);
+    non_remotable = Array.init !npairs (Hashtbl.mem non_remotable_ids);
+    segments = Array.of_list (List.rev !seg_rev);
+    sizes = Array.of_list (List.rev !size_rev);
+  }
+
+let price t ~net =
+  let compiled = Net_profiler.compile net in
+  let cost = Array.map (fun bytes -> Net_profiler.predict_compiled_us compiled ~bytes) t.sizes in
+  let pair_us = Array.make (Array.length t.pairs) 0. in
+  let seg_us = Array.make (Array.length t.segments) 0. in
+  (* Segment order is entry order; within a segment, bucket order —
+     the same float additions, in the same order, the one-stage
+     engine performed, so costs match it bit for bit. *)
+  for s = 0 to Array.length t.segments - 1 do
+    let sg = t.segments.(s) in
+    let total = ref 0. in
+    for i = 0 to Array.length sg.sg_sizes - 1 do
+      total := !total +. (sg.sg_counts.(i) *. cost.(sg.sg_sizes.(i)))
+    done;
+    pair_us.(sg.sg_pair) <- pair_us.(sg.sg_pair) +. !total;
+    seg_us.(s) <- !total
+  done;
+  { pair_us; seg_us }
+
+let predicted_us t pricing ~separated =
+  let total = ref 0. in
+  Array.iteri
+    (fun i sg -> if separated sg.sg_pair then total := !total +. pricing.seg_us.(i))
+    t.segments;
+  !total

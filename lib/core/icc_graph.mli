@@ -1,0 +1,66 @@
+(** Stage 1 of the analysis engine: the network-independent abstract
+    ICC graph (paper §2, §3.3).
+
+    The profile's ICC summaries are message histograms, deliberately
+    free of any network parameter, so one profile can be re-analyzed
+    against many network profiles (the adaptivity of §4.4). This module
+    captures everything about a profile the pricing stage needs, built
+    once per (classifier, ICC) pair:
+
+    - a node per classification plus one for the main program;
+    - one symmetric edge per communicating unordered pair, flagged
+      non-remotable when any interface between the pair is;
+    - the pair's traffic as segments of (message size, count) items —
+      one segment per ICC entry, in entry order — over a shared
+      dictionary of distinct rounded bucket-mean sizes.
+
+    Pricing the graph against a concrete {!Coign_netsim.Net_profiler}
+    is then one fitted prediction per distinct size followed by a dot
+    product per segment ({!price}), instead of a prediction per
+    (entry, bucket, network) as the one-stage engine paid.
+
+    The builder consumes {!Icc.entries} in a single grouped pass — no
+    intermediate per-pair entry lists are rebuilt — and the float
+    summation order is exactly the one-stage engine's (per-bucket
+    within an entry, entries in sorted order), so priced costs and
+    predicted communication times are bit-identical, not merely
+    close. *)
+
+type t
+
+type pricing = {
+  pair_us : float array;  (** summed traffic cost per pair, indexed by pair id *)
+  seg_us : float array;   (** cost per segment, in segment (= entry) order *)
+}
+
+val build : classifier:Classifier.t -> icc:Icc.t -> t
+(** Nodes [0 .. n-1] are the classifier's classifications; node [n]
+    stands for the main program (classification -1). Entries whose
+    endpoints map to the same node carry no potential communication
+    and are dropped. *)
+
+val classification_count : t -> int
+(** [n]: nodes below this are classifications, node [n] is main. *)
+
+val main_node : t -> int
+(** = [classification_count]. *)
+
+val pair_count : t -> int
+
+val pair : t -> int -> int * int
+(** Endpoints of a pair id, as [(a, b)] with [a < b]; ids are assigned
+    in first-appearance (entry) order. *)
+
+val pair_non_remotable : t -> int -> bool
+
+val iter_pairs : t -> (int -> a:int -> b:int -> non_remotable:bool -> unit) -> unit
+(** Iterate pairs in pair-id order. *)
+
+val price : t -> net:Coign_netsim.Net_profiler.t -> pricing
+(** Stage 2's entry point: map a network profile onto the abstract
+    graph. Cost table first (one compiled prediction per distinct
+    size), then each segment as a count·cost dot product. *)
+
+val predicted_us : t -> pricing -> separated:(int -> bool) -> float
+(** Total cost of the segments whose pair the placement separates,
+    summed in segment order — the [predicted_comm_us] of a cut. *)

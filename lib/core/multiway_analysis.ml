@@ -21,29 +21,19 @@ let choose ~classifier ~icc ~machines ~pins ~net () =
     in
     find 0
   in
-  let n = Classifier.classification_count classifier in
+  (* Stage 1: the shared abstract ICC graph. Its main node (= n) is
+     machine terminal 0, matching the two-way engine's client node. *)
+  let graph = Icc_graph.build ~classifier ~icc in
+  let n = Icc_graph.classification_count graph in
   (* Nodes 0..n-1: classifications; n..n+k-1: machine terminals. *)
   let terminal m = n + m in
   let g = Flow_network.create ~n:(n + k) in
-  let node_of c = if c < 0 then terminal 0 else c in
-  let pair_cost : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
-  let pair_non_remotable : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (e : Icc.entry) ->
-      let a = node_of e.Icc.src and b = node_of e.Icc.dst in
-      if a <> b then begin
-        let key = (min a b, max a b) in
-        let cur = Option.value ~default:0. (Hashtbl.find_opt pair_cost key) in
-        Hashtbl.replace pair_cost key (cur +. Analysis.price_entry net e);
-        if not e.Icc.remotable then Hashtbl.replace pair_non_remotable key ()
-      end)
-    (Icc.entries icc);
-  Hashtbl.iter
-    (fun (a, b) cost -> Flow_network.add_undirected g a b ~cap:(ns_of_us cost))
-    pair_cost;
-  Hashtbl.iter
-    (fun (a, b) () -> Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap)
-    pair_non_remotable;
+  (* Stage 2: price the abstract pairs against this network profile. *)
+  let pricing = Icc_graph.price graph ~net in
+  Icc_graph.iter_pairs graph (fun p ~a ~b ~non_remotable ->
+      Flow_network.add_undirected g a b ~cap:(ns_of_us pricing.Icc_graph.pair_us.(p));
+      if non_remotable then
+        Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap);
   for c = 0 to n - 1 do
     match pins (Classifier.class_of_classification classifier c) with
     | Some name ->
@@ -82,14 +72,12 @@ let choose ~classifier ~icc ~machines ~pins ~net () =
   let assignment =
     Array.init n (fun c -> if reachable.(c) then partition.Multiway.assignment.(c) else 0)
   in
-  let machine_of_c c = if c < 0 || c >= n then 0 else assignment.(c) in
+  (* Abstract-graph nodes >= n (the main program) live on machine 0. *)
+  let machine_of_node v = if v < 0 || v >= n then 0 else assignment.(v) in
   let predicted_comm_us =
-    List.fold_left
-      (fun acc (e : Icc.entry) ->
-        if machine_of_c e.Icc.src <> machine_of_c e.Icc.dst then
-          acc +. Analysis.price_entry net e
-        else acc)
-      0. (Icc.entries icc)
+    Icc_graph.predicted_us graph pricing ~separated:(fun p ->
+        let a, b = Icc_graph.pair graph p in
+        machine_of_node a <> machine_of_node b)
   in
   { machines; assignment; cost_ns = partition.Multiway.cost; predicted_comm_us }
 

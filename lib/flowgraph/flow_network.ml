@@ -27,6 +27,20 @@ let add_undirected t a b ~cap =
   add_edge t ~src:a ~dst:b ~cap;
   add_edge t ~src:b ~dst:a ~cap
 
+let set_edge t ~src ~dst ~cap =
+  check_node t src "set_edge";
+  check_node t dst "set_edge";
+  if cap < 0 then invalid_arg "Flow_network.set_edge: negative capacity";
+  if src <> dst then begin
+    let k = key t src dst in
+    if cap = 0 then Hashtbl.remove t.caps k
+    else Hashtbl.replace t.caps k (min infinity_cap cap)
+  end
+
+let set_undirected t a b ~cap =
+  set_edge t ~src:a ~dst:b ~cap;
+  set_edge t ~src:b ~dst:a ~cap
+
 let edge_cap t ~src ~dst =
   check_node t src "edge_cap";
   check_node t dst "edge_cap";

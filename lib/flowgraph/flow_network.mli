@@ -29,6 +29,18 @@ val add_edge : t -> src:int -> dst:int -> cap:int -> unit
 val add_undirected : t -> int -> int -> cap:int -> unit
 (** Capacity in both directions, as for symmetric communication cost. *)
 
+val set_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Replace the capacity of [src -> dst] outright (no accumulation),
+    clamped at [infinity_cap]. [cap = 0] removes the edge, so a graph
+    repriced through [set_edge] has exactly the same edge set as one
+    built fresh with {!add_edge} — zero-cost pairs are absent from
+    both. This is the capacity-reset primitive that lets the analysis
+    engine reuse one network across many pricing/cut rounds instead of
+    rebuilding it per network profile. Self-loops are ignored. *)
+
+val set_undirected : t -> int -> int -> cap:int -> unit
+(** {!set_edge} in both directions. *)
+
 val edge_cap : t -> src:int -> dst:int -> int
 (** Current accumulated capacity (0 when absent). *)
 

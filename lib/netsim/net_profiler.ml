@@ -40,9 +40,8 @@ let size_means t =
   Hashtbl.fold (fun size (sum, n) acc -> (size, sum /. float_of_int n) :: acc) tbl []
   |> List.sort compare |> Array.of_list
 
-let predict_us t ~bytes =
+let predict_with t means ~bytes =
   let line () = t.fixed_us +. (t.per_byte_us *. float_of_int bytes) in
-  let means = size_means t in
   let m = Array.length means in
   let v =
     if m < 2 then line ()
@@ -66,6 +65,14 @@ let predict_us t ~bytes =
     end
   in
   Float.max 0. v
+
+let predict_us t ~bytes = predict_with t (size_means t) ~bytes
+
+type compiled = { c_profile : t; c_means : (int * float) array }
+
+let compile t = { c_profile = t; c_means = size_means t }
+
+let predict_compiled_us c ~bytes = predict_with c.c_profile c.c_means ~bytes
 
 let predict_round_trip_us t ~request ~reply =
   predict_us t ~bytes:request +. predict_us t ~bytes:reply

@@ -25,6 +25,19 @@ val profile :
 val predict_us : t -> bytes:int -> float
 (** Fitted one-way message time, clamped at 0. *)
 
+type compiled
+(** A profile with its per-size observation means precomputed.
+    [predict_us] re-derives the means table from the raw observations
+    on every call; compiling once amortizes that across the thousands
+    of predictions a pricing round makes. *)
+
+val compile : t -> compiled
+
+val predict_compiled_us : compiled -> bytes:int -> float
+(** Bit-identical to [predict_us] on the profile that was compiled —
+    both run the same interpolation over the same means, so analysis
+    results cannot depend on which entry point priced them. *)
+
 val predict_round_trip_us : t -> request:int -> reply:int -> float
 
 val exact : Network.t -> t

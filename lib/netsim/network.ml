@@ -35,6 +35,24 @@ let loopback = { net_name = "loopback"; latency_us = 0.; bandwidth_mbps = 1e12; 
 
 let presets = [ isdn_128; ethernet_10; ethernet_100; atm_155; san_1g ]
 
+let geometric_sweep ?(points = 20) ~from_net ~to_net () =
+  if points < 2 then invalid_arg "Network.geometric_sweep: need at least two points";
+  (* Geometric interpolation matches how real links are spaced (ISDN to
+     SAN spans four orders of magnitude of bandwidth); fall back to
+     linear when an endpoint parameter is zero (loopback). *)
+  let interp a b frac =
+    if a <= 0. || b <= 0. then a +. ((b -. a) *. frac)
+    else a *. ((b /. a) ** frac)
+  in
+  List.init points (fun i ->
+      let frac = float_of_int i /. float_of_int (points - 1) in
+      let bandwidth = interp from_net.bandwidth_mbps to_net.bandwidth_mbps frac in
+      make
+        ~name:(Printf.sprintf "sweep%02d %.3gMbps" i bandwidth)
+        ~latency_us:(interp from_net.latency_us to_net.latency_us frac)
+        ~bandwidth_mbps:bandwidth
+        ~proc_us:(interp from_net.proc_us to_net.proc_us frac))
+
 let pp ppf t =
   Format.fprintf ppf "%s (lat %.0fus, bw %.1fMbps, proc %.0fus)" t.net_name t.latency_us
     t.bandwidth_mbps t.proc_us

@@ -40,4 +40,12 @@ val loopback : t
 val presets : t list
 (** All named presets except [loopback], ordered by bandwidth. *)
 
+val geometric_sweep : ?points:int -> from_net:t -> to_net:t -> unit -> t list
+(** [points] (default 20, minimum 2) network models geometrically
+    interpolated between two endpoints, endpoints included — the
+    dense placement-vs-network sweeps behind the paper's Figures 4-8.
+    Latency, bandwidth, and processing cost each interpolate on a log
+    scale (linearly when an endpoint value is zero, as for
+    [loopback]). *)
+
 val pp : Format.formatter -> t -> unit

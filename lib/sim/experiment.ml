@@ -68,6 +68,21 @@ let run_scenario ?(network = Network.ethernet_10) ?(jitter = 0.015) ?(seed = 0xC
 let run_app ?network ?jitter ?seed (app : App.t) =
   List.map (run_scenario ?network ?jitter ?seed app) app.App.app_scenarios
 
+let run_suite ?network ?jitter ?seed ?pool apps =
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (app : App.t) -> List.map (fun sc -> (app, sc)) app.App.app_scenarios)
+         apps)
+  in
+  let run (app, sc) = run_scenario ?network ?jitter ?seed app sc in
+  let rows =
+    match pool with
+    | None -> Array.map run tasks
+    | Some pool -> Parallel.map pool ~f:run tasks
+  in
+  Array.to_list rows
+
 let server_class_histogram row =
   let counts = Hashtbl.create 16 in
   List.iter
@@ -101,14 +116,49 @@ type adaptive_row = {
 let across_networks ?(networks = Network.presets) (app : App.t) (sc : App.scenario) =
   let image = Adps.instrument app.App.app_image in
   let image, _stats = Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run in
+  (* One analysis session; only the pricing/cut stage runs per network. *)
+  let session = Adps.analysis_session image in
   List.map
     (fun network ->
       let rng = Prng.create 7L in
       let net = Net_profiler.profile rng network in
-      let _, distribution = Adps.analyze ~image ~net () in
+      let distribution = Analysis.Session.solve session ~net in
       {
         ar_network = network.Network.net_name;
         ar_server_classifications = distribution.Analysis.server_count;
         ar_predicted_comm_us = distribution.Analysis.predicted_comm_us;
       })
     networks
+
+type sweep_point = {
+  sw_network : Network.t;
+  sw_server_classifications : int;
+  sw_cut_ns : int;
+  sw_predicted_comm_us : float;
+}
+
+let sweep_point ?(profile_seed = 7L) session network =
+  let net = Net_profiler.profile (Prng.create profile_seed) network in
+  let d = Analysis.Session.solve session ~net in
+  {
+    sw_network = network;
+    sw_server_classifications = d.Analysis.server_count;
+    sw_cut_ns = d.Analysis.cut_ns;
+    sw_predicted_comm_us = d.Analysis.predicted_comm_us;
+  }
+
+let sweep ?pool ?profile_seed ~session networks =
+  let networks = Array.of_list networks in
+  let points =
+    match pool with
+    | None -> Array.map (sweep_point ?profile_seed session) networks
+    | Some pool ->
+        (* Sessions are single-domain: each participating domain prices
+           and cuts on its own copy of the flow network (the abstract
+           graph itself is shared — it is immutable after creation). *)
+        Parallel.map_init pool
+          ~init:(fun () -> Analysis.Session.copy session)
+          ~f:(fun s network -> sweep_point ?profile_seed s network)
+          networks
+  in
+  Array.to_list points

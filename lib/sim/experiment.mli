@@ -46,6 +46,19 @@ val run_app :
   Coign_apps.App.t -> row list
 (** Every scenario of the application, in suite order. *)
 
+val run_suite :
+  ?network:Coign_netsim.Network.t ->
+  ?jitter:float ->
+  ?seed:int64 ->
+  ?pool:Coign_util.Parallel.t ->
+  Coign_apps.App.t list ->
+  row list
+(** Every scenario of every application, flattened in suite order.
+    Scenario runs are independent (each builds its own images, RTEs,
+    and seeded PRNGs), so with [pool] they execute across domains;
+    rows still come back in suite order and are byte-identical to the
+    sequential run (see the determinism tests). *)
+
 val server_class_histogram : row -> (string * int) list
 (** How many server-placed classifications each component class
     contributes — the textual rendering of the paper's distribution
@@ -68,4 +81,26 @@ val across_networks :
   ?networks:Coign_netsim.Network.t list ->
   Coign_apps.App.t -> Coign_apps.App.scenario -> adaptive_row list
 (** Re-analyze one scenario's profile against each network; the chosen
-    distribution shifts as bandwidth/latency tradeoffs change. *)
+    distribution shifts as bandwidth/latency tradeoffs change. Profiles
+    once, then reuses one {!Coign_core.Analysis.Session} — only the
+    pricing/cut stage runs per network. *)
+
+type sweep_point = {
+  sw_network : Coign_netsim.Network.t;
+  sw_server_classifications : int;
+  sw_cut_ns : int;
+  sw_predicted_comm_us : float;
+}
+
+val sweep :
+  ?pool:Coign_util.Parallel.t ->
+  ?profile_seed:int64 ->
+  session:Coign_core.Analysis.Session.t ->
+  Coign_netsim.Network.t list ->
+  sweep_point list
+(** Solve one analysis session against every network (each sampled
+    with a fresh PRNG from [profile_seed], default 7), in list order —
+    the placement-vs-network tables behind the paper's Figures 4-8 and
+    the [coign sweep] subcommand. With [pool], points are solved in
+    parallel on per-domain session copies; the result is identical to
+    the sequential path. *)

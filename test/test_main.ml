@@ -10,6 +10,7 @@ let () =
       ("classifier", Test_classifier.suite);
       ("core", Test_core.suite);
       ("analysis", Test_analysis.suite);
+      ("session", Test_session.suite);
       ("rte", Test_rte.suite);
       ("adps", Test_adps.suite);
       ("apps", Test_apps.suite);

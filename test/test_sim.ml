@@ -74,6 +74,76 @@ let test_across_networks_monotone_comm () =
         (isdn.Experiment.ar_predicted_comm_us > san.Experiment.ar_predicted_comm_us)
   | _ -> Alcotest.fail "expected two rows"
 
+(* --- Parallel determinism (two-stage engine satellites) -------------- *)
+
+let check_rows_identical msg (a : Experiment.row list) (b : Experiment.row list) =
+  Alcotest.(check int) (msg ^ ": row count") (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Experiment.row) (y : Experiment.row) ->
+      let bits = Int64.bits_of_float in
+      Alcotest.(check string) (msg ^ ": id") x.Experiment.row_id y.Experiment.row_id;
+      Alcotest.(check int64)
+        (msg ^ ": default comm bits")
+        (bits x.Experiment.default_comm_us)
+        (bits y.Experiment.default_comm_us);
+      Alcotest.(check int64)
+        (msg ^ ": coign comm bits")
+        (bits x.Experiment.coign_comm_us)
+        (bits y.Experiment.coign_comm_us);
+      Alcotest.(check int64)
+        (msg ^ ": predicted bits")
+        (bits x.Experiment.predicted_total_us)
+        (bits y.Experiment.predicted_total_us);
+      Alcotest.(check int64)
+        (msg ^ ": measured bits")
+        (bits x.Experiment.measured_total_us)
+        (bits y.Experiment.measured_total_us);
+      Alcotest.(check string) (msg ^ ": distribution")
+        (Analysis.encode x.Experiment.distribution)
+        (Analysis.encode y.Experiment.distribution))
+    a b
+
+let test_run_suite_parallel_deterministic () =
+  let apps = [ Benefits.app ] in
+  let sequential = Experiment.run_suite apps in
+  let pool = Coign_util.Parallel.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Coign_util.Parallel.shutdown pool)
+    (fun () ->
+      check_rows_identical "parallel run_suite" sequential (Experiment.run_suite ~pool apps);
+      (* A second parallel run must also match: no hidden state leaks
+         between jobs. *)
+      check_rows_identical "parallel run_suite rerun" sequential
+        (Experiment.run_suite ~pool apps))
+
+let test_sweep_parallel_deterministic () =
+  let app, sc = Suite.find_scenario "o_oldwp0" in
+  let image = Adps.instrument app.Coign_apps.App.app_image in
+  let image, _ = Adps.profile ~image ~registry:app.Coign_apps.App.app_registry sc.Coign_apps.App.sc_run in
+  let session = Adps.analysis_session image in
+  let networks =
+    Coign_netsim.Network.geometric_sweep ~points:8
+      ~from_net:Coign_netsim.Network.isdn_128 ~to_net:Coign_netsim.Network.san_1g ()
+  in
+  let sequential = Experiment.sweep ~session networks in
+  let pool = Coign_util.Parallel.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Coign_util.Parallel.shutdown pool)
+    (fun () ->
+      let parallel = Experiment.sweep ~pool ~session networks in
+      Alcotest.(check int) "point count" (List.length sequential) (List.length parallel);
+      List.iter2
+        (fun (s : Experiment.sweep_point) (p : Experiment.sweep_point) ->
+          Alcotest.(check string) "network" s.Experiment.sw_network.Coign_netsim.Network.net_name
+            p.Experiment.sw_network.Coign_netsim.Network.net_name;
+          Alcotest.(check int) "server classifications" s.Experiment.sw_server_classifications
+            p.Experiment.sw_server_classifications;
+          Alcotest.(check int) "cut_ns" s.Experiment.sw_cut_ns p.Experiment.sw_cut_ns;
+          Alcotest.(check int64) "predicted bits"
+            (Int64.bits_of_float s.Experiment.sw_predicted_comm_us)
+            (Int64.bits_of_float p.Experiment.sw_predicted_comm_us))
+        sequential parallel)
+
 (* --- Classifier evaluation ------------------------------------------ *)
 
 let rows2 = lazy (Classifier_eval.table2 Octarine.app)
@@ -156,6 +226,9 @@ let suite =
     Alcotest.test_case "placements by class consistent" `Quick
       test_placements_by_class_consistent;
     Alcotest.test_case "across networks monotone" `Quick test_across_networks_monotone_comm;
+    Alcotest.test_case "run_suite parallel deterministic" `Quick
+      test_run_suite_parallel_deterministic;
+    Alcotest.test_case "sweep parallel deterministic" `Quick test_sweep_parallel_deterministic;
     Alcotest.test_case "table2 incremental straw man" `Slow test_table2_incremental_straw_man;
     Alcotest.test_case "table2 context classifiers stable" `Slow
       test_table2_context_classifiers_stable;

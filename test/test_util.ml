@@ -158,6 +158,83 @@ let prop_correlation_range =
       let c = Stats.cosine_correlation a b in
       c >= -1e-9 && c <= 1. +. 1e-9)
 
+(* --- Parallel ------------------------------------------------------ *)
+
+let with_pool domains f =
+  let pool = Parallel.create ~domains () in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (fun () -> f pool)
+
+let test_parallel_map_matches_sequential () =
+  with_pool 3 (fun pool ->
+      let items = Array.init 100 (fun i -> i) in
+      let f x = (x * x) + 1 in
+      Alcotest.(check (array int))
+        "same results in same order" (Array.map f items)
+        (Parallel.map pool ~f items))
+
+let test_parallel_inline_pool () =
+  (* domains:0 means no worker domains: everything runs inline on the
+     calling domain, same contract. *)
+  with_pool 0 (fun pool ->
+      Alcotest.(check int) "no workers" 0 (Parallel.worker_count pool);
+      Alcotest.(check (array int))
+        "inline map" [| 2; 4; 6 |]
+        (Parallel.map pool ~f:(fun x -> 2 * x) [| 1; 2; 3 |]))
+
+let test_parallel_empty () =
+  with_pool 2 (fun pool ->
+      Alcotest.(check int) "empty" 0 (Array.length (Parallel.map pool ~f:(fun x -> x) [||])))
+
+let test_parallel_exception_propagates () =
+  with_pool 2 (fun pool ->
+      Alcotest.check_raises "first failure re-raised" (Failure "item 5") (fun () ->
+          ignore
+            (Parallel.map pool
+               ~f:(fun x -> if x = 5 then failwith "item 5" else x)
+               (Array.init 20 Fun.id)));
+      (* the pool survives a failed job *)
+      Alcotest.(check (array int))
+        "pool usable after failure" [| 0; 1; 2 |]
+        (Parallel.map pool ~f:Fun.id [| 0; 1; 2 |]))
+
+let test_parallel_map_init_state () =
+  (* Per-domain state: each domain gets its own buffer, so concurrent
+     use never mixes; results still land by index. *)
+  with_pool 3 (fun pool ->
+      let results =
+        Parallel.map_init pool
+          ~init:(fun () -> Buffer.create 16)
+          ~f:(fun buf x ->
+            Buffer.clear buf;
+            Buffer.add_string buf (string_of_int x);
+            int_of_string (Buffer.contents buf))
+          (Array.init 64 Fun.id)
+      in
+      Alcotest.(check (array int)) "state-local map" (Array.init 64 Fun.id) results)
+
+let test_parallel_nested_falls_back () =
+  with_pool 2 (fun pool ->
+      let results =
+        Parallel.map pool
+          ~f:(fun x ->
+            (* A nested map on the same pool must not deadlock: it runs
+               inline. *)
+            Array.fold_left ( + ) 0 (Parallel.map pool ~f:(fun y -> x * y) [| 1; 2; 3 |]))
+          [| 1; 2; 3; 4 |]
+      in
+      Alcotest.(check (array int)) "nested" [| 6; 12; 18; 24 |] results)
+
+let test_parallel_map_list () =
+  with_pool 2 (fun pool ->
+      Alcotest.(check (list int))
+        "list map" [ 10; 20; 30 ]
+        (Parallel.map_list pool ~f:(fun x -> 10 * x) [ 1; 2; 3 ]))
+
+let test_parallel_invalid_domains () =
+  Alcotest.check_raises "negative domains"
+    (Invalid_argument "Parallel.create: negative domain count") (fun () ->
+      ignore (Parallel.create ~domains:(-1) ()))
+
 (* --- Tablefmt ------------------------------------------------------ *)
 
 let test_tablefmt_alignment () =
@@ -205,6 +282,14 @@ let suite =
     Alcotest.test_case "stats linear fit" `Quick test_stats_linear_fit;
     Alcotest.test_case "stats ratio error" `Quick test_stats_ratio_error;
     qtest prop_correlation_range;
+    Alcotest.test_case "parallel map matches sequential" `Quick test_parallel_map_matches_sequential;
+    Alcotest.test_case "parallel inline pool" `Quick test_parallel_inline_pool;
+    Alcotest.test_case "parallel empty input" `Quick test_parallel_empty;
+    Alcotest.test_case "parallel exception propagates" `Quick test_parallel_exception_propagates;
+    Alcotest.test_case "parallel map_init state" `Quick test_parallel_map_init_state;
+    Alcotest.test_case "parallel nested falls back" `Quick test_parallel_nested_falls_back;
+    Alcotest.test_case "parallel map_list" `Quick test_parallel_map_list;
+    Alcotest.test_case "parallel invalid domains" `Quick test_parallel_invalid_domains;
     Alcotest.test_case "tablefmt alignment" `Quick test_tablefmt_alignment;
     Alcotest.test_case "tablefmt cell mismatch" `Quick test_tablefmt_cell_mismatch;
     Alcotest.test_case "tablefmt cells" `Quick test_tablefmt_cells;
