@@ -613,6 +613,8 @@ let drift () =
             dc_network = Coign_netsim.Network.loopback;
             dc_jitter = 0.;
             dc_seed = 1L;
+            dc_faults = None;
+            dc_retry = Coign_netsim.Fault.default_retry;
           }
         ctx
     in
@@ -675,7 +677,7 @@ let whatif () =
       ]
   in
   let try_placement name placement =
-    let e = Replay.replay ~events ~placement ~network in
+    let e = Replay.replay ~events ~placement ~network () in
     Tablefmt.add_row t
       [
         name;
@@ -702,6 +704,26 @@ let whatif () =
      application, and flags placements that would fault on non-remotable\n\
      interfaces — the log-driven simulation use the paper mentions.\n"
 
+let faultsim_bench () =
+  section_header "Extension: Fault-Grid Simulation" "ISSUE 3 (deterministic fault injection)";
+  let app = Octarine.app in
+  let sc = App.scenario app "o_oldwp0" in
+  let image = Adps.instrument app.App.app_image in
+  let image, _stats = Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run in
+  let net = Coign_netsim.Net_profiler.profile (Prng.create 0xC01L) network in
+  let image, _dist = Adps.analyze ~image ~net () in
+  let grid =
+    Faultsim.run ~seed:0x5EEDL ~drop_rates:[ 0.; 0.05; 0.1 ] ~partitions_us:[ 0.; 50_000. ]
+      ~image ~registry:app.App.app_registry ~network sc.App.sc_run
+  in
+  Format.printf "@[<v>%a@]@?" Faultsim.pp_text grid;
+  add_json "faultsim" (Faultsim.to_json grid);
+  note
+    "Expected shape: the zero-fault row reproduces the clean distributed run\n\
+     bit for bit; raising the drop rate buys retries and fault time but the\n\
+     retry policy keeps every call completing; an early partition degrades\n\
+     forwarded instantiations to the client instead of failing the run.\n"
+
 (* ------------------------------------------------------------------ *)
 
 let sections =
@@ -710,7 +732,7 @@ let sections =
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8); ("table4", table4);
     ("table5", table5); ("overhead", overhead); ("adaptive", adaptive);
     ("multiway", multiway); ("drift", drift); ("whatif", whatif);
-    ("session", session_bench); ("micro", micro);
+    ("session", session_bench); ("micro", micro); ("faultsim", faultsim_bench);
   ]
 
 let () =

@@ -357,6 +357,103 @@ let sweep_cmd =
           optionally across domains.")
     term
 
+(* faultsim --------------------------------------------------------- *)
+
+let faultsim_cmd =
+  let drops_arg =
+    Arg.(
+      value
+      & opt (list float) Coign_sim.Faultsim.default_drop_rates
+      & info [ "drops" ] ~docv:"RATES"
+          ~doc:"Comma-separated per-message drop probabilities, each in [0, 1].")
+  in
+  let partitions_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.; 50. ]
+      & info [ "partitions-ms" ] ~docv:"MS"
+          ~doc:"Comma-separated partition-window lengths in milliseconds (0 = no window).")
+  in
+  let partition_start_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "partition-start-ms" ] ~docv:"MS"
+          ~doc:"Where each partition window opens on the run's virtual clock.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0x5EED
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Master seed; jitter, backoff, and fault verdicts each derive their own stream.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "jitter" ] ~docv:"R" ~doc:"Relative stddev of per-message time noise.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the grid as a JSON array.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains running grid cells concurrently: 1 = sequential, 0 (default) = one per \
+             core. The output is identical either way.")
+  in
+  let run image_path scenario_id network drops partitions_ms start_ms seed jitter json jobs =
+    if List.exists (fun d -> d < 0. || d > 1.) drops then begin
+      Printf.eprintf "error: --drops rates must be in [0, 1]\n";
+      exit 1
+    end;
+    if List.exists (fun p -> p < 0.) partitions_ms || start_ms < 0. then begin
+      Printf.eprintf "error: partition lengths and start must be >= 0\n";
+      exit 1
+    end;
+    if jobs < 0 then begin
+      Printf.eprintf "error: --jobs must be >= 0\n";
+      exit 1
+    end;
+    let image = Binary_image.load image_path in
+    let app = app_of_image image in
+    let sc = scenario_of app scenario_id in
+    let pool, owned =
+      match jobs with
+      | 1 -> (None, None)
+      | 0 -> (Some (Parallel.default ()), None)
+      | n ->
+          let p = Parallel.create ~domains:(n - 1) () in
+          (Some p, Some p)
+    in
+    let grid =
+      try
+        Coign_sim.Faultsim.run ?pool ~seed:(Int64.of_int seed) ~jitter ~drop_rates:drops
+          ~partitions_us:(List.map (fun ms -> ms *. 1e3) partitions_ms)
+          ~partition_start_us:(start_ms *. 1e3) ~image ~registry:app.App.app_registry
+          ~network sc.App.sc_run
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    Option.iter Parallel.shutdown owned;
+    if json then print_string (Coign_sim.Faultsim.to_json grid)
+    else Format.printf "@[<v>%a@]@?" Coign_sim.Faultsim.pp_text grid
+  in
+  let term =
+    Term.(
+      const run $ image_arg $ scenario_arg $ network_arg $ drops_arg $ partitions_arg
+      $ partition_start_arg $ seed_arg $ jitter_arg $ json_arg $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Execute a scenario under the image's distribution across a fault grid (drop rate x \
+          partition length), tabulating completed calls, retries, instantiation fallbacks, \
+          abandoned calls, and fault-attributable communication time. Deterministic: the \
+          seed fixes the whole schedule, across any number of jobs.")
+    term
+
 (* show ------------------------------------------------------------- *)
 
 let show_cmd =
@@ -454,5 +551,5 @@ let () =
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
           [
             instrument_cmd; profile_cmd; combine_cmd; lint_cmd; analyze_cmd; sweep_cmd;
-            show_cmd; run_cmd; list_cmd;
+            faultsim_cmd; show_cmd; run_cmd; list_cmd;
           ]))

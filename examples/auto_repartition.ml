@@ -36,6 +36,8 @@ let run_distributed image (app : App.t) (sc : App.scenario) =
           dc_network = network;
           dc_jitter = 0.015;
           dc_seed = 0xDA7L;
+          dc_faults = None;
+          dc_retry = Fault.default_retry;
         }
       ctx
   in

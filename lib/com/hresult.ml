@@ -5,6 +5,7 @@ type t =
   | E_pointer of string
   | E_fail of string
   | E_cannot_marshal of string
+  | E_unreachable of string
 
 exception Com_error of t
 
@@ -17,6 +18,7 @@ let to_string = function
   | E_pointer s -> "E_POINTER: " ^ s
   | E_fail s -> "E_FAIL: " ^ s
   | E_cannot_marshal s -> "E_CANNOTMARSHAL: " ^ s
+  | E_unreachable s -> "E_UNREACHABLE: " ^ s
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -12,6 +12,8 @@ type t =
   | E_fail of string
   | E_cannot_marshal of string (** call crossed machines over a
                                    non-remotable interface *)
+  | E_unreachable of string    (** cross-machine call abandoned after
+                                   exhausting its retry policy *)
 
 exception Com_error of t
 

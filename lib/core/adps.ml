@@ -146,10 +146,17 @@ type exec_stats = {
   es_instances : int;
   es_server_instances : int;
   es_forwarded_creates : int;
+  es_retries : int;
+  es_drops : int;
+  es_spikes : int;
+  es_fallbacks : int;
+  es_unreachable : int;
+  es_fault_us : float;
+  es_completed : bool;
 }
 
 let execute_with_policy ~registry ~classifier ~policy ~network ?(jitter = 0.)
-    ?(seed = 0x5EEDL) scenario =
+    ?(seed = 0x5EEDL) ?faults ?(retry = Coign_netsim.Fault.default_retry) scenario =
   let ctx = Runtime.create_ctx registry in
   let rte =
     Rte.install_distributed ~classifier
@@ -159,20 +166,30 @@ let execute_with_policy ~registry ~classifier ~policy ~network ?(jitter = 0.)
           dc_network = network;
           dc_jitter = jitter;
           dc_seed = seed;
+          dc_faults = faults;
+          dc_retry = retry;
         }
       ctx
   in
-  scenario ctx;
+  (* The RTE's typed unreachability error is the scenario's fault
+     horizon: everything up to the abandoned call still counts, so
+     report what ran instead of propagating (es_completed says which). *)
+  let completed =
+    match scenario ctx with
+    | () -> true
+    | exception Hresult.Com_error (Hresult.E_unreachable _) -> false
+  in
   Rte.uninstall rte;
   let factory = Option.get (Rte.factory rte) in
-  let comm = Rte.comm_us rte in
+  let st = Rte.stats rte in
+  let comm = st.Rte.st_comm_us in
   let compute = Runtime.compute_us ctx in
   {
     es_comm_us = comm;
     es_compute_us = compute;
     es_total_us = comm +. compute;
-    es_remote_calls = Rte.remote_calls rte;
-    es_remote_bytes = Rte.remote_bytes rte;
+    es_remote_calls = st.Rte.st_remote_calls;
+    es_remote_bytes = st.Rte.st_remote_bytes;
     es_instances = List.length (Rte.instances_created rte);
     es_server_instances =
       List.length
@@ -180,9 +197,16 @@ let execute_with_policy ~registry ~classifier ~policy ~network ?(jitter = 0.)
            (fun i -> i <> Runtime.main_instance)
            (Factory.instances_on factory Constraints.Server));
     es_forwarded_creates = Factory.forwarded_requests factory;
+    es_retries = st.Rte.st_retries;
+    es_drops = st.Rte.st_drops;
+    es_spikes = st.Rte.st_spikes;
+    es_fallbacks = st.Rte.st_fallbacks;
+    es_unreachable = st.Rte.st_unreachable;
+    es_fault_us = st.Rte.st_fault_us;
+    es_completed = completed;
   }
 
-let execute ~image ~registry ~network ?jitter ?seed scenario =
+let execute ~image ~registry ~network ?jitter ?seed ?faults ?retry scenario =
   let config = config_of image in
   if Config_record.mode config <> Config_record.Distributed then
     invalid_arg "Adps.execute: image is not in distributed mode";
@@ -190,4 +214,5 @@ let execute ~image ~registry ~network ?jitter ?seed scenario =
   | None -> invalid_arg "Adps.execute: image holds no distribution"
   | Some (classifier, distribution) ->
       execute_with_policy ~registry ~classifier
-        ~policy:(Factory.By_classification distribution) ~network ?jitter ?seed scenario
+        ~policy:(Factory.By_classification distribution) ~network ?jitter ?seed ?faults ?retry
+        scenario

@@ -118,6 +118,15 @@ type exec_stats = {
   es_instances : int;
   es_server_instances : int;
   es_forwarded_creates : int;
+  es_retries : int;          (** remote-call attempts beyond the first *)
+  es_drops : int;            (** messages the fault model ate *)
+  es_spikes : int;           (** latency spikes suffered *)
+  es_fallbacks : int;        (** instantiations degraded to the creator *)
+  es_unreachable : int;      (** calls abandoned after retries *)
+  es_fault_us : float;       (** comm time attributable to faults *)
+  es_completed : bool;
+      (** false when the scenario was cut short by [E_unreachable]; the
+          stats cover everything that ran up to the abandoned call *)
 }
 
 val execute :
@@ -125,11 +134,13 @@ val execute :
   registry:Coign_com.Runtime.registry ->
   network:Coign_netsim.Network.t ->
   ?jitter:float -> ?seed:int64 ->
+  ?faults:Coign_netsim.Fault.spec -> ?retry:Coign_netsim.Fault.retry_policy ->
   scenario ->
   exec_stats
 (** Run a scenario under the distribution stored in the image (which
     must be in distributed mode). [jitter] defaults to 0 (deterministic
-    network). *)
+    network); [faults] defaults to none and [retry] to
+    {!Coign_netsim.Fault.default_retry}. *)
 
 val execute_with_policy :
   registry:Coign_com.Runtime.registry ->
@@ -137,6 +148,7 @@ val execute_with_policy :
   policy:Factory.policy ->
   network:Coign_netsim.Network.t ->
   ?jitter:float -> ?seed:int64 ->
+  ?faults:Coign_netsim.Fault.spec -> ?retry:Coign_netsim.Fault.retry_policy ->
   scenario ->
   exec_stats
 (** Run under an explicit placement policy — used to measure the

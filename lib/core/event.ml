@@ -14,6 +14,17 @@ type t =
       request_bytes : int;
       reply_bytes : int;
     }
+  | Call_retried of { iface : string; meth : string; retries : int }
+  | Instantiation_degraded of { cname : string; classification : int }
+
+let kind_name = function
+  | Component_instantiated _ -> "component_instantiated"
+  | Component_destroyed _ -> "component_destroyed"
+  | Interface_instantiated _ -> "interface_instantiated"
+  | Interface_destroyed _ -> "interface_destroyed"
+  | Interface_call _ -> "interface_call"
+  | Call_retried _ -> "call_retried"
+  | Instantiation_degraded _ -> "instantiation_degraded"
 
 let pp ppf = function
   | Component_instantiated { inst; cname; classification; creator } ->
@@ -26,3 +37,7 @@ let pp ppf = function
   | Interface_call { caller; callee; iface; meth; request_bytes; reply_bytes; _ } ->
       Format.fprintf ppf "call #%d -> #%d %s.%s (%d/%d bytes)" caller callee iface meth
         request_bytes reply_bytes
+  | Call_retried { iface; meth; retries } ->
+      Format.fprintf ppf "retry %s.%s x%d" iface meth retries
+  | Instantiation_degraded { cname; classification } ->
+      Format.fprintf ppf "degrade %s c%d -> creator machine" cname classification

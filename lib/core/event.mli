@@ -23,5 +23,20 @@ type t =
       request_bytes : int;  (** deep-copy size, caller -> callee *)
       reply_bytes : int;    (** deep-copy size, callee -> caller *)
     }
+  | Call_retried of {
+      iface : string;
+      meth : string;
+      retries : int;  (** attempts beyond the first before success *)
+    }  (** a remote call survived dropped messages by retrying *)
+  | Instantiation_degraded of {
+      cname : string;
+      classification : int;
+    }
+      (** the factory could not reach the peer machine within its retry
+          policy and fell back to placing the instance with its creator *)
+
+val kind_name : t -> string
+(** Stable lowercase tag for each constructor — the key under which
+    {!Logger.tally} counts events. *)
 
 val pp : Format.formatter -> t -> unit

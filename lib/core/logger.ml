@@ -12,7 +12,8 @@ let profiling ~icc ~inst_comm =
         Inst_comm.record inst_comm ~src:caller ~dst:callee ~bytes:request_bytes;
         Inst_comm.record inst_comm ~src:callee ~dst:caller ~bytes:reply_bytes
     | Event.Component_instantiated _ | Event.Component_destroyed _
-    | Event.Interface_instantiated _ | Event.Interface_destroyed _ ->
+    | Event.Interface_instantiated _ | Event.Interface_destroyed _
+    | Event.Call_retried _ | Event.Instantiation_degraded _ ->
         ()
   in
   { logger_name = "profiling"; log }
@@ -25,6 +26,17 @@ let event_recorder () =
 let counting () =
   let n = ref 0 in
   ({ logger_name = "counting"; log = (fun _ -> incr n) }, fun () -> !n)
+
+let tally () =
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let log e =
+    let k = Event.kind_name e in
+    match Hashtbl.find_opt counts k with
+    | Some r -> incr r
+    | None -> Hashtbl.add counts k (ref 1)
+  in
+  ( { logger_name = "tally"; log },
+    fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counts [] |> List.sort compare )
 
 let tee loggers =
   {

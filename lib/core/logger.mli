@@ -24,6 +24,12 @@ val counting : unit -> t * (unit -> int)
 (** Counts events — the "slight additional overhead" message counter
     the paper proposes for recognizing usage drift (§6). *)
 
+val tally : unit -> t * (unit -> (string * int) list)
+(** Counts events per {!Event.kind_name}, sorted by name — cheap enough
+    for the distributed RTE, where it tallies fault events
+    ([call_retried], [instantiation_degraded]) without keeping a
+    trace. *)
+
 val tee : t list -> t
 (** Fan an event out to several loggers. *)
 

@@ -9,7 +9,10 @@ type mode =
       m_factory : Factory.t;
       m_network : Network.t;
       m_jitter : float;
-      m_rng : Prng.t;
+      m_rng : Prng.t;          (* jitter noise: stream of dc_seed itself *)
+      m_faults : Fault.t option;
+      m_retry : Fault.retry_policy;
+      m_retry_rng : Prng.t;    (* backoff jitter: its own stream *)
     }
 
 type t = {
@@ -28,6 +31,14 @@ type t = {
   mutable n_remote_calls : int;
   mutable n_remote_bytes : int;
   mutable n_intercepted : int;
+  (* Fault counters (all zero in profiling mode and in fault-free
+     distributed runs). *)
+  mutable n_retries : int;
+  mutable n_drops : int;
+  mutable n_spikes : int;
+  mutable n_fallbacks : int;
+  mutable n_unreachable : int;
+  mutable fault_us : float;
   (* Lightweight per-classification-pair message counter, kept even in
      distributed mode (paper SS6: count messages "with only slight
      additional overhead" so usage drift can be recognized). *)
@@ -39,7 +50,18 @@ type distributed_config = {
   dc_network : Network.t;
   dc_jitter : float;
   dc_seed : int64;
+  dc_faults : Fault.spec option;
+  dc_retry : Fault.retry_policy;
 }
+
+(* One master seed, one stream per stochastic concern. The jitter
+   generator keeps the master seed itself (stream "-1") so fault-free
+   runs reproduce the pre-fault draw sequence bit for bit; backoff
+   jitter and fault verdicts get derived streams, so enabling either
+   never perturbs the other draws. *)
+let jitter_seed seed = seed
+let retry_seed seed = Prng.stream seed 1
+let fault_seed seed = Prng.stream seed 2
 
 let classification_of t inst =
   if inst = Runtime.main_instance then -1
@@ -115,7 +137,7 @@ and intercept t raw_h ~meth args =
              request_bytes = sizes.Informer.request_bytes;
              reply_bytes = sizes.Informer.reply_bytes;
            })
-  | M_distributed { m_factory; m_network; m_jitter; m_rng } ->
+  | M_distributed { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng } ->
       let src = Factory.machine_of m_factory caller in
       let dst = Factory.machine_of m_factory callee in
       if src <> dst then begin
@@ -129,11 +151,42 @@ and intercept t raw_h ~meth args =
           if m_jitter = 0. then base
           else Float.max 0. (Prng.gaussian m_rng ~mu:base ~sigma:(m_jitter *. base))
         in
-        let time =
-          jittered (Network.message_us m_network ~bytes:sizes.Informer.request_bytes)
-          +. jittered (Network.message_us m_network ~bytes:sizes.Informer.reply_bytes)
+        (* Virtual send time: communication so far plus the compute the
+           application has charged — the clock fault windows are
+           expressed against. *)
+        let oc =
+          Fault.call ?model:m_faults ~retry:m_retry ~rng:m_retry_rng
+            ~now_us:(t.comm +. Runtime.compute_us t.ctx)
+            ~request_bytes:sizes.Informer.request_bytes
+            ~reply_bytes:sizes.Informer.reply_bytes
+            ~request_us:(fun () ->
+              jittered (Network.message_us m_network ~bytes:sizes.Informer.request_bytes))
+            ~reply_us:(fun () ->
+              jittered (Network.message_us m_network ~bytes:sizes.Informer.reply_bytes))
+            ()
         in
-        t.comm <- t.comm +. time;
+        t.comm <- t.comm +. oc.Fault.oc_time_us;
+        t.n_retries <- t.n_retries + oc.Fault.oc_retries;
+        t.n_drops <- t.n_drops + oc.Fault.oc_drops;
+        t.n_spikes <- t.n_spikes + oc.Fault.oc_spikes;
+        t.fault_us <- t.fault_us +. oc.Fault.oc_fault_us;
+        if oc.Fault.oc_retries > 0 && oc.Fault.oc_ok then
+          t.logger.Logger.log
+            (Event.Call_retried
+               {
+                 iface = Itype.name itype;
+                 meth = msig.Idl_type.mname;
+                 retries = oc.Fault.oc_retries;
+               });
+        if not oc.Fault.oc_ok then begin
+          t.n_unreachable <- t.n_unreachable + 1;
+          Hresult.fail
+            (Hresult.E_unreachable
+               (Printf.sprintf "%s.%s: no reply from %s after %d attempts"
+                  (Itype.name itype) msig.Idl_type.mname
+                  (Constraints.location_name dst)
+                  (max 1 m_retry.Fault.rp_max_attempts)))
+        end;
         t.n_remote_calls <- t.n_remote_calls + 1;
         t.n_remote_bytes <-
           t.n_remote_bytes + sizes.Informer.request_bytes + sizes.Informer.reply_bytes
@@ -170,26 +223,54 @@ let on_create t (req : Runtime.create_request) =
   in
   (match t.mode with
   | M_profiling -> ()
-  | M_distributed { m_factory; m_network; m_jitter; m_rng; _ } ->
+  | M_distributed { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng } ->
       let creator_machine = Factory.machine_of m_factory creator in
       let machine = Factory.decide m_factory ~classification ~cname ~creator_machine in
-      if machine <> creator_machine then begin
-        (* Forwarding an instantiation request to the peer factory costs
-           one round trip: the request plus the marshaled object
-           reference coming back. *)
-        let jittered base =
-          if m_jitter = 0. then base
-          else Float.max 0. (Prng.gaussian m_rng ~mu:base ~sigma:(m_jitter *. base))
-        in
-        let request = Marshal_size.scalar_overhead + (2 * 16) in
-        let reply = Marshal_size.scalar_overhead + Marshal_size.objref_size in
-        t.comm <-
-          t.comm
-          +. jittered (Network.message_us m_network ~bytes:request)
-          +. jittered (Network.message_us m_network ~bytes:reply);
-        t.n_remote_calls <- t.n_remote_calls + 1;
-        t.n_remote_bytes <- t.n_remote_bytes + request + reply
-      end;
+      let machine =
+        if machine = creator_machine then machine
+        else begin
+          (* Forwarding an instantiation request to the peer factory
+             costs one round trip: the request plus the marshaled object
+             reference coming back. *)
+          let jittered base =
+            if m_jitter = 0. then base
+            else Float.max 0. (Prng.gaussian m_rng ~mu:base ~sigma:(m_jitter *. base))
+          in
+          let request = Marshal_size.scalar_overhead + (2 * 16) in
+          let reply = Marshal_size.scalar_overhead + Marshal_size.objref_size in
+          let oc =
+            Fault.call ?model:m_faults ~retry:m_retry ~rng:m_retry_rng
+              ~now_us:(t.comm +. Runtime.compute_us t.ctx)
+              ~request_bytes:request ~reply_bytes:reply
+              ~request_us:(fun () -> jittered (Network.message_us m_network ~bytes:request))
+              ~reply_us:(fun () -> jittered (Network.message_us m_network ~bytes:reply))
+              ()
+          in
+          t.comm <- t.comm +. oc.Fault.oc_time_us;
+          t.n_retries <- t.n_retries + oc.Fault.oc_retries;
+          t.n_drops <- t.n_drops + oc.Fault.oc_drops;
+          t.n_spikes <- t.n_spikes + oc.Fault.oc_spikes;
+          t.fault_us <- t.fault_us +. oc.Fault.oc_fault_us;
+          if oc.Fault.oc_retries > 0 && oc.Fault.oc_ok then
+            t.logger.Logger.log
+              (Event.Call_retried
+                 { iface = "ICoCreateInstance"; meth = "create"; retries = oc.Fault.oc_retries });
+          if oc.Fault.oc_ok then begin
+            t.n_remote_calls <- t.n_remote_calls + 1;
+            t.n_remote_bytes <- t.n_remote_bytes + request + reply;
+            machine
+          end
+          else begin
+            (* Graceful degradation: the peer factory never answered, so
+               place the instance with its creator — the factory's
+               co-location default — instead of failing the
+               instantiation. *)
+            t.n_fallbacks <- t.n_fallbacks + 1;
+            t.logger.Logger.log (Event.Instantiation_degraded { cname; classification });
+            creator_machine
+          end
+        end
+      in
       (* Record the machine under the instance id we are about to
          allocate; ids are dense so the next instance gets the current
          count. *)
@@ -253,6 +334,12 @@ let install ?(loggers = []) ~classifier ~mode ctx =
       n_remote_calls = 0;
       n_remote_bytes = 0;
       n_intercepted = 0;
+      n_retries = 0;
+      n_drops = 0;
+      n_spikes = 0;
+      n_fallbacks = 0;
+      n_unreachable = 0;
+      fault_us = 0.;
       pair_counts = Hashtbl.create 256;
     }
   in
@@ -274,7 +361,13 @@ let install_distributed ?loggers ~classifier ~config ctx =
            m_factory = factory;
            m_network = config.dc_network;
            m_jitter = config.dc_jitter;
-           m_rng = Prng.create config.dc_seed;
+           m_rng = Prng.create (jitter_seed config.dc_seed);
+           m_faults =
+             Option.map
+               (fun sp -> Fault.make ~seed:(fault_seed config.dc_seed) sp)
+               config.dc_faults;
+           m_retry = config.dc_retry;
+           m_retry_rng = Prng.create (retry_seed config.dc_seed);
          })
     ctx
 
@@ -303,3 +396,30 @@ let comm_us t = t.comm
 let remote_calls t = t.n_remote_calls
 let remote_bytes t = t.n_remote_bytes
 let intercepted_calls t = t.n_intercepted
+
+type stats = {
+  st_comm_us : float;
+  st_remote_calls : int;
+  st_remote_bytes : int;
+  st_intercepted : int;
+  st_retries : int;
+  st_drops : int;
+  st_spikes : int;
+  st_fallbacks : int;
+  st_unreachable : int;
+  st_fault_us : float;
+}
+
+let stats t =
+  {
+    st_comm_us = t.comm;
+    st_remote_calls = t.n_remote_calls;
+    st_remote_bytes = t.n_remote_bytes;
+    st_intercepted = t.n_intercepted;
+    st_retries = t.n_retries;
+    st_drops = t.n_drops;
+    st_spikes = t.n_spikes;
+    st_fallbacks = t.n_fallbacks;
+    st_unreachable = t.n_unreachable;
+    st_fault_us = t.fault_us;
+  }

@@ -35,7 +35,15 @@ type distributed_config = {
   dc_network : Coign_netsim.Network.t;   (** ground-truth network *)
   dc_jitter : float;    (** relative stddev of per-message time noise;
                             0 for deterministic runs *)
-  dc_seed : int64;      (** jitter PRNG seed *)
+  dc_seed : int64;      (** master seed; one {!Coign_util.Prng.stream}
+                            per stochastic concern (jitter, backoff,
+                            fault verdicts), so enabling faults never
+                            perturbs the jitter draws *)
+  dc_faults : Coign_netsim.Fault.spec option;
+                        (** fault model over [dc_network]; [None] (or
+                            [Some Fault.zero]) runs fault-free *)
+  dc_retry : Coign_netsim.Fault.retry_policy;
+                        (** how cross-machine messaging survives drops *)
 }
 
 val install_distributed :
@@ -46,7 +54,15 @@ val install_distributed :
     DCOM round-trip on the configured network. A cross-machine call
     over a non-remotable interface raises
     [Com_error (E_cannot_marshal _)] — the partitioner's infinite
-    edges exist precisely to make this unreachable. *)
+    edges exist precisely to make this unreachable.
+
+    Under a fault model, every cross-machine message asks the model for
+    a verdict; drops cost a timeout and are retried with exponential
+    backoff per [dc_retry]. A call whose retries are exhausted raises
+    [Com_error (E_unreachable _)] after counting itself; an
+    instantiation request whose retries are exhausted degrades
+    gracefully — the instance is placed with its creator and the
+    fallback counted (see {!stats}). *)
 
 val uninstall : t -> unit
 (** Remove all hooks; the context reverts to plain local execution. *)
@@ -77,6 +93,22 @@ val remote_calls : t -> int
 val remote_bytes : t -> int
 val intercepted_calls : t -> int
 (** All calls that crossed a Coign wrapper, local or remote. *)
+
+type stats = {
+  st_comm_us : float;
+  st_remote_calls : int;   (** completed remote calls and forwards *)
+  st_remote_bytes : int;
+  st_intercepted : int;
+  st_retries : int;        (** attempts beyond the first, summed *)
+  st_drops : int;          (** messages the fault model ate *)
+  st_spikes : int;         (** latency spikes suffered *)
+  st_fallbacks : int;      (** instantiations degraded to the creator *)
+  st_unreachable : int;    (** calls abandoned with [E_unreachable] *)
+  st_fault_us : float;     (** comm time attributable to faults *)
+}
+
+val stats : t -> stats
+(** One-shot snapshot of the run's communication and fault counters. *)
 
 val machine_of_instance : t -> int -> Constraints.location
 

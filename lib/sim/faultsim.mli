@@ -1,0 +1,58 @@
+(** Fault-grid simulation of a distributed application.
+
+    Runs one scenario under the image's stored distribution repeatedly,
+    each time against a different point of a (drop rate × partition
+    length) fault grid, and tabulates how the distributed RTE's retry
+    policy and graceful degradation cope: completed calls, retries,
+    instantiation fallbacks, abandoned calls, and the communication
+    time attributable to faults.
+
+    Every cell is seeded from the same master seed, and fault verdicts
+    are pure hashes of (seed, time, size) — so a grid is reproducible
+    run to run and across any number of worker domains. *)
+
+type run = {
+  fr_drop_rate : float;
+  fr_partition_us : float;     (** partition window length; 0 = none *)
+  fr_stats : Coign_core.Adps.exec_stats;
+}
+
+type grid = {
+  fg_network : Coign_netsim.Network.t;
+  fg_seed : int64;
+  fg_runs : run list;          (** row-major: drop rate outer,
+                                   partition length inner *)
+}
+
+val default_drop_rates : float list
+(** [0; 0.01; 0.05; 0.1] *)
+
+val default_partitions_us : float list
+(** [0; 50_000] — none, and a 50 ms outage *)
+
+val run :
+  ?pool:Coign_util.Parallel.t ->
+  ?seed:int64 ->
+  ?jitter:float ->
+  ?retry:Coign_netsim.Fault.retry_policy ->
+  ?drop_rates:float list ->
+  ?partitions_us:float list ->
+  ?partition_start_us:float ->
+  image:Coign_image.Binary_image.t ->
+  registry:Coign_com.Runtime.registry ->
+  network:Coign_netsim.Network.t ->
+  Coign_core.Adps.scenario ->
+  grid
+(** Execute the grid. The image must be in distributed mode (same
+    requirement as {!Coign_core.Adps.execute}). Nonzero partition
+    lengths become one [\[partition_start_us, start + length)] window
+    on the run's virtual clock. Cells are independent — with a [pool]
+    they run across domains, and the grid is identical either way
+    (a tested property). *)
+
+val pp_text : Format.formatter -> grid -> unit
+(** The human-readable table [coign faultsim] prints. *)
+
+val to_json : grid -> string
+(** The grid as a JSON array, one object per cell; floats are printed
+    with [%.17g] so equal grids serialize byte-identically. *)

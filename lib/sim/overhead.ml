@@ -50,6 +50,8 @@ let measure ?(repeats = 3) (app : App.t) (sc : App.scenario) =
             dc_network = Coign_netsim.Network.loopback;
             dc_jitter = 0.;
             dc_seed = 1L;
+            dc_faults = None;
+            dc_retry = Coign_netsim.Fault.default_retry;
           }
         ctx
     in

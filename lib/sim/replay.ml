@@ -1,4 +1,5 @@
 open Coign_idl
+open Coign_util
 open Coign_netsim
 open Coign_com
 open Coign_core
@@ -9,9 +10,15 @@ type estimate = {
   re_remote_bytes : int;
   re_server_instances : int;
   re_violations : (string * string) list;
+  re_retries : int;
+  re_drops : int;
+  re_spikes : int;
+  re_fallbacks : int;
+  re_unreachable : int;
+  re_fault_us : float;
 }
 
-let replay ~events ~placement ~network =
+let replay ?faults ?(retry = Fault.default_retry) ~events ~placement ~network () =
   let machines : (int, Constraints.location) Hashtbl.t = Hashtbl.create 256 in
   Hashtbl.replace machines Runtime.main_instance Constraints.Client;
   let machine_of inst =
@@ -19,10 +26,35 @@ let replay ~events ~placement ~network =
   in
   let comm = ref 0. and calls = ref 0 and bytes = ref 0 in
   let violations = ref [] in
-  let charge ~request ~reply =
-    comm := !comm +. Network.round_trip_us network ~request ~reply;
-    incr calls;
-    bytes := !bytes + request + reply
+  let retries = ref 0 and drops = ref 0 and spikes = ref 0 in
+  let fallbacks = ref 0 and unreachable = ref 0 and fault_us = ref 0. in
+  (* Backoff jitter for retried estimates; its own stream of the fault
+     seed, so the verdict hashes stay untouched. Unused when fault-free
+     (a call without a model never retries). *)
+  let rng =
+    Prng.create (match faults with Some m -> Prng.stream (Fault.seed m) 1 | None -> 0L)
+  in
+  (* Replay knows nothing of compute, so its virtual clock is the
+     accumulated communication time — fault windows for trace-driven
+     estimates are expressed against that clock. *)
+  let attempt ~request ~reply =
+    let oc =
+      Fault.call ?model:faults ~retry ~rng ~now_us:!comm ~request_bytes:request
+        ~reply_bytes:reply
+        ~request_us:(fun () -> Network.message_us network ~bytes:request)
+        ~reply_us:(fun () -> Network.message_us network ~bytes:reply)
+        ()
+    in
+    comm := !comm +. oc.Fault.oc_time_us;
+    retries := !retries + oc.Fault.oc_retries;
+    drops := !drops + oc.Fault.oc_drops;
+    spikes := !spikes + oc.Fault.oc_spikes;
+    fault_us := !fault_us +. oc.Fault.oc_fault_us;
+    if oc.Fault.oc_ok then begin
+      incr calls;
+      bytes := !bytes + request + reply
+    end;
+    oc.Fault.oc_ok
   in
   List.iter
     (fun event ->
@@ -37,11 +69,21 @@ let replay ~events ~placement ~network =
           let machine =
             if classification < 0 then creator_machine else machine
           in
-          Hashtbl.replace machines inst machine;
-          if machine <> creator_machine then
-            charge
-              ~request:(Marshal_size.scalar_overhead + (2 * 16))
-              ~reply:(Marshal_size.scalar_overhead + Marshal_size.objref_size)
+          let machine =
+            if machine = creator_machine then machine
+            else if
+              attempt
+                ~request:(Marshal_size.scalar_overhead + (2 * 16))
+                ~reply:(Marshal_size.scalar_overhead + Marshal_size.objref_size)
+            then machine
+            else begin
+              (* The distributed RTE would degrade this instantiation to
+                 the creator's machine; estimate the same placement. *)
+              incr fallbacks;
+              creator_machine
+            end
+          in
+          Hashtbl.replace machines inst machine
       | Event.Interface_call
           { caller; callee; iface; meth; remotable; request_bytes; reply_bytes; _ } ->
           if String.equal iface "ICoCreateInstance" then
@@ -49,7 +91,13 @@ let replay ~events ~placement ~network =
                above (they only cross when the factory forwards). *)
             ()
           else if machine_of caller <> machine_of callee then
-            if remotable then charge ~request:request_bytes ~reply:reply_bytes
+            if remotable then begin
+              if not (attempt ~request:request_bytes ~reply:reply_bytes) then
+                (* A live run would raise [E_unreachable] here; the
+                   estimator counts the abandoned call and keeps
+                   replaying. *)
+                incr unreachable
+            end
             else
               (* Defense in depth: distributions produced by Adps.analyze
                  are already proven free of cross-cut non-remotable edges
@@ -57,7 +105,7 @@ let replay ~events ~placement ~network =
                  fires for hand-built placements that bypassed it. *)
               violations := (iface, meth) :: !violations
       | Event.Component_destroyed _ | Event.Interface_instantiated _
-      | Event.Interface_destroyed _ ->
+      | Event.Interface_destroyed _ | Event.Call_retried _ | Event.Instantiation_degraded _ ->
           ())
     events;
   let server_instances =
@@ -72,6 +120,12 @@ let replay ~events ~placement ~network =
     re_remote_bytes = !bytes;
     re_server_instances = server_instances;
     re_violations = List.rev !violations;
+    re_retries = !retries;
+    re_drops = !drops;
+    re_spikes = !spikes;
+    re_fallbacks = !fallbacks;
+    re_unreachable = !unreachable;
+    re_fault_us = !fault_us;
   }
 
 let record_scenario ~registry ~classifier scenario =
@@ -82,5 +136,5 @@ let record_scenario ~registry ~classifier scenario =
   Rte.uninstall rte;
   events ()
 
-let what_if ~events ~distribution ~network =
-  replay ~events ~placement:(Analysis.location_of distribution) ~network
+let what_if ?faults ?retry ~events ~distribution ~network () =
+  replay ?faults ?retry ~events ~placement:(Analysis.location_of distribution) ~network ()

@@ -22,18 +22,37 @@ type estimate = {
   re_violations : (string * string) list;
       (** (interface, method) of every non-remotable cross-machine
           call the placement would cause *)
+  re_retries : int;            (** expected retries under the fault model *)
+  re_drops : int;
+  re_spikes : int;
+  re_fallbacks : int;          (** instantiations degraded to the creator *)
+  re_unreachable : int;
+      (** calls a live run would abandon with [E_unreachable]; the
+          estimator counts them and keeps replaying *)
+  re_fault_us : float;         (** comm time attributable to faults *)
 }
 
 val replay :
+  ?faults:Coign_netsim.Fault.t ->
+  ?retry:Coign_netsim.Fault.retry_policy ->
   events:Coign_core.Event.t list ->
   placement:(int -> Coign_core.Constraints.location) ->
   network:Coign_netsim.Network.t ->
+  unit ->
   estimate
 (** [placement] maps a classification to a machine (as
     {!Coign_core.Analysis.location_of} does); instances whose
     classification maps nowhere follow their creator, like the
     component factory. The trace must come from a profiling run (it
-    needs the instantiation events to track instance machines). *)
+    needs the instantiation events to track instance machines).
+
+    [faults] injects a fault model into the estimate: every
+    cross-machine charge becomes a retried {!Coign_netsim.Fault.call}
+    against the replay's virtual clock (accumulated communication
+    time), reporting expected retries, degradations, and abandoned
+    calls without re-running the application. Omitting it — or passing
+    a model built from {!Coign_netsim.Fault.zero} — reproduces the
+    fault-free estimate bit for bit. *)
 
 val record_scenario :
   registry:Coign_com.Runtime.registry ->
@@ -44,8 +63,11 @@ val record_scenario :
     event recorder attached and return the trace. *)
 
 val what_if :
+  ?faults:Coign_netsim.Fault.t ->
+  ?retry:Coign_netsim.Fault.retry_policy ->
   events:Coign_core.Event.t list ->
   distribution:Coign_core.Analysis.distribution ->
   network:Coign_netsim.Network.t ->
+  unit ->
   estimate
 (** Replay under an analyzer-chosen distribution. *)

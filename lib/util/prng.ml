@@ -47,6 +47,13 @@ let exponential t ~mean =
 
 let split t = { state = mix (next_int64 t) }
 
+let mix64 = mix
+
+(* Stream derivation is stateless: it never draws from (or even
+   constructs) the root generator, so adding a consumer of stream [i]
+   cannot perturb the draws of any other stream of the same seed. *)
+let stream seed i = mix (Int64.add seed (Int64.mul golden_gamma (Int64.of_int i)))
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

@@ -35,6 +35,20 @@ val split : t -> t
 (** A generator statistically independent of the parent; both may be
     used afterwards. *)
 
+val mix64 : int64 -> int64
+(** The raw splitmix64 finalizer (avalanche mix) — for building pure
+    keyed hashes whose consumers must not share mutable generator
+    state (e.g. the fault model's per-message verdicts). *)
+
+val stream : int64 -> int -> int64
+(** [stream seed i] is the seed of the [i]-th independent sub-stream
+    of [seed]. Unlike {!split} it is a pure function of its inputs:
+    deriving stream [i] never advances any generator, so concerns that
+    each own a stream of one master seed cannot perturb each other's
+    draws. [stream seed 0] intentionally differs from [seed] itself;
+    the convention is that the root generator [create seed] is "stream
+    -1" and derived concerns use [create (stream seed i)]. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
 

@@ -96,6 +96,8 @@ let test_factory_realizes_analysis_placement () =
           dc_network = Network.ethernet_10;
           dc_jitter = 0.;
           dc_seed = 3L;
+          dc_faults = None;
+          dc_retry = Fault.default_retry;
         }
       ctx
   in

@@ -33,7 +33,7 @@ let test_replay_matches_distributed_run () =
   let constraints = Constraints.of_image app.App.app_image in
   let distribution = Analysis.choose ~classifier ~icc:(Rte.icc rte) ~constraints ~net () in
   let estimate =
-    Replay.what_if ~events:(events ()) ~distribution ~network:Network.ethernet_10
+    Replay.what_if ~events:(events ()) ~distribution ~network:Network.ethernet_10 ()
   in
   (* Ground truth: actually run distributed with zero jitter. *)
   let es =
@@ -53,7 +53,7 @@ let test_replay_all_client_is_free () =
   let _, _, _, events = octarine_trace "o_newtbl" in
   let estimate =
     Replay.replay ~events ~placement:(fun _ -> Constraints.Client)
-      ~network:Network.ethernet_10
+      ~network:Network.ethernet_10 ()
   in
   Alcotest.(check (float 0.)) "no communication" 0. estimate.Replay.re_comm_us;
   Alcotest.(check int) "no remote calls" 0 estimate.Replay.re_remote_calls
@@ -71,7 +71,7 @@ let test_replay_detects_violations () =
     then Constraints.Server
     else Constraints.Client
   in
-  let estimate = Replay.replay ~events ~placement ~network:Network.ethernet_10 in
+  let estimate = Replay.replay ~events ~placement ~network:Network.ethernet_10 () in
   Alcotest.(check bool) "violations detected" true (estimate.Replay.re_violations <> []);
   Alcotest.(check bool) "paint among them" true
     (List.exists (fun (iface, _) -> String.equal iface "IPaint") estimate.Replay.re_violations)
@@ -81,7 +81,7 @@ let test_replay_cheaper_placement_costs_less () =
   ignore app;
   ignore classifier;
   let cost placement =
-    (Replay.replay ~events ~placement ~network:Network.ethernet_10).Replay.re_comm_us
+    (Replay.replay ~events ~placement ~network:Network.ethernet_10 ()).Replay.re_comm_us
   in
   (* The all-client placement pays only file-server traffic; a random
      split pays more. *)
@@ -101,6 +101,8 @@ let run_distributed_counts (app : App.t) classifier policy (sc : App.scenario) =
           dc_network = Network.loopback;
           dc_jitter = 0.;
           dc_seed = 1L;
+          dc_faults = None;
+          dc_retry = Fault.default_retry;
         }
       ctx
   in

@@ -1,0 +1,477 @@
+open Coign_idl
+open Coign_com
+open Coign_netsim
+open Coign_core
+open Coign_apps
+open Coign_sim
+open Coign_util
+
+(* --- The fault model in isolation ----------------------------------- *)
+
+let mk ?(seed = 7L) sp = Fault.make ~seed sp
+
+let fixed_retry =
+  {
+    Fault.rp_timeout_us = 1_000.;
+    rp_max_attempts = 3;
+    rp_backoff_us = 500.;
+    rp_backoff_mult = 2.;
+    rp_backoff_jitter = 0.;
+  }
+
+let test_zero_model_delivers () =
+  let m = mk Fault.zero in
+  for i = 0 to 999 do
+    let at_us = float_of_int (i * 37) and bytes = (i * 91) mod 4096 in
+    match Fault.verdict m ~at_us ~bytes with
+    | Fault.Deliver -> ()
+    | _ -> Alcotest.fail "zero model must deliver every message"
+  done
+
+let test_verdict_pure () =
+  let sp =
+    {
+      Fault.fs_drop_rate = 0.5;
+      fs_spike_rate = 0.3;
+      fs_spike_mean_us = 200.;
+      fs_partitions_us = [ (10_000., 12_000.) ];
+      fs_crashes_us = [ (30_000., 31_000.) ];
+    }
+  in
+  let m1 = mk sp and m2 = mk sp in
+  for i = 0 to 499 do
+    let at_us = float_of_int (i * 113) and bytes = i * 7 in
+    let v = Fault.verdict m1 ~at_us ~bytes in
+    Alcotest.(check bool) "verdict is a pure function" true (v = Fault.verdict m1 ~at_us ~bytes);
+    Alcotest.(check bool) "verdict depends only on seed and spec" true
+      (v = Fault.verdict m2 ~at_us ~bytes)
+  done
+
+let test_windows_force_drop () =
+  let m =
+    mk
+      {
+        Fault.zero with
+        Fault.fs_partitions_us = [ (1_000., 2_000.) ];
+        fs_crashes_us = [ (5_000., 6_000.) ];
+      }
+  in
+  let v at = Fault.verdict m ~at_us:at ~bytes:100 in
+  Alcotest.(check bool) "before partition" true (v 500. = Fault.Deliver);
+  Alcotest.(check bool) "partition start is inclusive" true (v 1_000. = Fault.Drop);
+  Alcotest.(check bool) "inside partition" true (v 1_500. = Fault.Drop);
+  Alcotest.(check bool) "partition stop is exclusive" true (v 2_000. = Fault.Deliver);
+  Alcotest.(check bool) "inside crash window" true (v 5_500. = Fault.Drop);
+  Alcotest.(check bool) "after recovery" true (v 6_500. = Fault.Deliver)
+
+let test_drop_rate_statistics () =
+  let m = mk ~seed:0xACEL { Fault.zero with Fault.fs_drop_rate = 0.25 } in
+  let n = 4_000 in
+  let dropped = ref 0 in
+  for i = 0 to n - 1 do
+    match Fault.verdict m ~at_us:(float_of_int i *. 17.) ~bytes:256 with
+    | Fault.Drop -> incr dropped
+    | _ -> ()
+  done;
+  let rate = float_of_int !dropped /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed drop rate %.3f near 0.25" rate)
+    true
+    (rate > 0.20 && rate < 0.30)
+
+(* --- One faulted call: hand-computed outcomes ----------------------- *)
+
+let faulted_call ?model ?(retry = fixed_retry) ?(order = ref []) () =
+  Fault.call ?model ~retry ~rng:(Prng.create 3L) ~now_us:0. ~request_bytes:100 ~reply_bytes:50
+    ~request_us:(fun () ->
+      order := "rq" :: !order;
+      300.)
+    ~reply_us:(fun () ->
+      order := "rp" :: !order;
+      400.)
+    ()
+
+let test_call_without_model () =
+  let order = ref [] in
+  let oc = faulted_call ~order () in
+  Alcotest.(check bool) "ok" true oc.Fault.oc_ok;
+  Alcotest.(check (float 0.)) "clean round trip" 700. oc.Fault.oc_time_us;
+  Alcotest.(check int) "no retries" 0 oc.Fault.oc_retries;
+  Alcotest.(check (float 0.)) "no fault time" 0. oc.Fault.oc_fault_us;
+  (* The reply time is drawn first — the historical jitter draw order
+     the interface documents (and zero-fault bit-identity relies on). *)
+  Alcotest.(check (list string)) "reply drawn before request" [ "rq"; "rp" ] !order
+
+let test_call_full_drop_exhausts_retries () =
+  let order = ref [] in
+  let oc = faulted_call ~model:(mk { Fault.zero with Fault.fs_drop_rate = 1.0 }) ~order () in
+  (* Three attempts, all eaten on the request leg: two timeouts with
+     backoffs 500 and 1000 between them, then the final timeout.
+     1000 + 500 + 1000 + 1000 + 1000 = 4500, all of it fault time. *)
+  Alcotest.(check bool) "abandoned" false oc.Fault.oc_ok;
+  Alcotest.(check int) "retries" 2 oc.Fault.oc_retries;
+  Alcotest.(check int) "drops" 3 oc.Fault.oc_drops;
+  Alcotest.(check int) "no spikes" 0 oc.Fault.oc_spikes;
+  Alcotest.(check (float 0.)) "elapsed" 4_500. oc.Fault.oc_time_us;
+  Alcotest.(check (float 0.)) "all of it fault time" 4_500. oc.Fault.oc_fault_us;
+  Alcotest.(check (list string)) "dropped requests draw no jitter" [] !order
+
+let test_call_partition_then_recovery () =
+  (* Attempts start at t = 0, 1500, 3500; the partition covers the
+     first two, the third completes cleanly. *)
+  let oc = faulted_call ~model:(mk { Fault.zero with Fault.fs_partitions_us = [ (0., 2_000.) ] }) () in
+  Alcotest.(check bool) "recovered" true oc.Fault.oc_ok;
+  Alcotest.(check int) "retries" 2 oc.Fault.oc_retries;
+  Alcotest.(check int) "drops" 2 oc.Fault.oc_drops;
+  Alcotest.(check (float 0.)) "fault time = 2 timeouts + 2 backoffs" 3_500. oc.Fault.oc_fault_us;
+  Alcotest.(check (float 0.)) "total = fault time + round trip" 4_200. oc.Fault.oc_time_us
+
+let test_call_reply_leg_drop () =
+  (* The request (sent at 0) clears the window, but the reply lands at
+     t = 300 inside [200, 1200): one retry, which clears both legs. *)
+  let oc =
+    faulted_call ~model:(mk { Fault.zero with Fault.fs_partitions_us = [ (200., 1_200.) ] }) ()
+  in
+  Alcotest.(check bool) "recovered" true oc.Fault.oc_ok;
+  Alcotest.(check int) "one retry" 1 oc.Fault.oc_retries;
+  Alcotest.(check int) "one drop" 1 oc.Fault.oc_drops;
+  Alcotest.(check (float 0.)) "fault time = 1 timeout + 1 backoff" 1_500. oc.Fault.oc_fault_us;
+  Alcotest.(check (float 0.)) "total" 2_200. oc.Fault.oc_time_us
+
+let test_call_spikes_counted () =
+  let oc =
+    faulted_call
+      ~model:(mk { Fault.zero with Fault.fs_spike_rate = 1.0; fs_spike_mean_us = 100. })
+      ()
+  in
+  Alcotest.(check bool) "delivered" true oc.Fault.oc_ok;
+  Alcotest.(check int) "both legs spiked" 2 oc.Fault.oc_spikes;
+  Alcotest.(check int) "no drops" 0 oc.Fault.oc_drops;
+  Alcotest.(check bool) "spikes cost time" true (oc.Fault.oc_fault_us > 0.);
+  Alcotest.(check (float 1e-9)) "total = round trip + spikes"
+    (700. +. oc.Fault.oc_fault_us)
+    oc.Fault.oc_time_us
+
+(* --- The distributed RTE under a fault matrix ------------------------
+   A miniature split application, as in the RTE tests: Front (client)
+   creates Back (server) and pumps blobs at it, so the run has one
+   forwarded instantiation plus one remote store per round. *)
+
+let i_front = Itype.declare "IFltFront" [ Idl_type.method_ "run" [ Idl_type.param "rounds" Idl_type.Int32 ] ]
+
+let i_back =
+  Itype.declare "IFltBack"
+    [ Idl_type.method_ ~ret:Idl_type.Int32 "store" [ Idl_type.param "data" Idl_type.Blob ] ]
+
+let c_back =
+  Runtime.define_class "Flt.Back" (fun _ctx _self ->
+      let stored = ref 0 in
+      [
+        Combuild.iface i_back
+          [
+            ( "store",
+              fun ctx args ->
+                stored := !stored + Combuild.get_blob args 0;
+                Runtime.charge ctx ~us:10.;
+                Combuild.echo args (Value.Int !stored) );
+          ];
+      ])
+
+let c_front =
+  Runtime.define_class "Flt.Front" (fun ctx0 _self ->
+      let back = Runtime.create_instance ctx0 c_back.Runtime.clsid ~iid:(Itype.iid i_back) in
+      [
+        Combuild.iface i_front
+          [
+            ( "run",
+              fun ctx args ->
+                let rounds = Combuild.get_int args 0 in
+                for _ = 1 to rounds do
+                  ignore (Runtime.call_named ctx back "store" [ Value.Blob 1_000 ])
+                done;
+                Combuild.echo args Value.Unit );
+          ];
+      ])
+
+let registry () = Runtime.registry [ c_front; c_back ]
+let split cname = if String.equal cname "Flt.Back" then Constraints.Server else Constraints.Client
+
+let run_split ?(jitter = 0.) ?(seed = 1L) ?faults ?(retry = fixed_retry) rounds =
+  let ctx = Runtime.create_ctx (registry ()) in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let rte =
+    Rte.install_distributed ~classifier
+      ~config:
+        {
+          Rte.dc_factory_policy = Factory.By_class split;
+          dc_network = Network.ethernet_10;
+          dc_jitter = jitter;
+          dc_seed = seed;
+          dc_faults = faults;
+          dc_retry = retry;
+        }
+      ctx
+  in
+  let front = Runtime.create_instance ctx c_front.Runtime.clsid ~iid:(Itype.iid i_front) in
+  ignore (Runtime.call_named ctx front "run" [ Value.Int rounds ]);
+  Rte.stats rte
+
+let check_bits what expected actual =
+  Alcotest.(check int64) what (Int64.bits_of_float expected) (Int64.bits_of_float actual)
+
+let test_rte_zero_fault_identity () =
+  (* An installed all-zero model must be bit-identical to no model at
+     all — with and without jitter, so the stream split is exercised. *)
+  List.iter
+    (fun jitter ->
+      let clean = run_split ~jitter ~seed:5L 4 in
+      let zeroed = run_split ~jitter ~seed:5L ~faults:Fault.zero 4 in
+      check_bits
+        (Printf.sprintf "comm identical at jitter %g" jitter)
+        clean.Rte.st_comm_us zeroed.Rte.st_comm_us;
+      Alcotest.(check int) "remote calls" clean.Rte.st_remote_calls zeroed.Rte.st_remote_calls;
+      Alcotest.(check int) "remote bytes" clean.Rte.st_remote_bytes zeroed.Rte.st_remote_bytes;
+      Alcotest.(check int) "no retries" 0 zeroed.Rte.st_retries;
+      Alcotest.(check int) "no drops" 0 zeroed.Rte.st_drops;
+      Alcotest.(check int) "no fallbacks" 0 zeroed.Rte.st_fallbacks;
+      Alcotest.(check int) "no abandoned calls" 0 zeroed.Rte.st_unreachable;
+      check_bits "no fault time" 0. zeroed.Rte.st_fault_us)
+    [ 0.; 0.03 ]
+
+let test_rte_full_drop_degrades_instantiation () =
+  (* Every message is lost: the forwarded Back instantiation exhausts
+     its three attempts (4500 us, computed as in the call tests) and
+     degrades to the creator's machine — after which the whole run is
+     local and nothing else is charged. *)
+  let s = run_split ~faults:{ Fault.zero with Fault.fs_drop_rate = 1.0 } 3 in
+  Alcotest.(check int) "one fallback" 1 s.Rte.st_fallbacks;
+  Alcotest.(check int) "no completed remote calls" 0 s.Rte.st_remote_calls;
+  Alcotest.(check int) "retries" 2 s.Rte.st_retries;
+  Alcotest.(check int) "drops" 3 s.Rte.st_drops;
+  Alcotest.(check int) "nothing abandoned mid-call" 0 s.Rte.st_unreachable;
+  check_bits "fault time" 4_500. s.Rte.st_fault_us;
+  check_bits "comm is all fault" 4_500. s.Rte.st_comm_us
+
+let test_rte_crash_window_degrades_instantiation () =
+  (* A server crash covering the whole run reads differently in the
+     spec but must behave exactly like a total drop. *)
+  let s = run_split ~faults:{ Fault.zero with Fault.fs_crashes_us = [ (0., 1e9) ] } 3 in
+  Alcotest.(check int) "one fallback" 1 s.Rte.st_fallbacks;
+  Alcotest.(check int) "no completed remote calls" 0 s.Rte.st_remote_calls;
+  Alcotest.(check int) "drops" 3 s.Rte.st_drops;
+  check_bits "fault time" 4_500. s.Rte.st_fault_us
+
+let test_rte_partition_retry_recovers () =
+  (* A 2 ms partition from t = 0: the forwarded instantiation (sent at
+     t = 0) loses two attempts, succeeds on the third at t = 3500, and
+     the rest of the run proceeds past the window untouched. The whole
+     run therefore costs exactly the clean run plus 3500 us. *)
+  let clean = run_split 3 in
+  let s = run_split ~faults:{ Fault.zero with Fault.fs_partitions_us = [ (0., 2_000.) ] } 3 in
+  Alcotest.(check int) "no fallback" 0 s.Rte.st_fallbacks;
+  Alcotest.(check int) "same remote calls as clean run" clean.Rte.st_remote_calls
+    s.Rte.st_remote_calls;
+  Alcotest.(check int) "retries" 2 s.Rte.st_retries;
+  Alcotest.(check int) "drops" 2 s.Rte.st_drops;
+  check_bits "fault time = 2 timeouts + 2 backoffs" 3_500. s.Rte.st_fault_us;
+  Alcotest.(check (float 1e-6)) "comm = clean + fault time"
+    (clean.Rte.st_comm_us +. 3_500.)
+    s.Rte.st_comm_us
+
+let test_rte_partition_mid_run_unreachable () =
+  (* The partition opens after the instantiation completes and never
+     closes: the first remote store exhausts its retries and the RTE
+     gives up with E_unreachable. *)
+  let ctx = Runtime.create_ctx (registry ()) in
+  let classifier = Classifier.create Classifier.Ifcb in
+  let rte =
+    Rte.install_distributed ~classifier
+      ~config:
+        {
+          Rte.dc_factory_policy = Factory.By_class split;
+          dc_network = Network.ethernet_10;
+          dc_jitter = 0.;
+          dc_seed = 1L;
+          dc_faults = Some { Fault.zero with Fault.fs_partitions_us = [ (2_000., 1e9) ] };
+          dc_retry = fixed_retry;
+        }
+      ctx
+  in
+  let front = Runtime.create_instance ctx c_front.Runtime.clsid ~iid:(Itype.iid i_front) in
+  (match Runtime.call_named ctx front "run" [ Value.Int 2 ] with
+  | _ -> Alcotest.fail "expected E_unreachable"
+  | exception Hresult.Com_error (Hresult.E_unreachable _) -> ());
+  let s = Rte.stats rte in
+  Alcotest.(check int) "one abandoned call" 1 s.Rte.st_unreachable;
+  Alcotest.(check int) "instantiation was not degraded" 0 s.Rte.st_fallbacks;
+  Alcotest.(check int) "only the instantiation completed" 1 s.Rte.st_remote_calls;
+  Alcotest.(check int) "the store burned all attempts" 3 s.Rte.st_drops
+
+(* --- Replay under the same fault model ------------------------------- *)
+
+let mini_trace () =
+  let classifier = Classifier.create Classifier.Ifcb in
+  let events =
+    Replay.record_scenario ~registry:(registry ()) ~classifier (fun ctx ->
+        let front = Runtime.create_instance ctx c_front.Runtime.clsid ~iid:(Itype.iid i_front) in
+        ignore (Runtime.call_named ctx front "run" [ Value.Int 5 ]))
+  in
+  let placement c =
+    if
+      c >= 0
+      && c < Classifier.classification_count classifier
+      && String.equal (Classifier.class_of_classification classifier c) "Flt.Back"
+    then Constraints.Server
+    else Constraints.Client
+  in
+  (events, placement)
+
+let test_replay_zero_fault_identity () =
+  let events, placement = mini_trace () in
+  let clean = Replay.replay ~events ~placement ~network:Network.ethernet_10 () in
+  let zeroed =
+    Replay.replay ~faults:(mk ~seed:9L Fault.zero) ~events ~placement
+      ~network:Network.ethernet_10 ()
+  in
+  check_bits "comm identical" clean.Replay.re_comm_us zeroed.Replay.re_comm_us;
+  Alcotest.(check int) "remote calls" clean.Replay.re_remote_calls zeroed.Replay.re_remote_calls;
+  Alcotest.(check int) "remote bytes" clean.Replay.re_remote_bytes zeroed.Replay.re_remote_bytes;
+  Alcotest.(check int) "no retries" 0 zeroed.Replay.re_retries;
+  Alcotest.(check int) "no drops" 0 zeroed.Replay.re_drops;
+  Alcotest.(check int) "no fallbacks" 0 zeroed.Replay.re_fallbacks;
+  check_bits "no fault time" 0. zeroed.Replay.re_fault_us
+
+let test_replay_full_drop_estimates_degradation () =
+  let events, placement = mini_trace () in
+  let est =
+    Replay.replay
+      ~faults:(mk { Fault.zero with Fault.fs_drop_rate = 1.0 })
+      ~retry:fixed_retry ~events ~placement ~network:Network.ethernet_10 ()
+  in
+  Alcotest.(check int) "instantiation degrades" 1 est.Replay.re_fallbacks;
+  Alcotest.(check int) "no completed remote calls" 0 est.Replay.re_remote_calls;
+  Alcotest.(check int) "retries" 2 est.Replay.re_retries;
+  Alcotest.(check int) "drops" 3 est.Replay.re_drops;
+  Alcotest.(check int) "nothing abandoned" 0 est.Replay.re_unreachable;
+  check_bits "fault time" 4_500. est.Replay.re_fault_us
+
+let test_replay_counts_unreachable_and_continues () =
+  (* Same mid-run partition as the RTE test — but the estimator counts
+     every abandoned call instead of stopping at the first one. *)
+  let events, placement = mini_trace () in
+  let est =
+    Replay.replay
+      ~faults:(mk { Fault.zero with Fault.fs_partitions_us = [ (2_000., 1e9) ] })
+      ~retry:fixed_retry ~events ~placement ~network:Network.ethernet_10 ()
+  in
+  Alcotest.(check int) "all five stores abandoned" 5 est.Replay.re_unreachable;
+  Alcotest.(check int) "three drops each" 15 est.Replay.re_drops;
+  Alcotest.(check int) "two retries each" 10 est.Replay.re_retries;
+  Alcotest.(check int) "instantiation cleared before the window" 0 est.Replay.re_fallbacks;
+  Alcotest.(check int) "only the instantiation completed" 1 est.Replay.re_remote_calls
+
+(* --- Fault-grid reproducibility -------------------------------------- *)
+
+let prepared_octarine =
+  lazy
+    (let app = Octarine.app in
+     let sc = App.scenario app "o_oldwp0" in
+     let image = Adps.instrument app.App.app_image in
+     let image, _ = Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run in
+     let net = Net_profiler.profile (Prng.create 42L) Network.ethernet_10 in
+     let image, _ = Adps.analyze ~image ~net () in
+     (image, app.App.app_registry, sc.App.sc_run))
+
+let prop_faultsim_reproducible =
+  QCheck.Test.make ~name:"faultsim grid byte-identical across runs and domain counts" ~count:4
+    (QCheck.make
+       QCheck.Gen.(pair (map Int64.of_int (int_bound 100_000)) (float_range 0. 0.3)))
+    (fun (seed, drop) ->
+      let image, registry, scenario = Lazy.force prepared_octarine in
+      let go pool =
+        Faultsim.to_json
+          (Faultsim.run ?pool ~seed ~jitter:0.02 ~drop_rates:[ 0.; drop ]
+             ~partitions_us:[ 0.; 20_000. ] ~image ~registry ~network:Network.ethernet_10
+             scenario)
+      in
+      let j1 = go None in
+      let j2 = go None in
+      let pool = Parallel.create ~domains:3 () in
+      let j3 =
+        Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (fun () -> go (Some pool))
+      in
+      String.equal j1 j2 && String.equal j1 j3)
+
+(* --- Golden CLI output ------------------------------------------------ *)
+
+let exe = "../bin/coign.exe"
+let golden = "golden/faultsim_octarine.txt"
+
+let with_tmp f =
+  let dir = Filename.temp_file "coign_fault" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_faultsim_golden () =
+  if not (Sys.file_exists exe && Sys.file_exists golden) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "oct.img" in
+        let out = Filename.concat dir "faultsim.txt" in
+        let quiet args = Sys.command (Filename.quote_command exe args ^ " > /dev/null 2>&1") in
+        Alcotest.(check int) "instrument" 0 (quiet [ "instrument"; "--app"; "octarine"; "-o"; img ]);
+        Alcotest.(check int) "profile" 0
+          (quiet [ "profile"; img; "--scenario"; "o_oldwp0"; "-o"; img ]);
+        Alcotest.(check int) "analyze" 0
+          (quiet [ "analyze"; img; "--network"; "ethernet10"; "-o"; img ]);
+        let cmd =
+          Filename.quote_command exe
+            [
+              "faultsim"; img; "--scenario"; "o_oldwp0"; "--network"; "ethernet10";
+              "--drops"; "0,0.05,0.1"; "--partitions-ms"; "0,50"; "--jobs"; "1";
+            ]
+          ^ " > " ^ Filename.quote out ^ " 2>/dev/null"
+        in
+        Alcotest.(check int) "faultsim" 0 (Sys.command cmd);
+        Alcotest.(check string) "faultsim text output matches golden" (read_file golden)
+          (read_file out))
+
+let suite =
+  [
+    Alcotest.test_case "zero model delivers everything" `Quick test_zero_model_delivers;
+    Alcotest.test_case "verdicts are pure" `Quick test_verdict_pure;
+    Alcotest.test_case "partition and crash windows force drops" `Quick test_windows_force_drop;
+    Alcotest.test_case "drop rate statistics" `Quick test_drop_rate_statistics;
+    Alcotest.test_case "call without model" `Quick test_call_without_model;
+    Alcotest.test_case "call: full drop exhausts retries" `Quick
+      test_call_full_drop_exhausts_retries;
+    Alcotest.test_case "call: partition then recovery" `Quick test_call_partition_then_recovery;
+    Alcotest.test_case "call: reply-leg drop" `Quick test_call_reply_leg_drop;
+    Alcotest.test_case "call: spikes counted" `Quick test_call_spikes_counted;
+    Alcotest.test_case "rte: zero-fault bit identity" `Quick test_rte_zero_fault_identity;
+    Alcotest.test_case "rte: full drop degrades instantiation" `Quick
+      test_rte_full_drop_degrades_instantiation;
+    Alcotest.test_case "rte: crash window degrades instantiation" `Quick
+      test_rte_crash_window_degrades_instantiation;
+    Alcotest.test_case "rte: partition retry recovers" `Quick test_rte_partition_retry_recovers;
+    Alcotest.test_case "rte: mid-run partition raises unreachable" `Quick
+      test_rte_partition_mid_run_unreachable;
+    Alcotest.test_case "replay: zero-fault bit identity" `Quick test_replay_zero_fault_identity;
+    Alcotest.test_case "replay: full drop estimates degradation" `Quick
+      test_replay_full_drop_estimates_degradation;
+    Alcotest.test_case "replay: counts unreachable and continues" `Quick
+      test_replay_counts_unreachable_and_continues;
+    QCheck_alcotest.to_alcotest ~long:false prop_faultsim_reproducible;
+    Alcotest.test_case "cli faultsim golden output" `Slow test_faultsim_golden;
+  ]

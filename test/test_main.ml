@@ -12,6 +12,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("session", Test_session.suite);
       ("rte", Test_rte.suite);
+      ("fault", Test_fault.suite);
       ("adps", Test_adps.suite);
       ("apps", Test_apps.suite);
       ("sim", Test_sim.suite);

@@ -152,6 +152,8 @@ let distributed_config policy =
     dc_network = Coign_netsim.Network.ethernet_10;
     dc_jitter = 0.;
     dc_seed = 1L;
+    dc_faults = None;
+    dc_retry = Coign_netsim.Fault.default_retry;
   }
 
 let run_distributed policy rounds =
@@ -195,6 +197,8 @@ let test_jitter_perturbs () =
             dc_network = Coign_netsim.Network.ethernet_10;
             dc_jitter = jitter;
             dc_seed = seed;
+            dc_faults = None;
+            dc_retry = Coign_netsim.Fault.default_retry;
           }
         ctx
     in
