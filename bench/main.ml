@@ -5,7 +5,8 @@
 
    Usage: dune exec bench/main.exe [-- section ...] [--json FILE]
    Sections: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 table4
-             table5 overhead adaptive session micro (default: all).
+             table5 overhead adaptive multiway drift whatif session
+             micro faultsim obs (default: all).
 
    --json FILE additionally writes the machine-readable results of the
    sections that ran (micro estimates, the session-vs-fresh analysis
@@ -724,6 +725,78 @@ let faultsim_bench () =
      retry policy keeps every call completing; an early partition degrades\n\
      forwarded instantiations to the client instead of failing the run.\n"
 
+let obs_bench () =
+  section_header "Extension: Observability Overhead"
+    "ISSUE 4 (span tracing, metrics registry) acceptance criterion";
+  let app = Octarine.app in
+  let sc = App.scenario app "o_oldwp0" in
+  let image = Adps.instrument app.App.app_image in
+  let registry = app.App.app_registry in
+  let time f =
+    let reps = 3 in
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    ((match !result with Some r -> r | None -> assert false), !best)
+  in
+  (* Each rep profiles the same freshly-instrumented image, so reps are
+     identical work; [time] keeps the best of three. *)
+  let bare_stats, bare_s = time (fun () -> snd (Adps.profile ~image ~registry sc.App.sc_run)) in
+  let null_stats, null_s =
+    time (fun () ->
+        let tracer = Coign_obs.Trace.create Coign_obs.Trace.null_sink in
+        let metrics = Coign_obs.Metrics.registry () in
+        snd (Adps.profile ~tracer ~metrics ~image ~registry sc.App.sc_run))
+  in
+  let (collected_stats, spans), collect_s =
+    time (fun () ->
+        let sink, spans = Coign_obs.Trace.collector () in
+        let tracer = Coign_obs.Trace.create sink in
+        let metrics = Coign_obs.Metrics.registry () in
+        let stats = snd (Adps.profile ~tracer ~metrics ~image ~registry sc.App.sc_run) in
+        (stats, List.length (spans ())))
+  in
+  let identical = bare_stats = null_stats && bare_stats = collected_stats in
+  let overhead_null = (null_s -. bare_s) /. bare_s in
+  let overhead_collect = (collect_s -. bare_s) /. bare_s in
+  let t =
+    Tablefmt.create
+      [ ("Configuration", Tablefmt.Left); ("Best (ms)", Tablefmt.Right);
+        ("Overhead", Tablefmt.Right) ]
+  in
+  Tablefmt.add_row t
+    [ "no observability"; Tablefmt.cell_float (bare_s *. 1e3); "-" ];
+  Tablefmt.add_row t
+    [ "tracer (null sink) + metrics"; Tablefmt.cell_float (null_s *. 1e3);
+      Tablefmt.cell_pct overhead_null ];
+  Tablefmt.add_row t
+    [ "tracer (collector) + metrics"; Tablefmt.cell_float (collect_s *. 1e3);
+      Tablefmt.cell_pct overhead_collect ];
+  print_string (Tablefmt.render t);
+  Printf.printf "%d intercepted calls, %d spans; profile stats %s\n"
+    bare_stats.Adps.ps_calls spans
+    (if identical then "identical with and without observability"
+     else "DIFFER under observability (BUG)");
+  add_json "obs"
+    (Printf.sprintf
+       "{\"app\": \"octarine\", \"scenario\": \"%s\", \"calls\": %d, \"spans\": %d, \
+        \"bare_s\": %.17g, \"null_obs_s\": %.17g, \"collector_obs_s\": %.17g, \
+        \"overhead_null\": %.17g, \"overhead_collector\": %.17g, \"identical\": %b}"
+       (json_escape sc.App.sc_id) bare_stats.Adps.ps_calls spans bare_s null_s collect_s
+       overhead_null overhead_collect identical);
+  if not identical then exit 3;
+  note
+    "Expected shape: the RTE branches once per interception on the optional\n\
+     instruments, so the null-sink configuration costs a few percent at most;\n\
+     collecting every span in memory adds allocation but never changes the\n\
+     profile — the zero-cost-when-off guarantee, measured.\n"
+
 (* ------------------------------------------------------------------ *)
 
 let sections =
@@ -733,6 +806,7 @@ let sections =
     ("table5", table5); ("overhead", overhead); ("adaptive", adaptive);
     ("multiway", multiway); ("drift", drift); ("whatif", whatif);
     ("session", session_bench); ("micro", micro); ("faultsim", faultsim_bench);
+    ("obs", obs_bench);
   ]
 
 let () =

@@ -75,6 +75,46 @@ let network_arg =
     & opt network_conv Network.ethernet_10
     & info [ "network" ] ~docv:"NET" ~doc:"Network model: isdn, ethernet10, ethernet100, atm, san.")
 
+let self_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "self-profile" ]
+        ~doc:
+          "Also time the partitioning pipeline's own phases (profile load, graph build, \
+           pricing, cut, validation) and print the table afterwards.")
+
+let print_self_profile profiler =
+  Format.printf "@.pipeline self-profile (wall time)@.@[<v>%a@]@?" Coign_obs.Profiler.pp_text
+    profiler
+
+(* Run one scenario under the image's stored mode — profiling RTE for a
+   profiling-mode image, distributed RTE (deterministic: jitter 0) when
+   the image carries a distribution — with observability attached. *)
+let observed_run ?loggers ?tracer ?metrics image scenario_id network =
+  let app = app_of_image image in
+  let sc = scenario_of app scenario_id in
+  let config =
+    match image.Binary_image.config with
+    | Some c -> c
+    | None ->
+        Printf.eprintf "error: image has no configuration record (not instrumented)\n";
+        exit 1
+  in
+  match Config_record.mode config with
+  | Config_record.Distributed ->
+      ignore
+        (Adps.execute ?loggers ?tracer ?metrics ~image ~registry:app.App.app_registry ~network
+           sc.App.sc_run);
+      "distributed"
+  | Config_record.Profiling ->
+      ignore
+        (Adps.profile_results ?loggers ?tracer ?metrics ~image ~registry:app.App.app_registry
+           sc.App.sc_run);
+      "profiling"
+  | Config_record.Off ->
+      Printf.eprintf "error: image's runtime mode is off (instrument or analyze it first)\n";
+      exit 1
+
 (* instrument ------------------------------------------------------- *)
 
 let instrument_cmd =
@@ -209,8 +249,9 @@ let lint_cmd =
 (* analyze ---------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run image_path network output =
+  let run image_path network self_profile output =
     let image = Binary_image.load image_path in
+    let profiler = if self_profile then Some (Coign_obs.Profiler.create ()) else None in
     let net = Net_profiler.profile (Prng.create 0xC01L) network in
     Printf.printf "network profile: %s\n" (Format.asprintf "%a" Net_profiler.pp net);
     (* The linter runs automatically ahead of the cut; warnings are
@@ -222,7 +263,7 @@ let analyze_cmd =
     | [] -> ()
     | warnings -> Format.printf "%a" Lint.pp_text warnings);
     let image, dist =
-      try Adps.analyze ~image ~net ()
+      try Adps.analyze ?profiler ~image ~net ()
       with Lint.Rejected diags ->
         Format.eprintf "%a" Lint.pp_text diags;
         Printf.eprintf "error: distribution rejected by the static validator\n";
@@ -238,9 +279,10 @@ let analyze_cmd =
         Printf.printf "  server: %-28s %s\n"
           (Classifier.class_of_classification classifier c)
           (Classifier.descriptor_of_classification classifier c))
-      (Analysis.server_classifications dist)
+      (Analysis.server_classifications dist);
+    Option.iter print_self_profile profiler
   in
-  let term = Term.(const run $ image_arg $ network_arg $ output_arg) in
+  let term = Term.(const run $ image_arg $ network_arg $ self_profile_arg $ output_arg) in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -280,7 +322,7 @@ let sweep_cmd =
             "Domains solving sweep points concurrently: 1 = sequential, 0 (default) = one \
              per core. The output is identical either way.")
   in
-  let run image_path from_net to_net points json jobs =
+  let run image_path from_net to_net points json jobs self_profile =
     if points < 2 then begin
       Printf.eprintf "error: --points must be at least 2\n";
       exit 1
@@ -290,8 +332,9 @@ let sweep_cmd =
       exit 1
     end;
     let image = Binary_image.load image_path in
+    let profiler = if self_profile then Some (Coign_obs.Profiler.create ()) else None in
     let session =
-      try Adps.analysis_session image
+      try Adps.analysis_session ?profiler image
       with Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
@@ -307,7 +350,7 @@ let sweep_cmd =
           let p = Parallel.create ~domains:(n - 1) () in
           (Some p, Some p)
     in
-    let rows = Coign_sim.Experiment.sweep ?pool ~session networks in
+    let rows = Coign_sim.Experiment.sweep ?pool ?profiler ~session networks in
     Option.iter Parallel.shutdown owned;
     if json then begin
       let escape s =
@@ -344,10 +387,13 @@ let sweep_cmd =
             r.Coign_sim.Experiment.sw_server_classifications
             (r.Coign_sim.Experiment.sw_predicted_comm_us /. 1e6))
         rows
-    end
+    end;
+    Option.iter print_self_profile profiler
   in
   let term =
-    Term.(const run $ image_arg $ from_arg $ to_arg $ points_arg $ json_arg $ jobs_arg)
+    Term.(
+      const run $ image_arg $ from_arg $ to_arg $ points_arg $ json_arg $ jobs_arg
+      $ self_profile_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -402,7 +448,8 @@ let faultsim_cmd =
             "Domains running grid cells concurrently: 1 = sequential, 0 (default) = one per \
              core. The output is identical either way.")
   in
-  let run image_path scenario_id network drops partitions_ms start_ms seed jitter json jobs =
+  let run image_path scenario_id network drops partitions_ms start_ms seed jitter json jobs
+      self_profile =
     if List.exists (fun d -> d < 0. || d > 1.) drops then begin
       Printf.eprintf "error: --drops rates must be in [0, 1]\n";
       exit 1
@@ -426,9 +473,11 @@ let faultsim_cmd =
           let p = Parallel.create ~domains:(n - 1) () in
           (Some p, Some p)
     in
+    let profiler = if self_profile then Some (Coign_obs.Profiler.create ()) else None in
     let grid =
       try
-        Coign_sim.Faultsim.run ?pool ~seed:(Int64.of_int seed) ~jitter ~drop_rates:drops
+        Coign_sim.Faultsim.run ?pool ?profiler ~seed:(Int64.of_int seed) ~jitter
+          ~drop_rates:drops
           ~partitions_us:(List.map (fun ms -> ms *. 1e3) partitions_ms)
           ~partition_start_us:(start_ms *. 1e3) ~image ~registry:app.App.app_registry
           ~network sc.App.sc_run
@@ -438,12 +487,13 @@ let faultsim_cmd =
     in
     Option.iter Parallel.shutdown owned;
     if json then print_string (Coign_sim.Faultsim.to_json grid)
-    else Format.printf "@[<v>%a@]@?" Coign_sim.Faultsim.pp_text grid
+    else Format.printf "@[<v>%a@]@?" Coign_sim.Faultsim.pp_text grid;
+    Option.iter print_self_profile profiler
   in
   let term =
     Term.(
       const run $ image_arg $ scenario_arg $ network_arg $ drops_arg $ partitions_arg
-      $ partition_start_arg $ seed_arg $ jitter_arg $ json_arg $ jobs_arg)
+      $ partition_start_arg $ seed_arg $ jitter_arg $ json_arg $ jobs_arg $ self_profile_arg)
   in
   Cmd.v
     (Cmd.info "faultsim"
@@ -452,6 +502,84 @@ let faultsim_cmd =
           partition length), tabulating completed calls, retries, instantiation fallbacks, \
           abandoned calls, and fault-attributable communication time. Deterministic: the \
           seed fixes the whole schedule, across any number of jobs.")
+    term
+
+(* trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("spans", `Spans); ("events", `Events) ]) `Chrome
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,chrome) (Chrome trace_event JSON for about://tracing and \
+             Perfetto), $(b,spans) (one tab-separated span per line), or $(b,events) (the \
+             information logger's stable line format).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the trace to FILE instead of stdout.")
+  in
+  let run image_path scenario_id network format output =
+    let image = Binary_image.load image_path in
+    let sink, collected = Coign_obs.Trace.collector () in
+    let tracer = Coign_obs.Trace.create sink in
+    let recorder, events = Logger.event_recorder () in
+    let mode =
+      observed_run ~loggers:[ recorder ] ~tracer image scenario_id network
+    in
+    let spans = collected () in
+    let body =
+      match format with
+      | `Chrome -> Coign_obs.Trace.chrome_json spans ^ "\n"
+      | `Spans ->
+          String.concat ""
+            (List.map (fun s -> Format.asprintf "%a\n" Coign_obs.Span.pp_line s) spans)
+      | `Events -> String.concat "" (List.map (fun e -> Event.to_line e ^ "\n") (events ()))
+    in
+    match output with
+    | None -> print_string body
+    | Some path ->
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        Printf.printf "wrote %d spans (%s run) to %s\n" (List.length spans) mode path
+  in
+  let term = Term.(const run $ image_arg $ scenario_arg $ network_arg $ format_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario with span tracing on the deterministic simulation clock and export \
+          the trace: per-call and per-instantiation spans nested as the shadow stack nests. \
+          The image's mode picks the runtime (profiling or distributed); distributed runs \
+          are jitter-free, so equal seeds give byte-identical traces.")
+    term
+
+(* metrics ---------------------------------------------------------- *)
+
+let metrics_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the registry as JSON instead of Prometheus text.")
+  in
+  let run image_path scenario_id network json =
+    let image = Binary_image.load image_path in
+    let registry = Coign_obs.Metrics.registry () in
+    let _mode = observed_run ~metrics:registry image scenario_id network in
+    if json then print_endline (Coign_obs.Metrics.to_json_string registry)
+    else print_string (Coign_obs.Metrics.prometheus registry)
+  in
+  let term = Term.(const run $ image_arg $ scenario_arg $ network_arg $ json_arg) in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a scenario with the metrics registry attached and print the resulting \
+          counters, gauges, and histograms (calls, remote bytes, retries, degradations, \
+          factory decisions) as Prometheus-style text exposition or JSON.")
     term
 
 (* show ------------------------------------------------------------- *)
@@ -551,5 +679,5 @@ let () =
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
           [
             instrument_cmd; profile_cmd; combine_cmd; lint_cmd; analyze_cmd; sweep_cmd;
-            faultsim_cmd; show_cmd; run_cmd; list_cmd;
+            faultsim_cmd; trace_cmd; metrics_cmd; show_cmd; run_cmd; list_cmd;
           ]))

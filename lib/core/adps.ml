@@ -35,13 +35,13 @@ let classifier_of_config config =
       in
       Classifier.create ?stack_depth:(Config_record.stack_depth config) kind
 
-let profile_results ~image ~registry scenario =
+let profile_results ?loggers ?tracer ?metrics ~image ~registry scenario =
   let config = config_of image in
   if Config_record.mode config <> Config_record.Profiling then
     invalid_arg "Adps.profile: image is not in profiling mode";
   let classifier = classifier_of_config config in
   let ctx = Runtime.create_ctx registry in
-  let rte = Rte.install_profiling ~classifier ctx in
+  let rte = Rte.install_profiling ?loggers ?tracer ?metrics ~classifier ctx in
   scenario ctx;
   Rte.uninstall rte;
   let icc =
@@ -65,8 +65,8 @@ let profile_results ~image ~registry scenario =
   in
   ({ image with Binary_image.config = Some config }, stats, rte)
 
-let profile ~image ~registry scenario =
-  let image, stats, _rte = profile_results ~image ~registry scenario in
+let profile ?loggers ?tracer ?metrics ~image ~registry scenario =
+  let image, stats, _rte = profile_results ?loggers ?tracer ?metrics ~image ~registry scenario in
   (image, stats)
 
 let load_profile image =
@@ -92,37 +92,48 @@ let static_constraints image =
   | None -> Constraints.empty
   | Some meta -> Interface_flow.constraints_of (Interface_flow.analyze meta)
 
-let analysis_session ?(extra_constraints = Constraints.empty) image =
-  match load_profile image with
-  | None -> invalid_arg "Adps.analyze: image holds no profile"
-  | Some (classifier, icc) ->
-      let constraints =
-        Constraints.merge
-          (Constraints.merge (Constraints.of_image image) (static_constraints image))
-          extra_constraints
-      in
-      Analysis.Session.create ~classifier ~icc ~constraints ()
+let timed profiler name f =
+  match profiler with None -> f () | Some p -> Coign_obs.Profiler.time p name f
 
-let analyze_with ?algorithm ~session ~image ~net () =
+let analysis_session ?profiler ?(extra_constraints = Constraints.empty) image =
+  let loaded =
+    timed profiler "profile_load" (fun () ->
+        match load_profile image with
+        | None -> None
+        | Some (classifier, icc) ->
+            let constraints =
+              Constraints.merge
+                (Constraints.merge (Constraints.of_image image) (static_constraints image))
+                extra_constraints
+            in
+            Some (classifier, icc, constraints))
+  in
+  match loaded with
+  | None -> invalid_arg "Adps.analyze: image holds no profile"
+  | Some (classifier, icc, constraints) ->
+      Analysis.Session.create ?profiler ~classifier ~icc ~constraints ()
+
+let analyze_with ?algorithm ?profiler ?metrics ~session ~image ~net () =
   let classifier = Analysis.Session.classifier session in
   let constraints = Analysis.Session.constraints session in
-  let distribution = Analysis.Session.solve ?algorithm session ~net in
+  let distribution = Analysis.Session.solve ?algorithm ?profiler ?metrics session ~net in
   (* The cut construction cannot violate the constraints it was
      given, but hand-forced extra constraints can be mutually
      unsatisfiable (e.g. pins splitting a static co-location pair).
      Prove the result before writing it into the image — the
      analyze-time replacement for Replay's runtime abort. *)
-  (match Analysis.validate ~classifier ~constraints distribution with
-  | [] -> ()
-  | violations ->
-      raise
-        (Lint.Rejected
-           (Lint.order
-              (List.map
-                 (fun v ->
-                   Lint.diag "CG007" Lint.Error image.Binary_image.img_name
-                     (Format.asprintf "%a" Analysis.pp_violation v))
-                 violations))));
+  timed profiler "validation" (fun () ->
+      match Analysis.validate ~classifier ~constraints distribution with
+      | [] -> ()
+      | violations ->
+          raise
+            (Lint.Rejected
+               (Lint.order
+                  (List.map
+                     (fun v ->
+                       Lint.diag "CG007" Lint.Error image.Binary_image.img_name
+                         (Format.asprintf "%a" Analysis.pp_violation v))
+                     violations))));
   let image =
     Rewriter.write_distribution image
       ~entries:
@@ -133,9 +144,9 @@ let analyze_with ?algorithm ~session ~image ~net () =
   in
   (image, distribution)
 
-let analyze ?algorithm ?extra_constraints ~image ~net () =
-  let session = analysis_session ?extra_constraints image in
-  analyze_with ?algorithm ~session ~image ~net ()
+let analyze ?algorithm ?profiler ?metrics ?extra_constraints ~image ~net () =
+  let session = analysis_session ?profiler ?extra_constraints image in
+  analyze_with ?algorithm ?profiler ?metrics ~session ~image ~net ()
 
 type exec_stats = {
   es_comm_us : float;
@@ -155,11 +166,12 @@ type exec_stats = {
   es_completed : bool;
 }
 
-let execute_with_policy ~registry ~classifier ~policy ~network ?(jitter = 0.)
-    ?(seed = 0x5EEDL) ?faults ?(retry = Coign_netsim.Fault.default_retry) scenario =
+let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy ~network
+    ?(jitter = 0.) ?(seed = 0x5EEDL) ?faults ?(retry = Coign_netsim.Fault.default_retry)
+    scenario =
   let ctx = Runtime.create_ctx registry in
   let rte =
-    Rte.install_distributed ~classifier
+    Rte.install_distributed ?loggers ?tracer ?metrics ~classifier
       ~config:
         {
           Rte.dc_factory_policy = policy;
@@ -206,13 +218,14 @@ let execute_with_policy ~registry ~classifier ~policy ~network ?(jitter = 0.)
     es_completed = completed;
   }
 
-let execute ~image ~registry ~network ?jitter ?seed ?faults ?retry scenario =
+let execute ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?faults ?retry
+    scenario =
   let config = config_of image in
   if Config_record.mode config <> Config_record.Distributed then
     invalid_arg "Adps.execute: image is not in distributed mode";
   match load_distribution image with
   | None -> invalid_arg "Adps.execute: image holds no distribution"
   | Some (classifier, distribution) ->
-      execute_with_policy ~registry ~classifier
+      execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier
         ~policy:(Factory.By_classification distribution) ~network ?jitter ?seed ?faults ?retry
         scenario

@@ -33,6 +33,9 @@ type profile_stats = {
 }
 
 val profile :
+  ?loggers:Logger.t list ->
+  ?tracer:Coign_obs.Trace.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
   image:Coign_image.Binary_image.t ->
   registry:Coign_com.Runtime.registry ->
   scenario ->
@@ -41,9 +44,14 @@ val profile :
     classifier state and ICC summaries already accumulated in the
     config record, runs the scenario under the profiling RTE, and
     writes the merged results back into the returned image. Raises
-    [Invalid_argument] if the image is not in profiling mode. *)
+    [Invalid_argument] if the image is not in profiling mode.
+    [loggers], [tracer], and [metrics] are forwarded to
+    {!Rte.install_profiling}. *)
 
 val profile_results :
+  ?loggers:Logger.t list ->
+  ?tracer:Coign_obs.Trace.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
   image:Coign_image.Binary_image.t ->
   registry:Coign_com.Runtime.registry ->
   scenario ->
@@ -60,6 +68,7 @@ val static_constraints : Coign_image.Binary_image.t -> Constraints.t
     image carries none. *)
 
 val analysis_session :
+  ?profiler:Coign_obs.Profiler.t ->
   ?extra_constraints:Constraints.t ->
   Coign_image.Binary_image.t ->
   Analysis.Session.t
@@ -67,10 +76,14 @@ val analysis_session :
     accumulated profile, combine every constraint source (API-pin
     static analysis, {!static_constraints}, [extra_constraints]), and
     build the network-independent analysis session. Raises
-    [Invalid_argument] if the image holds no profile. *)
+    [Invalid_argument] if the image holds no profile. With [profiler],
+    profile loading and constraint assembly record under the
+    ["profile_load"] phase, the graph build under ["icc_graph_build"]. *)
 
 val analyze_with :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  ?profiler:Coign_obs.Profiler.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
   session:Analysis.Session.t ->
   image:Coign_image.Binary_image.t ->
   net:Coign_netsim.Net_profiler.t ->
@@ -81,10 +94,13 @@ val analyze_with :
     {!Lint.Rejected} on CG007 violations), and rewrite the image into
     distributed mode. [image] should be the image the session was built
     from. Adaptive callers keep one session and call this once per
-    network condition. *)
+    network condition. With [profiler], the solve and validation record
+    under the ["pricing"], ["cut"], and ["validation"] phases. *)
 
 val analyze :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  ?profiler:Coign_obs.Profiler.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
   ?extra_constraints:Constraints.t ->
   image:Coign_image.Binary_image.t ->
   net:Coign_netsim.Net_profiler.t ->
@@ -130,6 +146,9 @@ type exec_stats = {
 }
 
 val execute :
+  ?loggers:Logger.t list ->
+  ?tracer:Coign_obs.Trace.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
   image:Coign_image.Binary_image.t ->
   registry:Coign_com.Runtime.registry ->
   network:Coign_netsim.Network.t ->
@@ -140,9 +159,14 @@ val execute :
 (** Run a scenario under the distribution stored in the image (which
     must be in distributed mode). [jitter] defaults to 0 (deterministic
     network); [faults] defaults to none and [retry] to
-    {!Coign_netsim.Fault.default_retry}. *)
+    {!Coign_netsim.Fault.default_retry}. [loggers], [tracer], and
+    [metrics] are forwarded to {!Rte.install_distributed} and change
+    nothing when absent. *)
 
 val execute_with_policy :
+  ?loggers:Logger.t list ->
+  ?tracer:Coign_obs.Trace.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
   registry:Coign_com.Runtime.registry ->
   classifier:Classifier.t ->
   policy:Factory.policy ->

@@ -45,7 +45,7 @@ module Session = struct
   let node_count t = Icc_graph.classification_count t.s_graph
   let graph t = t.s_graph
 
-  let create ~classifier ~icc ~constraints () =
+  let build_session ~classifier ~icc ~constraints () =
     let graph = Icc_graph.build ~classifier ~icc in
     let n = Icc_graph.classification_count graph in
     (* Nodes: 0..n-1 classifications, n = client terminal (also the
@@ -124,21 +124,37 @@ module Session = struct
       s_priced = Array.of_list !priced;
     }
 
+  let create ?profiler ~classifier ~icc ~constraints () =
+    match profiler with
+    | None -> build_session ~classifier ~icc ~constraints ()
+    | Some p ->
+        Coign_obs.Profiler.time p "icc_graph_build" (fun () ->
+            build_session ~classifier ~icc ~constraints ())
+
   let copy t = { t with s_flow = Flow_network.copy t.s_flow }
 
-  let solve ?(algorithm = Mincut.Relabel_to_front) t ~net =
+  let solve ?(algorithm = Mincut.Relabel_to_front) ?profiler ?metrics t ~net =
+    let timed name f =
+      match profiler with None -> f () | Some p -> Coign_obs.Profiler.time p name f
+    in
     let graph = t.s_graph in
     let n = Icc_graph.classification_count graph in
-    let pricing = Icc_graph.price graph ~net in
-    (* Reprice: replace (not accumulate) the traffic capacity of every
-       non-fixed pair. set_edge removes zero-cost pairs, so the edge
-       set is exactly what a from-scratch build produces. *)
-    Array.iter
-      (fun p ->
-        let a, b = Icc_graph.pair graph p in
-        Flow_network.set_undirected t.s_flow a b
-          ~cap:(ns_of_us pricing.Icc_graph.pair_us.(p)))
-      t.s_priced;
+    let pricing =
+      timed "pricing" (fun () ->
+          let pricing = Icc_graph.price graph ~net in
+          (* Reprice: replace (not accumulate) the traffic capacity of
+             every non-fixed pair. set_edge removes zero-cost pairs, so
+             the edge set is exactly what a from-scratch build
+             produces. *)
+          Array.iter
+            (fun p ->
+              let a, b = Icc_graph.pair graph p in
+              Flow_network.set_undirected t.s_flow a b
+                ~cap:(ns_of_us pricing.Icc_graph.pair_us.(p)))
+            t.s_priced;
+          pricing)
+    in
+    timed "cut" @@ fun () ->
     (* A cut must exist even in a graph with no server-pinned component:
        terminals are always present (the cut just puts everything on
        the client). *)
@@ -186,18 +202,41 @@ module Session = struct
           let a, b = Icc_graph.pair graph p in
           location_of_node a <> location_of_node b)
     in
-    {
-      placement;
-      cut_ns = cut.Mincut.value;
-      predicted_comm_us;
-      server_count;
-      node_count = n;
-      algorithm;
-    }
+    let d =
+      {
+        placement;
+        cut_ns = cut.Mincut.value;
+        predicted_comm_us;
+        server_count;
+        node_count = n;
+        algorithm;
+      }
+    in
+    (match metrics with
+    | None -> ()
+    | Some reg ->
+        let open Coign_obs.Metrics in
+        inc (counter reg ~help:"Partitioning solves completed." "coign_analysis_solves_total");
+        set
+          (gauge reg ~help:"Classification nodes in the last solve." "coign_analysis_nodes")
+          (float_of_int n);
+        set
+          (gauge reg ~help:"Classifications the last solve placed on the server."
+             "coign_analysis_server_count")
+          (float_of_int server_count);
+        set
+          (gauge reg
+             ~help:
+               "Predicted cross-machine communication time of the last solve, in microseconds."
+             "coign_analysis_predicted_comm_us")
+          predicted_comm_us);
+    d
 end
 
-let choose ?algorithm ~classifier ~icc ~constraints ~net () =
-  Session.solve ?algorithm (Session.create ~classifier ~icc ~constraints ()) ~net
+let choose ?algorithm ?profiler ?metrics ~classifier ~icc ~constraints ~net () =
+  Session.solve ?algorithm ?profiler ?metrics
+    (Session.create ?profiler ~classifier ~icc ~constraints ())
+    ~net
 
 let location_of d c =
   if c < 0 || c >= Array.length d.placement then Constraints.Client else d.placement.(c)

@@ -41,22 +41,31 @@ module Session : sig
   type t
 
   val create :
+    ?profiler:Coign_obs.Profiler.t ->
     classifier:Classifier.t ->
     icc:Icc.t ->
     constraints:Constraints.t ->
     unit ->
     t
   (** Build the network-independent stage: abstract graph, constraint
-      edges, repriceable pair list. *)
+      edges, repriceable pair list. With [profiler], the build records
+      under the ["icc_graph_build"] phase. *)
 
   val solve :
     ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+    ?profiler:Coign_obs.Profiler.t ->
+    ?metrics:Coign_obs.Metrics.registry ->
     t ->
     net:Coign_netsim.Net_profiler.t ->
     distribution
   (** Price the session's traffic pairs against [net], cut, and trim —
       exactly {!choose} on the session's profile, without rebuilding
-      stage 1. Reusable: each call replaces the previous pricing. *)
+      stage 1. Reusable: each call replaces the previous pricing.
+
+      With [profiler], pricing and cutting record under the ["pricing"]
+      and ["cut"] phases; with [metrics], each solve updates the
+      [coign_analysis_*] instruments. Neither changes the
+      distribution. *)
 
   val copy : t -> t
   (** An independent session sharing the immutable abstract graph but
@@ -76,6 +85,8 @@ end
 
 val choose :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  ?profiler:Coign_obs.Profiler.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
   classifier:Classifier.t ->
   icc:Icc.t ->
   constraints:Constraints.t ->

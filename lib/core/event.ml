@@ -1,3 +1,5 @@
+open Coign_util
+
 type t =
   | Component_instantiated of { inst : int; cname : string; classification : int; creator : int }
   | Component_destroyed of { inst : int }
@@ -25,6 +27,115 @@ let kind_name = function
   | Interface_call _ -> "interface_call"
   | Call_retried _ -> "call_retried"
   | Instantiation_degraded _ -> "instantiation_degraded"
+
+let fields = function
+  | Component_instantiated { inst; cname; classification; creator } ->
+      [
+        ("inst", Jsonu.Int inst);
+        ("cname", Jsonu.Str cname);
+        ("classification", Jsonu.Int classification);
+        ("creator", Jsonu.Int creator);
+      ]
+  | Component_destroyed { inst } -> [ ("inst", Jsonu.Int inst) ]
+  | Interface_instantiated { owner; iface; handle } ->
+      [ ("owner", Jsonu.Int owner); ("iface", Jsonu.Str iface); ("handle", Jsonu.Int handle) ]
+  | Interface_destroyed { owner; iface; handle } ->
+      [ ("owner", Jsonu.Int owner); ("iface", Jsonu.Str iface); ("handle", Jsonu.Int handle) ]
+  | Interface_call
+      {
+        caller;
+        caller_classification;
+        callee;
+        callee_classification;
+        iface;
+        meth;
+        remotable;
+        request_bytes;
+        reply_bytes;
+      } ->
+      [
+        ("caller", Jsonu.Int caller);
+        ("caller_classification", Jsonu.Int caller_classification);
+        ("callee", Jsonu.Int callee);
+        ("callee_classification", Jsonu.Int callee_classification);
+        ("iface", Jsonu.Str iface);
+        ("meth", Jsonu.Str meth);
+        ("remotable", Jsonu.Bool remotable);
+        ("request_bytes", Jsonu.Int request_bytes);
+        ("reply_bytes", Jsonu.Int reply_bytes);
+      ]
+  | Call_retried { iface; meth; retries } ->
+      [ ("iface", Jsonu.Str iface); ("meth", Jsonu.Str meth); ("retries", Jsonu.Int retries) ]
+  | Instantiation_degraded { cname; classification } ->
+      [ ("cname", Jsonu.Str cname); ("classification", Jsonu.Int classification) ]
+
+let to_json e = Jsonu.Obj (("event", Jsonu.Str (kind_name e)) :: fields e)
+
+let to_line e =
+  String.concat "\t"
+    (kind_name e :: List.map (fun (k, v) -> k ^ "=" ^ Jsonu.to_string v) (fields e))
+
+exception Bad of string
+
+let of_json j =
+  let field k =
+    match Jsonu.member k j with
+    | Some v -> v
+    | None -> raise (Bad ("missing field " ^ k))
+  in
+  let int k =
+    match field k with Jsonu.Int i -> i | _ -> raise (Bad ("field " ^ k ^ " is not an int"))
+  in
+  let str k =
+    match field k with
+    | Jsonu.Str s -> s
+    | _ -> raise (Bad ("field " ^ k ^ " is not a string"))
+  in
+  let bool k =
+    match field k with
+    | Jsonu.Bool b -> b
+    | _ -> raise (Bad ("field " ^ k ^ " is not a bool"))
+  in
+  try
+    match field "event" with
+    | Jsonu.Str "component_instantiated" ->
+        Ok
+          (Component_instantiated
+             {
+               inst = int "inst";
+               cname = str "cname";
+               classification = int "classification";
+               creator = int "creator";
+             })
+    | Jsonu.Str "component_destroyed" -> Ok (Component_destroyed { inst = int "inst" })
+    | Jsonu.Str "interface_instantiated" ->
+        Ok
+          (Interface_instantiated
+             { owner = int "owner"; iface = str "iface"; handle = int "handle" })
+    | Jsonu.Str "interface_destroyed" ->
+        Ok
+          (Interface_destroyed { owner = int "owner"; iface = str "iface"; handle = int "handle" })
+    | Jsonu.Str "interface_call" ->
+        Ok
+          (Interface_call
+             {
+               caller = int "caller";
+               caller_classification = int "caller_classification";
+               callee = int "callee";
+               callee_classification = int "callee_classification";
+               iface = str "iface";
+               meth = str "meth";
+               remotable = bool "remotable";
+               request_bytes = int "request_bytes";
+               reply_bytes = int "reply_bytes";
+             })
+    | Jsonu.Str "call_retried" ->
+        Ok (Call_retried { iface = str "iface"; meth = str "meth"; retries = int "retries" })
+    | Jsonu.Str "instantiation_degraded" ->
+        Ok (Instantiation_degraded { cname = str "cname"; classification = int "classification" })
+    | Jsonu.Str other -> Error ("unknown event kind " ^ other)
+    | _ -> Error "event tag is not a string"
+  with Bad msg -> Error msg
 
 let pp ppf = function
   | Component_instantiated { inst; cname; classification; creator } ->

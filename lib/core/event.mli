@@ -39,4 +39,21 @@ val kind_name : t -> string
 (** Stable lowercase tag for each constructor — the key under which
     {!Logger.tally} counts events. *)
 
+val to_json : t -> Coign_util.Jsonu.t
+(** The event as a JSON object: [{"event": kind_name, <field>: <value>, ...}]
+    with fields named exactly as the record labels, in declaration
+    order. Round-trips through {!of_json}. *)
+
+val of_json : Coign_util.Jsonu.t -> (t, string) result
+(** Inverse of {!to_json}. [Error] names the missing or mistyped field,
+    or the unknown event kind. *)
+
+val to_line : t -> string
+(** The stable machine-readable line format emitted by
+    {!Logger.to_channel}: the {!kind_name} tag followed by
+    [field=value] pairs, tab-separated, fields in declaration order.
+    Values are JSON literals (strings quoted and escaped, so tabs and
+    newlines inside names cannot break the framing). No trailing
+    newline. *)
+
 val pp : Format.formatter -> t -> unit

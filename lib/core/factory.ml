@@ -1,16 +1,33 @@
+module Metrics = Coign_obs.Metrics
+
 type policy =
   | By_classification of Analysis.distribution
   | By_class of (string -> Constraints.location)
   | All_client
+
+type counters = { co_local : Metrics.counter; co_forwarded : Metrics.counter }
 
 type t = {
   policy : policy;
   machines : (int, Constraints.location) Hashtbl.t;
   mutable local : int;
   mutable forwarded : int;
+  obs : counters option;
 }
 
-let create policy = { policy; machines = Hashtbl.create 256; local = 0; forwarded = 0 }
+let create ?metrics policy =
+  let obs =
+    Option.map
+      (fun reg ->
+        let requests kind =
+          Metrics.counter reg
+            ~help:"Instantiation requests decided by the factory, by outcome."
+            ~labels:[ ("kind", kind) ] "coign_factory_requests_total"
+        in
+        { co_local = requests "local"; co_forwarded = requests "forwarded" })
+      metrics
+  in
+  { policy; machines = Hashtbl.create 256; local = 0; forwarded = 0; obs }
 
 let decide t ~classification ~cname ~creator_machine =
   let target =
@@ -22,7 +39,14 @@ let decide t ~classification ~cname ~creator_machine =
           Analysis.location_of d classification
         else creator_machine
   in
-  if target = creator_machine then t.local <- t.local + 1 else t.forwarded <- t.forwarded + 1;
+  if target = creator_machine then begin
+    t.local <- t.local + 1;
+    match t.obs with None -> () | Some c -> Metrics.inc c.co_local
+  end
+  else begin
+    t.forwarded <- t.forwarded + 1;
+    match t.obs with None -> () | Some c -> Metrics.inc c.co_forwarded
+  end;
   target
 
 let record_instance t ~inst loc = Hashtbl.replace t.machines inst loc

@@ -20,7 +20,9 @@ type policy =
 
 type t
 
-val create : policy -> t
+val create : ?metrics:Coign_obs.Metrics.registry -> policy -> t
+(** With [metrics], {!decide} outcomes also count into
+    [coign_factory_requests_total{kind="local"|"forwarded"}]. *)
 
 val decide :
   t -> classification:int -> cname:string -> creator_machine:Constraints.location ->

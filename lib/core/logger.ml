@@ -49,5 +49,6 @@ let to_channel oc =
     logger_name = "channel";
     log =
       (fun e ->
-        output_string oc (Format.asprintf "%a@." Event.pp e));
+        output_string oc (Event.to_line e);
+        output_char oc '\n');
   }

@@ -34,4 +34,7 @@ val tee : t list -> t
 (** Fan an event out to several loggers. *)
 
 val to_channel : out_channel -> t
-(** Stream events as text lines (a log file on disk). *)
+(** Stream events one per line in the stable {!Event.to_line} format:
+    tab-separated [kind<TAB>field=value...] with JSON-literal values.
+    The format is a compatibility surface — external log scrapers may
+    depend on it — and is pinned by a golden test. *)

@@ -2,6 +2,62 @@ open Coign_util
 open Coign_idl
 open Coign_com
 open Coign_netsim
+module Trace = Coign_obs.Trace
+module Metrics = Coign_obs.Metrics
+
+(* Registry instruments, resolved once at install time so the hot path
+   never does a name lookup. *)
+type instruments = {
+  i_intercepted : Metrics.counter;
+  i_instantiations : Metrics.counter;
+  i_remote_calls : Metrics.counter;
+  i_remote_bytes : Metrics.counter;
+  i_comm_us : Metrics.counter;
+  i_retries : Metrics.counter;
+  i_drops : Metrics.counter;
+  i_spikes : Metrics.counter;
+  i_fallbacks : Metrics.counter;
+  i_unreachable : Metrics.counter;
+  i_fault_us : Metrics.counter;
+  i_request_bytes : Metrics.histogram;
+  i_reply_bytes : Metrics.histogram;
+}
+
+let make_instruments reg =
+  let open Metrics in
+  {
+    i_intercepted =
+      counter reg ~help:"Calls intercepted by the RTE, local and remote."
+        "coign_rte_intercepted_calls_total";
+    i_instantiations =
+      counter reg ~help:"Component instantiations intercepted."
+        "coign_rte_instantiations_total";
+    i_remote_calls =
+      counter reg ~help:"Completed cross-machine calls and forwarded instantiations."
+        "coign_rte_remote_calls_total";
+    i_remote_bytes =
+      counter reg ~help:"Marshaled bytes moved across machines." "coign_rte_remote_bytes_total";
+    i_comm_us =
+      counter reg ~help:"Virtual communication time accumulated, in microseconds."
+        "coign_rte_comm_us_total";
+    i_retries =
+      counter reg ~help:"Remote-call attempts beyond the first." "coign_rte_retries_total";
+    i_drops = counter reg ~help:"Messages eaten by the fault model." "coign_rte_drops_total";
+    i_spikes = counter reg ~help:"Latency spikes suffered." "coign_rte_spikes_total";
+    i_fallbacks =
+      counter reg ~help:"Instantiations degraded to the creator machine."
+        "coign_rte_degraded_instantiations_total";
+    i_unreachable =
+      counter reg ~help:"Calls abandoned as unreachable." "coign_rte_unreachable_calls_total";
+    i_fault_us =
+      counter reg ~help:"Communication time attributable to faults, in microseconds."
+        "coign_rte_fault_us_total";
+    i_request_bytes =
+      histogram reg ~help:"Cross-wrapper request message sizes, in bytes."
+        "coign_rte_request_bytes";
+    i_reply_bytes =
+      histogram reg ~help:"Cross-wrapper reply message sizes, in bytes." "coign_rte_reply_bytes";
+  }
 
 type mode =
   | M_profiling
@@ -43,6 +99,11 @@ type t = {
      distributed mode (paper SS6: count messages "with only slight
      additional overhead" so usage drift can be recognized). *)
   pair_counts : (int * int, int ref) Hashtbl.t;
+  (* Observability, both [None] unless the install opted in; every use
+     site is behind a match so an unobserved RTE runs the same
+     instructions it always did. *)
+  obs_tracer : Trace.t option;
+  obs : instruments option;
 }
 
 type distributed_config = {
@@ -66,6 +127,11 @@ let fault_seed seed = Prng.stream seed 2
 let classification_of t inst =
   if inst = Runtime.main_instance then -1
   else Option.value ~default:(-1) (Hashtbl.find_opt t.inst_classification inst)
+
+(* The virtual clock spans are timed on: accumulated communication time
+   plus the compute the application has charged. Deterministic for a
+   seeded run, so traces golden-test. *)
+let sim_now t = t.comm +. Runtime.compute_us t.ctx
 
 let machine_of_instance t inst =
   match t.mode with
@@ -92,6 +158,34 @@ let rec wrap t raw_h =
         w
 
 and intercept t raw_h ~meth args =
+  match t.obs_tracer with
+  | None -> intercept_run t raw_h ~meth args
+  | Some tr ->
+      let itype = Runtime.handle_itype t.ctx raw_h in
+      let callee = Runtime.handle_owner t.ctx raw_h in
+      let caller =
+        match Shadow_stack.top t.stack with
+        | Some f -> f.Frame.f_inst
+        | None -> Runtime.main_instance
+      in
+      let msig = Itype.method_sig itype meth in
+      let id =
+        Trace.open_span tr
+          ~name:(Itype.name itype ^ "." ^ msig.Idl_type.mname)
+          ~cat:"call" ~at_us:(sim_now t)
+      in
+      let span_args = [ ("caller", Jsonu.Int caller); ("callee", Jsonu.Int callee) ] in
+      (match intercept_run t raw_h ~meth args with
+      | result ->
+          Trace.close_span tr ~args:span_args id ~at_us:(sim_now t);
+          result
+      | exception e ->
+          Trace.close_span tr
+            ~args:(span_args @ [ ("error", Jsonu.Str (Printexc.to_string e)) ])
+            id ~at_us:(sim_now t);
+          raise e)
+
+and intercept_run t raw_h ~meth args =
   let itype = Runtime.handle_itype t.ctx raw_h in
   let callee = Runtime.handle_owner t.ctx raw_h in
   let caller =
@@ -117,6 +211,7 @@ and intercept t raw_h ~meth args =
         raise e
   in
   t.n_intercepted <- t.n_intercepted + 1;
+  (match t.obs with None -> () | Some i -> Metrics.inc i.i_intercepted);
   (let key = (classification_of t caller, callee_classification) in
    match Hashtbl.find_opt t.pair_counts key with
    | Some r -> incr r
@@ -124,6 +219,11 @@ and intercept t raw_h ~meth args =
   (match t.mode with
   | M_profiling ->
       let sizes = Informer.measure_call itype ~meth ~ins:args ~outs ~ret in
+      (match t.obs with
+      | None -> ()
+      | Some i ->
+          Metrics.observe i.i_request_bytes sizes.Informer.request_bytes;
+          Metrics.observe i.i_reply_bytes sizes.Informer.reply_bytes);
       t.logger.Logger.log
         (Event.Interface_call
            {
@@ -170,6 +270,16 @@ and intercept t raw_h ~meth args =
         t.n_drops <- t.n_drops + oc.Fault.oc_drops;
         t.n_spikes <- t.n_spikes + oc.Fault.oc_spikes;
         t.fault_us <- t.fault_us +. oc.Fault.oc_fault_us;
+        (match t.obs with
+        | None -> ()
+        | Some i ->
+            Metrics.inc ~by:oc.Fault.oc_time_us i.i_comm_us;
+            Metrics.inc_int i.i_retries oc.Fault.oc_retries;
+            Metrics.inc_int i.i_drops oc.Fault.oc_drops;
+            Metrics.inc_int i.i_spikes oc.Fault.oc_spikes;
+            Metrics.inc ~by:oc.Fault.oc_fault_us i.i_fault_us;
+            Metrics.observe i.i_request_bytes sizes.Informer.request_bytes;
+            Metrics.observe i.i_reply_bytes sizes.Informer.reply_bytes);
         if oc.Fault.oc_retries > 0 && oc.Fault.oc_ok then
           t.logger.Logger.log
             (Event.Call_retried
@@ -180,6 +290,7 @@ and intercept t raw_h ~meth args =
                });
         if not oc.Fault.oc_ok then begin
           t.n_unreachable <- t.n_unreachable + 1;
+          (match t.obs with None -> () | Some i -> Metrics.inc i.i_unreachable);
           Hresult.fail
             (Hresult.E_unreachable
                (Printf.sprintf "%s.%s: no reply from %s after %d attempts"
@@ -189,7 +300,13 @@ and intercept t raw_h ~meth args =
         end;
         t.n_remote_calls <- t.n_remote_calls + 1;
         t.n_remote_bytes <-
-          t.n_remote_bytes + sizes.Informer.request_bytes + sizes.Informer.reply_bytes
+          t.n_remote_bytes + sizes.Informer.request_bytes + sizes.Informer.reply_bytes;
+        match t.obs with
+        | None -> ()
+        | Some i ->
+            Metrics.inc i.i_remote_calls;
+            Metrics.inc_int i.i_remote_bytes
+              (sizes.Informer.request_bytes + sizes.Informer.reply_bytes)
       end);
   (* Keep every escaping interface pointer wrapped — but only walk the
      reply when the method can actually output interface pointers (the
@@ -212,7 +329,30 @@ and intercept t raw_h ~meth args =
   end
   else (outs, ret)
 
-let on_create t (req : Runtime.create_request) =
+let rec on_create t (req : Runtime.create_request) =
+  match t.obs_tracer with
+  | None -> on_create_run t req
+  | Some tr ->
+      let cname = req.Runtime.req_class.Runtime.cname in
+      let id = Trace.open_span tr ~name:cname ~cat:"create" ~at_us:(sim_now t) in
+      (match on_create_run t req with
+      | h ->
+          let inst = Runtime.handle_owner t.ctx h in
+          Trace.close_span tr
+            ~args:
+              [
+                ("inst", Jsonu.Int inst);
+                ("classification", Jsonu.Int (classification_of t inst));
+              ]
+            id ~at_us:(sim_now t);
+          h
+      | exception e ->
+          Trace.close_span tr
+            ~args:[ ("error", Jsonu.Str (Printexc.to_string e)) ]
+            id ~at_us:(sim_now t);
+          raise e)
+
+and on_create_run t (req : Runtime.create_request) =
   let stack = Shadow_stack.walk t.stack in
   let cname = req.Runtime.req_class.Runtime.cname in
   let classification = Classifier.classify t.rte_classifier ~cname ~stack in
@@ -251,6 +391,14 @@ let on_create t (req : Runtime.create_request) =
           t.n_drops <- t.n_drops + oc.Fault.oc_drops;
           t.n_spikes <- t.n_spikes + oc.Fault.oc_spikes;
           t.fault_us <- t.fault_us +. oc.Fault.oc_fault_us;
+          (match t.obs with
+          | None -> ()
+          | Some i ->
+              Metrics.inc ~by:oc.Fault.oc_time_us i.i_comm_us;
+              Metrics.inc_int i.i_retries oc.Fault.oc_retries;
+              Metrics.inc_int i.i_drops oc.Fault.oc_drops;
+              Metrics.inc_int i.i_spikes oc.Fault.oc_spikes;
+              Metrics.inc ~by:oc.Fault.oc_fault_us i.i_fault_us);
           if oc.Fault.oc_retries > 0 && oc.Fault.oc_ok then
             t.logger.Logger.log
               (Event.Call_retried
@@ -258,6 +406,11 @@ let on_create t (req : Runtime.create_request) =
           if oc.Fault.oc_ok then begin
             t.n_remote_calls <- t.n_remote_calls + 1;
             t.n_remote_bytes <- t.n_remote_bytes + request + reply;
+            (match t.obs with
+            | None -> ()
+            | Some i ->
+                Metrics.inc i.i_remote_calls;
+                Metrics.inc_int i.i_remote_bytes (request + reply));
             machine
           end
           else begin
@@ -266,6 +419,7 @@ let on_create t (req : Runtime.create_request) =
                co-location default — instead of failing the
                instantiation. *)
             t.n_fallbacks <- t.n_fallbacks + 1;
+            (match t.obs with None -> () | Some i -> Metrics.inc i.i_fallbacks);
             t.logger.Logger.log (Event.Instantiation_degraded { cname; classification });
             creator_machine
           end
@@ -279,6 +433,7 @@ let on_create t (req : Runtime.create_request) =
   let inst = Runtime.handle_owner t.ctx raw in
   Hashtbl.replace t.inst_classification inst classification;
   t.created <- inst :: t.created;
+  (match t.obs with None -> () | Some i -> Metrics.inc i.i_instantiations);
   t.logger.Logger.log
     (Event.Component_instantiated { inst; cname; classification; creator });
   (* The instantiation request itself is communication: if creator and
@@ -309,7 +464,7 @@ let on_query t h ~iid =
 
 let on_destroy t inst = t.logger.Logger.log (Event.Component_destroyed { inst })
 
-let install ?(loggers = []) ~classifier ~mode ctx =
+let install ?(loggers = []) ?tracer ?metrics ~classifier ~mode ctx =
   let rte_icc = Icc.create () in
   let rte_inst_comm = Inst_comm.create () in
   let base_loggers =
@@ -341,6 +496,8 @@ let install ?(loggers = []) ~classifier ~mode ctx =
       n_unreachable = 0;
       fault_us = 0.;
       pair_counts = Hashtbl.create 256;
+      obs_tracer = tracer;
+      obs = Option.map make_instruments metrics;
     }
   in
   Runtime.set_create_hook ctx (Some (on_create t));
@@ -348,13 +505,14 @@ let install ?(loggers = []) ~classifier ~mode ctx =
   Runtime.set_destroy_hook ctx (Some (on_destroy t));
   t
 
-let install_profiling ?loggers ~classifier ctx = install ?loggers ~classifier ~mode:M_profiling ctx
+let install_profiling ?loggers ?tracer ?metrics ~classifier ctx =
+  install ?loggers ?tracer ?metrics ~classifier ~mode:M_profiling ctx
 
-let install_distributed ?loggers ~classifier ~config ctx =
+let install_distributed ?loggers ?tracer ?metrics ~classifier ~config ctx =
   (* The main program lives on the client. *)
-  let factory = Factory.create config.dc_factory_policy in
+  let factory = Factory.create ?metrics config.dc_factory_policy in
   Factory.record_instance factory ~inst:Runtime.main_instance Constraints.Client;
-  install ?loggers ~classifier
+  install ?loggers ?tracer ?metrics ~classifier
     ~mode:
       (M_distributed
          {

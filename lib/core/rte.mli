@@ -25,10 +25,22 @@ type t
 (** {1 Installation} *)
 
 val install_profiling :
-  ?loggers:Logger.t list -> classifier:Classifier.t -> Coign_com.Runtime.ctx -> t
+  ?loggers:Logger.t list ->
+  ?tracer:Coign_obs.Trace.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
+  classifier:Classifier.t ->
+  Coign_com.Runtime.ctx ->
+  t
 (** Instrument a context for scenario-based profiling. A profiling
     logger feeding {!icc} and {!inst_comm} is always installed;
-    [loggers] are additional sinks (e.g. an event recorder). *)
+    [loggers] are additional sinks (e.g. an event recorder).
+
+    [tracer] records a span per intercepted call (category ["call"],
+    named [Iface.method]) and per instantiation (category ["create"],
+    named by class), timed on {!sim_now} and nested per the shadow
+    stack. [metrics] registers the [coign_rte_*] instruments. Both
+    default to off, and when off the RTE runs exactly the instructions
+    it always did — profiles, stats, and events are bit-identical. *)
 
 type distributed_config = {
   dc_factory_policy : Factory.policy;
@@ -47,8 +59,13 @@ type distributed_config = {
 }
 
 val install_distributed :
-  ?loggers:Logger.t list -> classifier:Classifier.t -> config:distributed_config ->
-  Coign_com.Runtime.ctx -> t
+  ?loggers:Logger.t list ->
+  ?tracer:Coign_obs.Trace.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
+  classifier:Classifier.t ->
+  config:distributed_config ->
+  Coign_com.Runtime.ctx ->
+  t
 (** Realize a distribution: instantiation requests are relocated by the
     component factory, and every cross-machine call is charged its
     DCOM round-trip on the configured network. A cross-machine call
@@ -88,6 +105,10 @@ val instances_created : t -> int list
 val factory : t -> Factory.t option
 val comm_us : t -> float
 (** Accumulated cross-machine communication time (µs). *)
+
+val sim_now : t -> float
+(** The deterministic virtual clock spans are timed on: {!comm_us} plus
+    the compute time the application has charged. Never wall time. *)
 
 val remote_calls : t -> int
 val remote_bytes : t -> int

@@ -1,0 +1,43 @@
+open Coign_util
+
+type t = {
+  sp_trace : int;
+  sp_id : int;
+  sp_parent : int option;
+  sp_name : string;
+  sp_cat : string;
+  sp_start_us : float;
+  sp_dur_us : float;
+  sp_args : (string * Jsonu.t) list;
+}
+
+let chrome_event sp =
+  let args =
+    ("span_id", Jsonu.Int sp.sp_id)
+    :: (match sp.sp_parent with
+       | Some p -> [ ("parent_id", Jsonu.Int p) ]
+       | None -> [])
+    @ sp.sp_args
+  in
+  Jsonu.Obj
+    [
+      ("name", Jsonu.Str sp.sp_name);
+      ("cat", Jsonu.Str sp.sp_cat);
+      ("ph", Jsonu.Str "X");
+      ("ts", Jsonu.Float sp.sp_start_us);
+      ("dur", Jsonu.Float sp.sp_dur_us);
+      ("pid", Jsonu.Int 1);
+      ("tid", Jsonu.Int sp.sp_trace);
+      ("args", Jsonu.Obj args);
+    ]
+
+(* One span per line, tab-separated; the textual twin of the Chrome
+   export and the format [coign trace --format spans] golden-tests. *)
+let pp_line ppf sp =
+  Format.fprintf ppf "%d\t%d\t%s\t%s\t%s\t%.3f\t%.3f%s" sp.sp_trace sp.sp_id
+    (match sp.sp_parent with Some p -> string_of_int p | None -> "-")
+    sp.sp_cat sp.sp_name sp.sp_start_us sp.sp_dur_us
+    (String.concat ""
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\t%s=%s" k (Jsonu.to_string v))
+          sp.sp_args))

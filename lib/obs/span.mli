@@ -1,0 +1,30 @@
+(** One completed span of a causal trace.
+
+    A span covers one intercepted operation — an interface call or a
+    component instantiation — from entry to return, timed on the
+    deterministic simulation clock (virtual microseconds of
+    communication plus charged compute, never wall time). Spans nest
+    exactly as the RTE's shadow stack nests, so [sp_parent] reconstructs
+    the call tree the classifiers walk. *)
+
+type t = {
+  sp_trace : int;           (** trace (run) identifier *)
+  sp_id : int;              (** dense, ascending per trace; creation order *)
+  sp_parent : int option;   (** enclosing span, [None] at the root *)
+  sp_name : string;         (** ["IFace.method"] or the instantiated class *)
+  sp_cat : string;          (** ["call"] or ["create"] *)
+  sp_start_us : float;      (** sim-clock entry time *)
+  sp_dur_us : float;        (** sim-clock time to return (>= 0) *)
+  sp_args : (string * Coign_util.Jsonu.t) list;  (** extra attributes *)
+}
+
+val chrome_event : t -> Coign_util.Jsonu.t
+(** The span as one Chrome [trace_event] complete event (["ph": "X"],
+    timestamps in microseconds) — the element format of
+    about://tracing / Perfetto JSON. *)
+
+val pp_line : Format.formatter -> t -> unit
+(** One span per line, tab-separated:
+    [trace  id  parent  cat  name  start_us  dur_us  k=v...], with
+    ["-"] for a missing parent and times to 3 decimals (nanosecond
+    resolution — exact for the sim clock's microsecond arithmetic). *)

@@ -137,9 +137,9 @@ type sweep_point = {
   sw_predicted_comm_us : float;
 }
 
-let sweep_point ?(profile_seed = 7L) session network =
+let sweep_point ?(profile_seed = 7L) ?profiler session network =
   let net = Net_profiler.profile (Prng.create profile_seed) network in
-  let d = Analysis.Session.solve session ~net in
+  let d = Analysis.Session.solve ?profiler session ~net in
   {
     sw_network = network;
     sw_server_classifications = d.Analysis.server_count;
@@ -147,18 +147,21 @@ let sweep_point ?(profile_seed = 7L) session network =
     sw_predicted_comm_us = d.Analysis.predicted_comm_us;
   }
 
-let sweep ?pool ?profile_seed ~session networks =
+let sweep ?pool ?profile_seed ?profiler ~session networks =
   let networks = Array.of_list networks in
   let points =
     match pool with
-    | None -> Array.map (sweep_point ?profile_seed session) networks
+    | None -> Array.map (sweep_point ?profile_seed ?profiler session) networks
     | Some pool ->
         (* Sessions are single-domain: each participating domain prices
            and cuts on its own copy of the flow network (the abstract
-           graph itself is shared — it is immutable after creation). *)
+           graph itself is shared — it is immutable after creation).
+           The profiler, when given, is shared across the domains — its
+           recording is mutex-protected, so grid-wide phase totals
+           aggregate correctly. *)
         Parallel.map_init pool
           ~init:(fun () -> Analysis.Session.copy session)
-          ~f:(fun s network -> sweep_point ?profile_seed s network)
+          ~f:(fun s network -> sweep_point ?profile_seed ?profiler s network)
           networks
   in
   Array.to_list points

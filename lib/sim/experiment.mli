@@ -95,6 +95,7 @@ type sweep_point = {
 val sweep :
   ?pool:Coign_util.Parallel.t ->
   ?profile_seed:int64 ->
+  ?profiler:Coign_obs.Profiler.t ->
   session:Coign_core.Analysis.Session.t ->
   Coign_netsim.Network.t list ->
   sweep_point list
@@ -103,4 +104,6 @@ val sweep :
     the placement-vs-network tables behind the paper's Figures 4-8 and
     the [coign sweep] subcommand. With [pool], points are solved in
     parallel on per-domain session copies; the result is identical to
-    the sequential path. *)
+    the sequential path. [profiler] aggregates the per-point
+    ["pricing"]/["cut"] phases across the whole grid; it is safe to
+    share with a [pool] (recording is mutex-protected). *)

@@ -17,12 +17,17 @@ type grid = {
 let default_drop_rates = [ 0.; 0.01; 0.05; 0.1 ]
 let default_partitions_us = [ 0.; 50_000. ]
 
-let run ?pool ?(seed = 0x5EEDL) ?(jitter = 0.) ?(retry = Fault.default_retry)
+let run ?pool ?profiler ?(seed = 0x5EEDL) ?(jitter = 0.) ?(retry = Fault.default_retry)
     ?(drop_rates = default_drop_rates) ?(partitions_us = default_partitions_us)
     ?(partition_start_us = 0.) ~image ~registry ~network scenario =
   let cells =
     Array.of_list
       (List.concat_map (fun d -> List.map (fun p -> (d, p)) partitions_us) drop_rates)
+  in
+  let timed f =
+    match profiler with
+    | None -> f ()
+    | Some p -> Coign_obs.Profiler.time p "faultsim_cell" f
   in
   let eval (d, p) =
     let faults =
@@ -38,7 +43,9 @@ let run ?pool ?(seed = 0x5EEDL) ?(jitter = 0.) ?(retry = Fault.default_retry)
     {
       fr_drop_rate = d;
       fr_partition_us = p;
-      fr_stats = Adps.execute ~image ~registry ~network ~jitter ~seed ~faults ~retry scenario;
+      fr_stats =
+        timed (fun () ->
+            Adps.execute ~image ~registry ~network ~jitter ~seed ~faults ~retry scenario);
     }
   in
   let runs =

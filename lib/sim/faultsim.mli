@@ -32,6 +32,7 @@ val default_partitions_us : float list
 
 val run :
   ?pool:Coign_util.Parallel.t ->
+  ?profiler:Coign_obs.Profiler.t ->
   ?seed:int64 ->
   ?jitter:float ->
   ?retry:Coign_netsim.Fault.retry_policy ->
@@ -48,7 +49,9 @@ val run :
     lengths become one [\[partition_start_us, start + length)] window
     on the run's virtual clock. Cells are independent — with a [pool]
     they run across domains, and the grid is identical either way
-    (a tested property). *)
+    (a tested property). [profiler] records each cell's wall time
+    under the ["faultsim_cell"] phase, aggregated grid-wide (safe with
+    a [pool]; recording is mutex-protected). *)
 
 val pp_text : Format.formatter -> grid -> unit
 (** The human-readable table [coign faultsim] prints. *)

@@ -1,0 +1,273 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_literal f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_literal f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          write buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  (* Encode one Unicode scalar value as UTF-8. *)
+  let add_uchar buf u =
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else if u < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "truncated escape";
+          let c = s.[!pos] in
+          advance ();
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              let u = hex4 () in
+              if u >= 0xD800 && u <= 0xDBFF then begin
+                (* High surrogate: require the low half. *)
+                if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo < 0xDC00 || lo > 0xDFFF then fail "bad low surrogate";
+                  add_uchar buf (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else fail "lone high surrogate"
+              end
+              else if u >= 0xDC00 && u <= 0xDFFF then fail "lone low surrogate"
+              else add_uchar buf u
+          | _ -> fail "bad escape");
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok v -> v | Error msg -> invalid_arg ("Jsonu.parse: " ^ msg)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b
+  | Int a, Float b | Float b, Int a -> float_of_int a = b
+  | Str a, Str b -> String.equal a b
+  | Arr a, Arr b -> List.length a = List.length b && List.for_all2 equal a b
+  | Obj a, Obj b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+           a b
+  | _ -> false

@@ -69,9 +69,57 @@ let test_error_reporting () =
         Alcotest.(check bool) "analyze without profile rejected" true
           (run_cmd [ "analyze"; img; "-o"; img ] <> 0))
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_trace_golden () =
+  (* `coign trace --format spans` output is timed on the deterministic
+     sim clock, so the whole trace of a fixed scenario is golden. *)
+  let golden = "golden/trace_benefits_addone.txt" in
+  if not (Sys.file_exists exe && Sys.file_exists golden) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "ben.img" in
+        let out = Filename.concat dir "spans.txt" in
+        check_ok "instrument" (run_cmd [ "instrument"; "--app"; "benefits"; "-o"; img ]);
+        check_ok "trace"
+          (run_cmd
+             [ "trace"; img; "--scenario"; "b_addone"; "--format"; "spans"; "-o"; out ]);
+        Alcotest.(check string) "span trace golden" (read_file golden) (read_file out))
+
+let test_trace_chrome_and_metrics_parse () =
+  if not (Sys.file_exists exe) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "ben.img" in
+        let chrome = Filename.concat dir "trace.json" in
+        let prom = Filename.concat dir "metrics.json" in
+        check_ok "instrument" (run_cmd [ "instrument"; "--app"; "benefits"; "-o"; img ]);
+        check_ok "trace chrome"
+          (run_cmd
+             [ "trace"; img; "--scenario"; "b_addone"; "--format"; "chrome"; "-o"; chrome ]);
+        let j = Coign_util.Jsonu.parse_exn (read_file chrome) in
+        (match Coign_util.Jsonu.member "traceEvents" j with
+        | Some (Coign_util.Jsonu.Arr evs) ->
+            Alcotest.(check bool) "trace events present" true (List.length evs > 100)
+        | _ -> Alcotest.fail "chrome trace lacks traceEvents");
+        let cmd =
+          Filename.quote_command exe
+            [ "metrics"; img; "--scenario"; "b_addone"; "--json" ]
+        in
+        check_ok "metrics --json" (Sys.command (cmd ^ " > " ^ Filename.quote prom ^ " 2>/dev/null"));
+        let m = Coign_util.Jsonu.parse_exn (read_file prom) in
+        Alcotest.(check bool) "rte counters exported" true
+          (Coign_util.Jsonu.member "coign_rte_intercepted_calls_total" m <> None))
+
 let suite =
   [
     Alcotest.test_case "cli full pipeline" `Slow test_full_pipeline;
     Alcotest.test_case "cli log/combine flow" `Slow test_log_combine_flow;
     Alcotest.test_case "cli error reporting" `Quick test_error_reporting;
+    Alcotest.test_case "cli trace golden" `Slow test_trace_golden;
+    Alcotest.test_case "cli trace/metrics json" `Slow test_trace_chrome_and_metrics_parse;
   ]

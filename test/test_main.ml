@@ -17,6 +17,7 @@ let () =
       ("apps", Test_apps.suite);
       ("sim", Test_sim.suite);
       ("extensions", Test_extensions.suite);
+      ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("cli", Test_cli.suite);
     ]

@@ -1,0 +1,570 @@
+(* The observability subsystem: JSON kernel, event serialization, the
+   stable log line format, span tracing, the metrics registry, pipeline
+   self-profiling — and the zero-cost guarantee that none of it changes
+   a run that does not opt in. *)
+
+open Coign_util
+open Coign_core
+open Coign_apps
+open Coign_obs
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Jsonu ---------------------------------------------------------- *)
+
+let roundtrip j = Jsonu.parse_exn (Jsonu.to_string j)
+
+let test_jsonu_print_parse () =
+  let j =
+    Jsonu.Obj
+      [
+        ("null", Jsonu.Null);
+        ("flag", Jsonu.Bool true);
+        ("n", Jsonu.Int (-42));
+        ("x", Jsonu.Float 1.5);
+        ("s", Jsonu.Str "tab\there \"quoted\" back\\slash\nnewline");
+        ("a", Jsonu.Arr [ Jsonu.Int 1; Jsonu.Str ""; Jsonu.Obj [] ]);
+      ]
+  in
+  Alcotest.(check bool) "round-trips" true (Jsonu.equal j (roundtrip j))
+
+let test_jsonu_float_never_reparses_as_int () =
+  Alcotest.(check bool) "2.0 stays float" true
+    (match roundtrip (Jsonu.Float 2.) with Jsonu.Float _ -> true | _ -> false);
+  Alcotest.(check bool) "int stays int" true
+    (match roundtrip (Jsonu.Int 2) with Jsonu.Int 2 -> true | _ -> false);
+  Alcotest.(check string) "nan renders null" "null" (Jsonu.to_string (Jsonu.Float Float.nan))
+
+let test_jsonu_unicode_escapes () =
+  (* \u00e9 = é in UTF-8; a surrogate pair decodes to a 4-byte scalar. *)
+  Alcotest.(check bool) "BMP escape" true
+    (Jsonu.parse_exn {|"caf\u00e9"|} = Jsonu.Str "caf\xc3\xa9");
+  Alcotest.(check bool) "surrogate pair" true
+    (Jsonu.parse_exn {|"\ud83d\ude00"|} = Jsonu.Str "\xf0\x9f\x98\x80")
+
+let test_jsonu_rejects_garbage () =
+  let bad s = match Jsonu.parse s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "trailing garbage" true (bad "1 2");
+  Alcotest.(check bool) "unterminated string" true (bad "\"abc");
+  Alcotest.(check bool) "bare word" true (bad "flase")
+
+let qcheck_jsonu_string_roundtrip =
+  QCheck.Test.make ~name:"any string survives escape/parse" ~count:300 QCheck.string
+    (fun s -> roundtrip (Jsonu.Str s) = Jsonu.Str s)
+
+(* --- Event serialization -------------------------------------------- *)
+
+let all_event_shapes =
+  [
+    Event.Component_instantiated
+      { inst = 3; cname = "Mini.Back\twith\ttabs"; classification = 1; creator = 0 };
+    Event.Component_destroyed { inst = 3 };
+    Event.Interface_instantiated { owner = 2; iface = "IBack"; handle = 7 };
+    Event.Interface_destroyed { owner = 2; iface = "IBack"; handle = 7 };
+    Event.Interface_call
+      {
+        caller = 1;
+        caller_classification = 0;
+        callee = 2;
+        callee_classification = 1;
+        iface = "IBack";
+        meth = "store";
+        remotable = true;
+        request_bytes = 1024;
+        reply_bytes = 8;
+      };
+    Event.Call_retried { iface = "IBack"; meth = "store"; retries = 2 };
+    Event.Instantiation_degraded { cname = "Mini.Back"; classification = 1 };
+  ]
+
+let test_event_json_roundtrip_all_constructors () =
+  List.iter
+    (fun e ->
+      (* ... including through the printed text, as a scraper would. *)
+      let j = Jsonu.parse_exn (Jsonu.to_string (Event.to_json e)) in
+      match Event.of_json j with
+      | Ok e' -> Alcotest.(check bool) (Event.kind_name e) true (e = e')
+      | Error msg -> Alcotest.fail (Event.kind_name e ^ ": " ^ msg))
+    all_event_shapes
+
+let test_event_of_json_errors () =
+  let err j = match Event.of_json j with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "unknown kind" true
+    (err (Jsonu.Obj [ ("event", Jsonu.Str "nonesuch") ]));
+  Alcotest.(check bool) "missing field" true
+    (err (Jsonu.Obj [ ("event", Jsonu.Str "component_destroyed") ]));
+  Alcotest.(check bool) "mistyped field" true
+    (err (Jsonu.Obj [ ("event", Jsonu.Str "component_destroyed"); ("inst", Jsonu.Str "x") ]))
+
+let gen_event =
+  let open QCheck.Gen in
+  let s = string_size ~gen:char (int_bound 12) in
+  let i = int_bound 10_000 in
+  oneof
+    [
+      ( i >>= fun inst ->
+        s >>= fun cname ->
+        i >>= fun classification ->
+        i >>= fun creator ->
+        return (Event.Component_instantiated { inst; cname; classification; creator }) );
+      (i >>= fun inst -> return (Event.Component_destroyed { inst }));
+      ( i >>= fun owner ->
+        s >>= fun iface ->
+        i >>= fun handle -> return (Event.Interface_instantiated { owner; iface; handle }) );
+      ( i >>= fun owner ->
+        s >>= fun iface ->
+        i >>= fun handle -> return (Event.Interface_destroyed { owner; iface; handle }) );
+      ( i >>= fun caller ->
+        i >>= fun caller_classification ->
+        i >>= fun callee ->
+        i >>= fun callee_classification ->
+        s >>= fun iface ->
+        s >>= fun meth ->
+        bool >>= fun remotable ->
+        i >>= fun request_bytes ->
+        i >>= fun reply_bytes ->
+        return
+          (Event.Interface_call
+             {
+               caller;
+               caller_classification;
+               callee;
+               callee_classification;
+               iface;
+               meth;
+               remotable;
+               request_bytes;
+               reply_bytes;
+             }) );
+      ( s >>= fun iface ->
+        s >>= fun meth ->
+        i >>= fun retries -> return (Event.Call_retried { iface; meth; retries }) );
+      ( s >>= fun cname ->
+        i >>= fun classification ->
+        return (Event.Instantiation_degraded { cname; classification }) );
+    ]
+
+let qcheck_event_roundtrip =
+  QCheck.Test.make ~name:"event json round-trip (arbitrary strings)" ~count:500
+    (QCheck.make ~print:Event.to_line gen_event)
+    (fun e -> Event.of_json (Jsonu.parse_exn (Jsonu.to_string (Event.to_json e))) = Ok e)
+
+(* --- Logger line format (golden), tee, tally ------------------------ *)
+
+let test_to_channel_golden () =
+  (* The exact bytes Logger.to_channel emits — a compatibility surface;
+     update this test only with a deliberate format change. *)
+  let expected =
+    "component_instantiated\tinst=1\tcname=\"Mini.Front\"\tclassification=0\tcreator=0\n\
+     interface_call\tcaller=1\tcaller_classification=0\tcallee=2\tcallee_classification=1\t\
+     iface=\"IBack\"\tmeth=\"store\"\tremotable=true\trequest_bytes=1024\treply_bytes=8\n\
+     call_retried\tiface=\"IBack\"\tmeth=\"store\"\tretries=2\n\
+     instantiation_degraded\tcname=\"A \\\"odd\\\"\\tname\"\tclassification=1\n"
+  in
+  let events =
+    [
+      Event.Component_instantiated
+        { inst = 1; cname = "Mini.Front"; classification = 0; creator = 0 };
+      Event.Interface_call
+        {
+          caller = 1;
+          caller_classification = 0;
+          callee = 2;
+          callee_classification = 1;
+          iface = "IBack";
+          meth = "store";
+          remotable = true;
+          request_bytes = 1024;
+          reply_bytes = 8;
+        };
+      Event.Call_retried { iface = "IBack"; meth = "store"; retries = 2 };
+      Event.Instantiation_degraded { cname = "A \"odd\"\tname"; classification = 1 };
+    ]
+  in
+  let path = Filename.temp_file "coign_obs" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let logger = Logger.to_channel oc in
+      List.iter logger.Logger.log events;
+      close_out oc;
+      let ic = open_in_bin path in
+      let got = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "stable line format" expected got)
+
+let test_tee_ordering () =
+  (* Each event reaches the sinks in list order before the next event
+     is delivered to anyone. *)
+  let order = ref [] in
+  let mk name = { Logger.logger_name = name; log = (fun e -> order := (name, e) :: !order) } in
+  let tee = Logger.tee [ mk "a"; mk "b" ] in
+  let e1 = Event.Component_destroyed { inst = 1 } in
+  let e2 = Event.Component_destroyed { inst = 2 } in
+  tee.Logger.log e1;
+  tee.Logger.log e2;
+  Alcotest.(check bool) "a then b, per event" true
+    (List.rev !order = [ ("a", e1); ("b", e1); ("a", e2); ("b", e2) ])
+
+let test_tally_key_stability () =
+  (* Tally keys are Event.kind_name — one stable key per constructor. *)
+  let tally, read = Logger.tally () in
+  List.iter tally.Logger.log all_event_shapes;
+  Alcotest.(check (list (pair string int)))
+    "one key per constructor, sorted"
+    [
+      ("call_retried", 1);
+      ("component_destroyed", 1);
+      ("component_instantiated", 1);
+      ("instantiation_degraded", 1);
+      ("interface_call", 1);
+      ("interface_destroyed", 1);
+      ("interface_instantiated", 1);
+    ]
+    (read ())
+
+(* --- Metrics registry ----------------------------------------------- *)
+
+let test_metrics_counters_and_gauges () =
+  let reg = Metrics.registry () in
+  let c = Metrics.counter reg "requests_total" in
+  Metrics.inc c;
+  Metrics.inc ~by:2.5 c;
+  Metrics.inc_int c 2;
+  Alcotest.(check (float 1e-9)) "counter accumulates" 5.5 (Metrics.counter_value c);
+  Alcotest.(check bool) "negative increment rejected" true
+    (try
+       Metrics.inc ~by:(-1.) c;
+       false
+     with Invalid_argument _ -> true);
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set g 3.;
+  Metrics.set g 1.5;
+  Alcotest.(check (float 1e-9)) "gauge takes last value" 1.5 (Metrics.gauge_value g)
+
+let test_metrics_identity_and_mismatch () =
+  let reg = Metrics.registry () in
+  let c1 = Metrics.counter reg ~labels:[ ("kind", "local") ] "req" in
+  let c2 = Metrics.counter reg ~labels:[ ("kind", "local") ] "req" in
+  let c3 = Metrics.counter reg ~labels:[ ("kind", "forwarded") ] "req" in
+  Metrics.inc c1;
+  Metrics.inc c2;
+  Metrics.inc c3;
+  Alcotest.(check (float 1e-9)) "same identity accumulates" 2. (Metrics.counter_value c1);
+  Alcotest.(check (float 1e-9)) "different labels are distinct" 1. (Metrics.counter_value c3);
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (try
+       ignore (Metrics.gauge reg "req");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "invalid name rejected" true
+    (try
+       ignore (Metrics.counter reg "1bad name");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_histogram () =
+  let reg = Metrics.registry () in
+  let h = Metrics.histogram reg "bytes" in
+  Metrics.observe h 100;
+  Metrics.observe h 5;
+  Metrics.observe h (-7);
+  Alcotest.(check int) "count" 3 (Metrics.histogram_count h);
+  Alcotest.(check int) "sum (negative clamped)" 105 (Metrics.histogram_sum h)
+
+let sample_registry () =
+  let reg = Metrics.registry () in
+  let c = Metrics.counter reg ~help:"calls seen" "coign_calls_total" in
+  Metrics.inc_int c 7;
+  Metrics.set (Metrics.gauge reg "coign_depth") 2.;
+  let h = Metrics.histogram reg ~labels:[ ("dir", "request") ] "coign_bytes" in
+  Metrics.observe h 100;
+  Metrics.observe h 90_000;
+  reg
+
+let test_metrics_exposition_deterministic () =
+  let a = Metrics.prometheus (sample_registry ()) in
+  let b = Metrics.prometheus (sample_registry ()) in
+  Alcotest.(check string) "byte-identical exposition" a b;
+  let contains sub =
+    let n = String.length sub and m = String.length a in
+    let rec go i = i + n <= m && (String.equal (String.sub a i n) sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "help line" true (contains "# HELP coign_calls_total calls seen");
+  Alcotest.(check bool) "type line" true (contains "# TYPE coign_bytes histogram");
+  Alcotest.(check bool) "cumulative +Inf bucket" true
+    (contains "coign_bytes_bucket{dir=\"request\",le=\"+Inf\"} 2");
+  Alcotest.(check bool) "histogram sum" true (contains "coign_bytes_sum{dir=\"request\"} 90100")
+
+let test_metrics_json_parses () =
+  let j = Jsonu.parse_exn (Metrics.to_json_string (sample_registry ())) in
+  Alcotest.(check bool) "counter present" true
+    (Jsonu.member "coign_calls_total" j <> None);
+  Alcotest.(check bool) "stable" true
+    (String.equal
+       (Metrics.to_json_string (sample_registry ()))
+       (Metrics.to_json_string (sample_registry ())))
+
+(* --- Trace ----------------------------------------------------------- *)
+
+let test_trace_nesting_and_emission_order () =
+  let sink, spans = Trace.collector () in
+  let tr = Trace.create ~trace_id:9 sink in
+  let a = Trace.open_span tr ~name:"a" ~cat:"call" ~at_us:0. in
+  let b = Trace.open_span tr ~name:"b" ~cat:"call" ~at_us:1. in
+  Trace.close_span tr b ~at_us:3.;
+  let c = Trace.open_span tr ~name:"c" ~cat:"create" ~at_us:3. in
+  Trace.close_span tr c ~at_us:3.;
+  Trace.close_span tr a ~args:[ ("k", Jsonu.Int 1) ] ~at_us:10.;
+  Alcotest.(check int) "all closed" 0 (Trace.depth tr);
+  Alcotest.(check int) "three spans" 3 (Trace.span_count tr);
+  match spans () with
+  | [ sb; sc; sa ] ->
+      Alcotest.(check string) "close order: b first" "b" sb.Span.sp_name;
+      Alcotest.(check string) "then c" "c" sc.Span.sp_name;
+      Alcotest.(check string) "parent last" "a" sa.Span.sp_name;
+      Alcotest.(check bool) "b child of a" true (sb.Span.sp_parent = Some a);
+      Alcotest.(check bool) "c child of a (b closed)" true (sc.Span.sp_parent = Some a);
+      Alcotest.(check bool) "a is root" true (sa.Span.sp_parent = None);
+      Alcotest.(check (float 1e-9)) "duration" 2. sb.Span.sp_dur_us;
+      Alcotest.(check int) "trace id" 9 sa.Span.sp_trace
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 spans, got %d" (List.length l))
+
+let test_trace_lifo_enforced () =
+  let tr = Trace.create Trace.null_sink in
+  let a = Trace.open_span tr ~name:"a" ~cat:"call" ~at_us:0. in
+  let _b = Trace.open_span tr ~name:"b" ~cat:"call" ~at_us:0. in
+  Alcotest.(check bool) "closing the outer span first is rejected" true
+    (try
+       Trace.close_span tr a ~at_us:1.;
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_with_span_error () =
+  let sink, spans = Trace.collector () in
+  let tr = Trace.create sink in
+  let clock = Fun.const 0. in
+  Alcotest.(check bool) "exception propagates" true
+    (try
+       Trace.with_span tr ~name:"boom" ~cat:"call" ~clock (fun () -> raise Exit)
+     with Exit -> true);
+  match spans () with
+  | [ s ] ->
+      Alcotest.(check bool) "span closed with error attribute" true
+        (List.mem_assoc "error" s.Span.sp_args);
+      Alcotest.(check int) "stack unwound" 0 (Trace.depth tr)
+  | _ -> Alcotest.fail "expected exactly one span"
+
+let test_chrome_json_shape () =
+  let sink, spans = Trace.collector () in
+  let tr = Trace.create sink in
+  Trace.close_span tr (Trace.open_span tr ~name:"IBack.store" ~cat:"call" ~at_us:1.) ~at_us:2.5;
+  let j = Jsonu.parse_exn (Trace.chrome_json (spans ())) in
+  match Jsonu.member "traceEvents" j with
+  | Some (Jsonu.Arr [ ev ]) ->
+      Alcotest.(check bool) "complete event" true (Jsonu.member "ph" ev = Some (Jsonu.Str "X"));
+      Alcotest.(check bool) "name carried" true
+        (Jsonu.member "name" ev = Some (Jsonu.Str "IBack.store"));
+      Alcotest.(check bool) "microsecond timestamps" true
+        (Jsonu.member "ts" ev <> None && Jsonu.member "dur" ev <> None)
+  | _ -> Alcotest.fail "traceEvents missing or wrong arity"
+
+(* --- Profiler -------------------------------------------------------- *)
+
+let fake_clock () =
+  let now = ref 0. in
+  (now, Profiler.create ~clock:(fun () -> !now) ())
+
+let test_profiler_phases () =
+  let now, p = fake_clock () in
+  Profiler.time p "cut" (fun () -> now := !now +. 2.);
+  Profiler.time p "cut" (fun () -> now := !now +. 5.);
+  Profiler.time p "pricing" (fun () -> now := !now +. 1.);
+  (match Profiler.phases p with
+  | [ cut; pricing ] ->
+      Alcotest.(check string) "first-use order" "cut" cut.Profiler.ph_name;
+      Alcotest.(check int) "count" 2 cut.Profiler.ph_count;
+      Alcotest.(check (float 1e-9)) "total" 7. cut.Profiler.ph_total_s;
+      Alcotest.(check (float 1e-9)) "max" 5. cut.Profiler.ph_max_s;
+      Alcotest.(check string) "second phase" "pricing" pricing.Profiler.ph_name
+  | _ -> Alcotest.fail "expected two phases");
+  Alcotest.(check (float 1e-9)) "grand total" 8. (Profiler.total_s p)
+
+let test_profiler_records_on_exception () =
+  let now, p = fake_clock () in
+  (try
+     Profiler.time p "boom" (fun () ->
+         now := !now +. 3.;
+         raise Exit)
+   with Exit -> ());
+  match Profiler.phases p with
+  | [ ph ] ->
+      Alcotest.(check int) "count" 1 ph.Profiler.ph_count;
+      Alcotest.(check (float 1e-9)) "time still recorded" 3. ph.Profiler.ph_total_s
+  | _ -> Alcotest.fail "expected one phase"
+
+let test_profiler_absorb_and_reset () =
+  let na, a = fake_clock () in
+  let nb, b = fake_clock () in
+  Profiler.time a "cut" (fun () -> na := !na +. 2.);
+  Profiler.time b "cut" (fun () -> nb := !nb +. 5.);
+  Profiler.time b "validation" (fun () -> nb := !nb +. 1.);
+  Profiler.absorb a b;
+  (match Profiler.phases a with
+  | [ cut; v ] ->
+      Alcotest.(check int) "counts add" 2 cut.Profiler.ph_count;
+      Alcotest.(check (float 1e-9)) "totals add" 7. cut.Profiler.ph_total_s;
+      Alcotest.(check (float 1e-9)) "max is max" 5. cut.Profiler.ph_max_s;
+      Alcotest.(check string) "new phase arrives" "validation" v.Profiler.ph_name
+  | _ -> Alcotest.fail "expected two phases after absorb");
+  Alcotest.(check int) "absorb leaves the source alone" 2 (List.length (Profiler.phases b));
+  Profiler.reset a;
+  Alcotest.(check int) "reset empties" 0 (List.length (Profiler.phases a))
+
+(* --- Pipeline integration (real application runs) -------------------- *)
+
+let network = Coign_netsim.Network.ethernet_10
+
+let profile_with obs =
+  let app = Benefits.app in
+  let sc = App.scenario app "b_addone" in
+  let image = Adps.instrument app.App.app_image in
+  match obs with
+  | None -> (snd (Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run), None)
+  | Some () ->
+      let sink, spans = Trace.collector () in
+      let tracer = Trace.create sink in
+      let metrics = Metrics.registry () in
+      let stats =
+        snd (Adps.profile ~tracer ~metrics ~image ~registry:app.App.app_registry sc.App.sc_run)
+      in
+      ((stats : Adps.profile_stats), Some (spans (), metrics))
+
+let test_rte_spans_mirror_shadow_stack () =
+  let _, obs = profile_with (Some ()) in
+  let spans, metrics = Option.get obs in
+  Alcotest.(check bool) "spans recorded" true (List.length spans > 100);
+  let by_id = Hashtbl.create 512 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Span.sp_id s) spans;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "non-negative duration" true (s.Span.sp_dur_us >= 0.);
+      Alcotest.(check bool) "category" true
+        (s.Span.sp_cat = "call" || s.Span.sp_cat = "create");
+      match s.Span.sp_parent with
+      | None -> ()
+      | Some p ->
+          let parent = Hashtbl.find by_id p in
+          (* A child opens after and closes before its parent. *)
+          Alcotest.(check bool) "parent opened first" true (p < s.Span.sp_id);
+          Alcotest.(check bool) "child inside parent" true
+            (parent.Span.sp_start_us <= s.Span.sp_start_us
+            && s.Span.sp_start_us +. s.Span.sp_dur_us
+               <= parent.Span.sp_start_us +. parent.Span.sp_dur_us +. 1e-6))
+    spans;
+  (* Every intercepted operation got exactly one span, and the metric
+     agrees with the trace. *)
+  let calls = List.length (List.filter (fun s -> s.Span.sp_cat = "call") spans) in
+  let json = Jsonu.parse_exn (Metrics.to_json_string metrics) in
+  Alcotest.(check bool) "metrics exported" true
+    (Jsonu.member "coign_rte_intercepted_calls_total" json <> None);
+  Alcotest.(check bool) "call spans exist" true (calls > 0)
+
+let test_traces_deterministic () =
+  let _, a = profile_with (Some ()) in
+  let _, b = profile_with (Some ()) in
+  let spans_a, _ = Option.get a and spans_b, _ = Option.get b in
+  Alcotest.(check bool) "two identical runs trace identically" true (spans_a = spans_b)
+
+let test_observability_zero_cost_profiling () =
+  let bare, _ = profile_with None in
+  let observed, _ = profile_with (Some ()) in
+  Alcotest.(check bool) "profile stats bit-identical" true (bare = observed)
+
+let distributed_image () =
+  let app = Benefits.app in
+  let sc = App.scenario app "b_addone" in
+  let image = Adps.instrument app.App.app_image in
+  let image, _ = Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run in
+  let net = Coign_netsim.Net_profiler.profile (Prng.create 5L) network in
+  let image, _ = Adps.analyze ~image ~net () in
+  (app, sc, image)
+
+let test_observability_zero_cost_distributed () =
+  let app, sc, image = distributed_image () in
+  let run obs =
+    match obs with
+    | false -> Adps.execute ~image ~registry:app.App.app_registry ~network sc.App.sc_run
+    | true ->
+        let tracer = Trace.create Trace.null_sink in
+        let metrics = Metrics.registry () in
+        Adps.execute ~tracer ~metrics ~image ~registry:app.App.app_registry ~network
+          sc.App.sc_run
+  in
+  Alcotest.(check bool) "exec stats bit-identical" true (run false = run true)
+
+let test_analysis_metrics_and_zero_cost () =
+  let app = Benefits.app in
+  let sc = App.scenario app "b_addone" in
+  let image = Adps.instrument app.App.app_image in
+  let image, _ = Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run in
+  let net = Coign_netsim.Net_profiler.profile (Prng.create 5L) network in
+  let session = Adps.analysis_session image in
+  let bare = Analysis.Session.solve session ~net in
+  let metrics = Metrics.registry () in
+  let observed = Analysis.Session.solve session ~metrics ~net in
+  Alcotest.(check string) "distribution unchanged by metrics" (Analysis.encode bare)
+    (Analysis.encode observed);
+  let json = Jsonu.parse_exn (Metrics.to_json_string metrics) in
+  Alcotest.(check bool) "solve counted" true
+    (Jsonu.member "coign_analysis_solves_total" json <> None)
+
+let test_pipeline_phase_names () =
+  let app = Benefits.app in
+  let sc = App.scenario app "b_addone" in
+  let image = Adps.instrument app.App.app_image in
+  let image, _ = Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run in
+  let net = Coign_netsim.Net_profiler.profile (Prng.create 5L) network in
+  let profiler = Profiler.create () in
+  let _ = Adps.analyze ~profiler ~image ~net () in
+  Alcotest.(check (list string)) "stages in pipeline order"
+    [ "profile_load"; "icc_graph_build"; "pricing"; "cut"; "validation" ]
+    (List.map (fun p -> p.Profiler.ph_name) (Profiler.phases profiler))
+
+let suite =
+  [
+    Alcotest.test_case "jsonu print/parse round-trip" `Quick test_jsonu_print_parse;
+    Alcotest.test_case "jsonu float/int separation" `Quick test_jsonu_float_never_reparses_as_int;
+    Alcotest.test_case "jsonu unicode escapes" `Quick test_jsonu_unicode_escapes;
+    Alcotest.test_case "jsonu rejects garbage" `Quick test_jsonu_rejects_garbage;
+    qtest qcheck_jsonu_string_roundtrip;
+    Alcotest.test_case "event json round-trip (all constructors)" `Quick
+      test_event_json_roundtrip_all_constructors;
+    Alcotest.test_case "event of_json errors" `Quick test_event_of_json_errors;
+    qtest qcheck_event_roundtrip;
+    Alcotest.test_case "logger line format (golden)" `Quick test_to_channel_golden;
+    Alcotest.test_case "logger tee ordering" `Quick test_tee_ordering;
+    Alcotest.test_case "logger tally key stability" `Quick test_tally_key_stability;
+    Alcotest.test_case "metrics counters and gauges" `Quick test_metrics_counters_and_gauges;
+    Alcotest.test_case "metrics identity and mismatch" `Quick test_metrics_identity_and_mismatch;
+    Alcotest.test_case "metrics histogram" `Quick test_metrics_histogram;
+    Alcotest.test_case "metrics exposition deterministic" `Quick
+      test_metrics_exposition_deterministic;
+    Alcotest.test_case "metrics json parses" `Quick test_metrics_json_parses;
+    Alcotest.test_case "trace nesting and emission order" `Quick
+      test_trace_nesting_and_emission_order;
+    Alcotest.test_case "trace LIFO enforced" `Quick test_trace_lifo_enforced;
+    Alcotest.test_case "trace with_span on error" `Quick test_trace_with_span_error;
+    Alcotest.test_case "chrome json shape" `Quick test_chrome_json_shape;
+    Alcotest.test_case "profiler phases" `Quick test_profiler_phases;
+    Alcotest.test_case "profiler records on exception" `Quick test_profiler_records_on_exception;
+    Alcotest.test_case "profiler absorb and reset" `Quick test_profiler_absorb_and_reset;
+    Alcotest.test_case "rte spans mirror shadow stack" `Slow test_rte_spans_mirror_shadow_stack;
+    Alcotest.test_case "traces deterministic" `Slow test_traces_deterministic;
+    Alcotest.test_case "zero cost: profiling" `Slow test_observability_zero_cost_profiling;
+    Alcotest.test_case "zero cost: distributed" `Slow test_observability_zero_cost_distributed;
+    Alcotest.test_case "analysis metrics, zero cost" `Slow test_analysis_metrics_and_zero_cost;
+    Alcotest.test_case "pipeline phase names" `Slow test_pipeline_phase_names;
+  ]
