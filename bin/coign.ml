@@ -504,6 +504,139 @@ let faultsim_cmd =
           seed fixes the whole schedule, across any number of jobs.")
     term
 
+(* resilience ------------------------------------------------------- *)
+
+let resilience_cmd =
+  let drops_arg =
+    Arg.(
+      value
+      & opt (list float) Coign_sim.Resilsim.default_drop_rates
+      & info [ "drops" ] ~docv:"RATES"
+          ~doc:"Comma-separated per-message drop probabilities, each in [0, 1].")
+  in
+  let partitions_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.; 200. ]
+      & info [ "partitions-ms" ] ~docv:"MS"
+          ~doc:"Comma-separated partition-window lengths in milliseconds (0 = no window).")
+  in
+  let partition_start_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "partition-start-ms" ] ~docv:"MS"
+          ~doc:"Where each partition window opens on the run's virtual clock.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0x5EED
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Master seed; jitter, backoff, and fault verdicts each derive their own stream.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "jitter" ] ~docv:"R" ~doc:"Relative stddev of per-message time noise.")
+  in
+  let cooloff_arg =
+    Arg.(
+      value
+      & opt float (Coign_netsim.Health.default_policy.Coign_netsim.Health.hp_cooloff_us /. 1e3)
+      & info [ "cooloff-ms" ] ~docv:"MS"
+          ~doc:"Initial circuit-breaker cooloff in milliseconds (virtual clock).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt int Coign_netsim.Health.default_policy.Coign_netsim.Health.hp_failure_threshold
+      & info [ "failure-threshold" ] ~docv:"N"
+          ~doc:"Consecutive link failures that trip the breaker.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the grid as a JSON array.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains running grid cells concurrently: 1 = sequential, 0 (default) = one per \
+             core. The output is identical either way.")
+  in
+  let run image_path scenario_id network drops partitions_ms start_ms seed jitter cooloff_ms
+      threshold json jobs self_profile =
+    if List.exists (fun d -> d < 0. || d > 1.) drops then begin
+      Printf.eprintf "error: --drops rates must be in [0, 1]\n";
+      exit 1
+    end;
+    if List.exists (fun p -> p < 0.) partitions_ms || start_ms < 0. then begin
+      Printf.eprintf "error: partition lengths and start must be >= 0\n";
+      exit 1
+    end;
+    if jobs < 0 then begin
+      Printf.eprintf "error: --jobs must be >= 0\n";
+      exit 1
+    end;
+    if cooloff_ms <= 0. || threshold < 1 then begin
+      Printf.eprintf "error: --cooloff-ms must be > 0 and --failure-threshold >= 1\n";
+      exit 1
+    end;
+    let image = Binary_image.load image_path in
+    let app = app_of_image image in
+    let sc = scenario_of app scenario_id in
+    let health =
+      {
+        Coign_netsim.Health.default_policy with
+        Coign_netsim.Health.hp_failure_threshold = threshold;
+        hp_cooloff_us = cooloff_ms *. 1e3;
+      }
+    in
+    let pool, owned =
+      match jobs with
+      | 1 -> (None, None)
+      | 0 -> (Some (Parallel.default ()), None)
+      | n ->
+          let p = Parallel.create ~domains:(n - 1) () in
+          (Some p, Some p)
+    in
+    let profiler = if self_profile then Some (Coign_obs.Profiler.create ()) else None in
+    let grid =
+      try
+        Coign_sim.Resilsim.run ?pool ?profiler ~seed:(Int64.of_int seed) ~jitter ~health
+          ~drop_rates:drops
+          ~partitions_us:(List.map (fun ms -> ms *. 1e3) partitions_ms)
+          ~partition_start_us:(start_ms *. 1e3) ~image ~registry:app.App.app_registry
+          ~network sc.App.sc_run
+      with
+      | Invalid_argument msg | Coign_core.Fallback.Invalid msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      | Lint.Rejected diags ->
+          Format.eprintf "%a" Lint.pp_text diags;
+          Printf.eprintf "error: distribution rejected by the static validator\n";
+          exit 1
+    in
+    Option.iter Parallel.shutdown owned;
+    if json then print_string (Coign_sim.Resilsim.to_json grid)
+    else Format.printf "@[<v>%a@]@?" Coign_sim.Resilsim.pp_text grid;
+    Option.iter print_self_profile profiler
+  in
+  let term =
+    Term.(
+      const run $ image_arg $ scenario_arg $ network_arg $ drops_arg $ partitions_arg
+      $ partition_start_arg $ seed_arg $ jitter_arg $ cooloff_arg $ threshold_arg $ json_arg
+      $ jobs_arg $ self_profile_arg)
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Compare adaptive failover (circuit breaker + precomputed fallback distributions) \
+          against the retry-only distributed RTE across a fault grid: each cell runs the \
+          scenario both ways and tabulates availability, communication delta, breaker \
+          activity, and the final fallback rung. Deterministic: the seed fixes the whole \
+          schedule, across any number of jobs.")
+    term
+
 (* trace ------------------------------------------------------------ *)
 
 let trace_cmd =
@@ -679,5 +812,5 @@ let () =
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
           [
             instrument_cmd; profile_cmd; combine_cmd; lint_cmd; analyze_cmd; sweep_cmd;
-            faultsim_cmd; trace_cmd; metrics_cmd; show_cmd; run_cmd; list_cmd;
+            faultsim_cmd; resilience_cmd; trace_cmd; metrics_cmd; show_cmd; run_cmd; list_cmd;
           ]))

@@ -154,6 +154,7 @@ type exec_stats = {
   es_total_us : float;
   es_remote_calls : int;
   es_remote_bytes : int;
+  es_intercepted : int;
   es_instances : int;
   es_server_instances : int;
   es_forwarded_creates : int;
@@ -164,11 +165,20 @@ type exec_stats = {
   es_unreachable : int;
   es_fault_us : float;
   es_completed : bool;
+  (* Resilience counters — zero unless a resilience policy ran. *)
+  es_breaker_opens : int;
+  es_breaker_closes : int;
+  es_failovers : int;
+  es_failbacks : int;
+  es_migrations : int;
+  es_stranded_calls : int;
+  es_rescued_calls : int;
+  es_final_rung : int;
 }
 
 let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy ~network
     ?(jitter = 0.) ?(seed = 0x5EEDL) ?faults ?(retry = Coign_netsim.Fault.default_retry)
-    scenario =
+    ?resilience scenario =
   let ctx = Runtime.create_ctx registry in
   let rte =
     Rte.install_distributed ?loggers ?tracer ?metrics ~classifier
@@ -180,6 +190,7 @@ let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy 
           dc_seed = seed;
           dc_faults = faults;
           dc_retry = retry;
+          dc_resilience = resilience;
         }
       ctx
   in
@@ -202,6 +213,7 @@ let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy 
     es_total_us = comm +. compute;
     es_remote_calls = st.Rte.st_remote_calls;
     es_remote_bytes = st.Rte.st_remote_bytes;
+    es_intercepted = st.Rte.st_intercepted;
     es_instances = List.length (Rte.instances_created rte);
     es_server_instances =
       List.length
@@ -216,10 +228,18 @@ let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy 
     es_unreachable = st.Rte.st_unreachable;
     es_fault_us = st.Rte.st_fault_us;
     es_completed = completed;
+    es_breaker_opens = st.Rte.st_breaker_opens;
+    es_breaker_closes = st.Rte.st_breaker_closes;
+    es_failovers = st.Rte.st_failovers;
+    es_failbacks = st.Rte.st_failbacks;
+    es_migrations = st.Rte.st_migrations;
+    es_stranded_calls = st.Rte.st_stranded_calls;
+    es_rescued_calls = st.Rte.st_rescued_calls;
+    es_final_rung = st.Rte.st_final_rung;
   }
 
 let execute ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?faults ?retry
-    scenario =
+    ?resilience scenario =
   let config = config_of image in
   if Config_record.mode config <> Config_record.Distributed then
     invalid_arg "Adps.execute: image is not in distributed mode";
@@ -228,4 +248,14 @@ let execute ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?f
   | Some (classifier, distribution) ->
       execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier
         ~policy:(Factory.By_classification distribution) ~network ?jitter ?seed ?faults ?retry
-        scenario
+        ?resilience scenario
+
+(* Build the resilience ladder for a profiled image: rung 0 is the
+   image's stored distribution when it has one (so failback restores
+   exactly the analyzed cut) and a fresh solve of the same session
+   otherwise; later rungs re-price the same session under the
+   failure-mode profiles of [net]. *)
+let fallback_ladder ?algorithm ?profiler ?metrics ?modes ~image ~net () =
+  let session = analysis_session ?profiler image in
+  let primary = Option.map snd (load_distribution image) in
+  Fallback.compute ?algorithm ?profiler ?metrics ?modes ?primary session ~net ()

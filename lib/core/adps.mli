@@ -131,6 +131,7 @@ type exec_stats = {
   es_total_us : float;
   es_remote_calls : int;
   es_remote_bytes : int;
+  es_intercepted : int;      (** all intercepted calls, local or remote *)
   es_instances : int;
   es_server_instances : int;
   es_forwarded_creates : int;
@@ -143,6 +144,14 @@ type exec_stats = {
   es_completed : bool;
       (** false when the scenario was cut short by [E_unreachable]; the
           stats cover everything that ran up to the abandoned call *)
+  es_breaker_opens : int;    (** breaker trips (zero without resilience) *)
+  es_breaker_closes : int;
+  es_failovers : int;        (** switches down the fallback ladder *)
+  es_failbacks : int;        (** switches back up to the primary *)
+  es_migrations : int;       (** instances moved live between machines *)
+  es_stranded_calls : int;   (** calls that waited on an open breaker *)
+  es_rescued_calls : int;    (** failed calls completed locally *)
+  es_final_rung : int;       (** rung installed when the run ended *)
 }
 
 val execute :
@@ -154,6 +163,7 @@ val execute :
   network:Coign_netsim.Network.t ->
   ?jitter:float -> ?seed:int64 ->
   ?faults:Coign_netsim.Fault.spec -> ?retry:Coign_netsim.Fault.retry_policy ->
+  ?resilience:Rte.resilience_config ->
   scenario ->
   exec_stats
 (** Run a scenario under the distribution stored in the image (which
@@ -173,7 +183,24 @@ val execute_with_policy :
   network:Coign_netsim.Network.t ->
   ?jitter:float -> ?seed:int64 ->
   ?faults:Coign_netsim.Fault.spec -> ?retry:Coign_netsim.Fault.retry_policy ->
+  ?resilience:Rte.resilience_config ->
   scenario ->
   exec_stats
 (** Run under an explicit placement policy — used to measure the
     application's default (developer-chosen) distribution. *)
+
+val fallback_ladder :
+  ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  ?profiler:Coign_obs.Profiler.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
+  ?modes:(string * Coign_netsim.Net_profiler.t) list ->
+  image:Coign_image.Binary_image.t ->
+  net:Coign_netsim.Net_profiler.t ->
+  unit ->
+  Fallback.t
+(** The resilience ladder for a profiled image: rung 0 is the image's
+    stored distribution when it carries one (so failback restores
+    exactly the analyzed cut) and a fresh solve otherwise, later rungs
+    re-price the same analysis session under the failure-mode profiles
+    of [net] ({!Fallback.compute}). Raises [Invalid_argument] if the
+    image holds no profile. *)

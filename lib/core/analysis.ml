@@ -231,6 +231,62 @@ module Session = struct
              "coign_analysis_predicted_comm_us")
           predicted_comm_us);
     d
+
+  (* Static migration-safety facts for the resilience layer: a
+     classification may be moved live between distributions only if it
+     touches no non-remotable ICC edge and is not co-location-chained
+     (transitively) to one that does — moving one end of such a chain
+     would split the pair the constraint exists to keep whole. *)
+  let migration_safety t =
+    let graph = t.s_graph in
+    let n = Icc_graph.classification_count graph in
+    let safe = Array.make n true in
+    Icc_graph.iter_pairs graph (fun _ ~a ~b ~non_remotable ->
+        if non_remotable then begin
+          if a < n then safe.(a) <- false;
+          if b < n then safe.(b) <- false
+        end);
+    let adj = Array.make n [] in
+    let link a b =
+      if a >= 0 && a < n && b >= 0 && b < n && a <> b then begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end
+    in
+    List.iter (fun (a, b) -> link a b) (Constraints.colocated_pairs t.s_constraints);
+    (match Constraints.colocated_class_pairs t.s_constraints with
+    | [] -> ()
+    | class_pairs ->
+        let by_class = Hashtbl.create 16 in
+        for c = 0 to n - 1 do
+          let cname = Classifier.class_of_classification t.s_classifier c in
+          Hashtbl.replace by_class cname
+            (c :: Option.value ~default:[] (Hashtbl.find_opt by_class cname))
+        done;
+        let of_class cname =
+          Option.value ~default:[] (Hashtbl.find_opt by_class cname)
+        in
+        List.iter
+          (fun (ca, cb) ->
+            List.iter
+              (fun a -> List.iter (fun b -> link a b) (of_class cb))
+              (of_class ca))
+          class_pairs);
+    let queue = Queue.create () in
+    for c = 0 to n - 1 do
+      if not safe.(c) then Queue.add c queue
+    done;
+    while not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      List.iter
+        (fun d ->
+          if safe.(d) then begin
+            safe.(d) <- false;
+            Queue.add d queue
+          end)
+        adj.(c)
+    done;
+    safe
 end
 
 let choose ?algorithm ?profiler ?metrics ~classifier ~icc ~constraints ~net () =

@@ -81,6 +81,13 @@ module Session : sig
 
   val graph : t -> Icc_graph.t
   (** The underlying abstract ICC graph. *)
+
+  val migration_safety : t -> bool array
+  (** Per-classification static migration-safety facts for the
+      resilience layer ({!Fallback}, {!Rte}): a classification is safe
+      to migrate live between distributions iff it touches no
+      non-remotable ICC edge and is not co-location-chained
+      (transitively) to one that does. *)
 end
 
 val choose :

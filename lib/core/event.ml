@@ -18,6 +18,17 @@ type t =
     }
   | Call_retried of { iface : string; meth : string; retries : int }
   | Instantiation_degraded of { cname : string; classification : int }
+  | Breaker_opened of { at_us : int; failures : int; drops : int; spikes : int }
+  | Breaker_closed of { at_us : int; probes : int }
+  | Failover of {
+      at_us : int;
+      rung : string;
+      from_rung : int;
+      to_rung : int;
+      migrated : int;
+      stranded : int;
+    }
+  | Failback of { at_us : int; rung : string; from_rung : int; to_rung : int; migrated : int }
 
 let kind_name = function
   | Component_instantiated _ -> "component_instantiated"
@@ -27,6 +38,10 @@ let kind_name = function
   | Interface_call _ -> "interface_call"
   | Call_retried _ -> "call_retried"
   | Instantiation_degraded _ -> "instantiation_degraded"
+  | Breaker_opened _ -> "breaker_opened"
+  | Breaker_closed _ -> "breaker_closed"
+  | Failover _ -> "failover"
+  | Failback _ -> "failback"
 
 let fields = function
   | Component_instantiated { inst; cname; classification; creator } ->
@@ -68,6 +83,32 @@ let fields = function
       [ ("iface", Jsonu.Str iface); ("meth", Jsonu.Str meth); ("retries", Jsonu.Int retries) ]
   | Instantiation_degraded { cname; classification } ->
       [ ("cname", Jsonu.Str cname); ("classification", Jsonu.Int classification) ]
+  | Breaker_opened { at_us; failures; drops; spikes } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("failures", Jsonu.Int failures);
+        ("drops", Jsonu.Int drops);
+        ("spikes", Jsonu.Int spikes);
+      ]
+  | Breaker_closed { at_us; probes } ->
+      [ ("at_us", Jsonu.Int at_us); ("probes", Jsonu.Int probes) ]
+  | Failover { at_us; rung; from_rung; to_rung; migrated; stranded } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("rung", Jsonu.Str rung);
+        ("from_rung", Jsonu.Int from_rung);
+        ("to_rung", Jsonu.Int to_rung);
+        ("migrated", Jsonu.Int migrated);
+        ("stranded", Jsonu.Int stranded);
+      ]
+  | Failback { at_us; rung; from_rung; to_rung; migrated } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("rung", Jsonu.Str rung);
+        ("from_rung", Jsonu.Int from_rung);
+        ("to_rung", Jsonu.Int to_rung);
+        ("migrated", Jsonu.Int migrated);
+      ]
 
 let to_json e = Jsonu.Obj (("event", Jsonu.Str (kind_name e)) :: fields e)
 
@@ -133,6 +174,38 @@ let of_json j =
         Ok (Call_retried { iface = str "iface"; meth = str "meth"; retries = int "retries" })
     | Jsonu.Str "instantiation_degraded" ->
         Ok (Instantiation_degraded { cname = str "cname"; classification = int "classification" })
+    | Jsonu.Str "breaker_opened" ->
+        Ok
+          (Breaker_opened
+             {
+               at_us = int "at_us";
+               failures = int "failures";
+               drops = int "drops";
+               spikes = int "spikes";
+             })
+    | Jsonu.Str "breaker_closed" ->
+        Ok (Breaker_closed { at_us = int "at_us"; probes = int "probes" })
+    | Jsonu.Str "failover" ->
+        Ok
+          (Failover
+             {
+               at_us = int "at_us";
+               rung = str "rung";
+               from_rung = int "from_rung";
+               to_rung = int "to_rung";
+               migrated = int "migrated";
+               stranded = int "stranded";
+             })
+    | Jsonu.Str "failback" ->
+        Ok
+          (Failback
+             {
+               at_us = int "at_us";
+               rung = str "rung";
+               from_rung = int "from_rung";
+               to_rung = int "to_rung";
+               migrated = int "migrated";
+             })
     | Jsonu.Str other -> Error ("unknown event kind " ^ other)
     | _ -> Error "event tag is not a string"
   with Bad msg -> Error msg
@@ -152,3 +225,14 @@ let pp ppf = function
       Format.fprintf ppf "retry %s.%s x%d" iface meth retries
   | Instantiation_degraded { cname; classification } ->
       Format.fprintf ppf "degrade %s c%d -> creator machine" cname classification
+  | Breaker_opened { at_us; failures; drops; spikes } ->
+      Format.fprintf ppf "breaker open @%dus after %d failures (%d drops, %d spikes)" at_us
+        failures drops spikes
+  | Breaker_closed { at_us; probes } ->
+      Format.fprintf ppf "breaker closed @%dus after %d probe(s)" at_us probes
+  | Failover { at_us; rung; from_rung; to_rung; migrated; stranded } ->
+      Format.fprintf ppf "failover @%dus rung %d -> %d (%s), %d migrated, %d stranded" at_us
+        from_rung to_rung rung migrated stranded
+  | Failback { at_us; rung; from_rung; to_rung; migrated } ->
+      Format.fprintf ppf "failback @%dus rung %d -> %d (%s), %d migrated" at_us from_rung
+        to_rung rung migrated

@@ -34,6 +34,31 @@ type t =
     }
       (** the factory could not reach the peer machine within its retry
           policy and fell back to placing the instance with its creator *)
+  | Breaker_opened of {
+      at_us : int;  (** virtual time, rounded to whole microseconds *)
+      failures : int;  (** consecutive failures that tripped the breaker *)
+      drops : int;  (** cumulative dropped messages at the trip *)
+      spikes : int;  (** cumulative latency spikes at the trip *)
+    }  (** the link circuit breaker tripped open *)
+  | Breaker_closed of {
+      at_us : int;
+      probes : int;  (** half-open probe successes that closed it *)
+    }  (** the breaker closed again after successful probes *)
+  | Failover of {
+      at_us : int;
+      rung : string;  (** name of the fallback rung switched to *)
+      from_rung : int;
+      to_rung : int;
+      migrated : int;  (** instances moved to their new machine *)
+      stranded : int;  (** unsafe instances left on their old machine *)
+    }  (** the RTE switched the placement map down the fallback ladder *)
+  | Failback of {
+      at_us : int;
+      rung : string;
+      from_rung : int;
+      to_rung : int;
+      migrated : int;
+    }  (** the RTE climbed back up the ladder after probe success *)
 
 val kind_name : t -> string
 (** Stable lowercase tag for each constructor — the key under which

@@ -8,7 +8,7 @@ type policy =
 type counters = { co_local : Metrics.counter; co_forwarded : Metrics.counter }
 
 type t = {
-  policy : policy;
+  mutable policy : policy;
   machines : (int, Constraints.location) Hashtbl.t;
   mutable local : int;
   mutable forwarded : int;
@@ -49,7 +49,18 @@ let decide t ~classification ~cname ~creator_machine =
   end;
   target
 
+let policy t = t.policy
+
+(* Atomic placement-map switch for the resilience layer: instantiation
+   requests decided after this call follow the new policy; already-
+   placed instances keep their recorded machine until re-recorded. *)
+let set_policy t policy = t.policy <- policy
+
 let record_instance t ~inst loc = Hashtbl.replace t.machines inst loc
+
+let instances t =
+  Hashtbl.fold (fun inst loc acc -> (inst, loc) :: acc) t.machines []
+  |> List.sort compare
 
 let machine_of t inst =
   Option.value ~default:Constraints.Client (Hashtbl.find_opt t.machines inst)

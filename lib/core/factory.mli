@@ -32,12 +32,23 @@ val decide :
     stays on the creator's machine. Counts the request as local or
     forwarded. *)
 
+val policy : t -> policy
+
+val set_policy : t -> policy -> unit
+(** Atomically replace the placement policy — the resilience layer's
+    failover primitive. Instantiation requests decided afterwards
+    follow the new policy; already-placed instances keep their recorded
+    machine until re-recorded ({!record_instance}). *)
+
 val record_instance : t -> inst:int -> Constraints.location -> unit
 val machine_of : t -> int -> Constraints.location
 (** Machine an instance was placed on; the main program (instance 0)
     and unrecorded instances are on the client. *)
 
 val instances_on : t -> Constraints.location -> int list
+
+val instances : t -> (int * Constraints.location) list
+(** All recorded instances with their machines, sorted by instance. *)
 
 val local_requests : t -> int
 (** Requests fulfilled on the machine where they arrived. *)

@@ -1,0 +1,145 @@
+(* Precomputed fallback distributions for the adaptive resilience layer.
+
+   At analysis time we already hold the network-independent abstract ICC
+   graph inside an [Analysis.Session]; re-pricing it under per-failure-
+   mode network profiles is cheap (PR 2's two-stage engine) and yields a
+   ranked ladder of alternative distributions the RTE can fail over to
+   when the link degrades at run time.  Every rung passes the same
+   pre-cut validation as the primary cut, so failover never lands on a
+   placement the lint would have rejected. *)
+
+module Net_profiler = Coign_netsim.Net_profiler
+
+type rung = { rg_name : string; rg_distribution : Analysis.distribution }
+
+type t = {
+  fb_rungs : rung array; (* rung 0 is the primary distribution *)
+  fb_migration_safe : bool array; (* indexed by classification *)
+}
+
+exception Invalid of string
+
+let rung_count t = Array.length t.fb_rungs
+let rung t i = t.fb_rungs.(i)
+let migration_safe t c = c >= 0 && c < Array.length t.fb_migration_safe && t.fb_migration_safe.(c)
+
+let migration_safety = Analysis.Session.migration_safety
+
+let default_modes net =
+  [ ("lossy", Net_profiler.degrade net); ("partition", Net_profiler.link_down net) ]
+
+let compute ?algorithm ?profiler ?metrics ?modes ?primary session ~net () =
+  let primary =
+    match primary with
+    | Some d -> d
+    | None -> Analysis.Session.solve ?algorithm ?profiler ?metrics session ~net
+  in
+  let modes = match modes with Some m -> m | None -> default_modes net in
+  let classifier = Analysis.Session.classifier session in
+  let constraints = Analysis.Session.constraints session in
+  let checked name d =
+    match Analysis.validate ~classifier ~constraints d with
+    | [] -> { rg_name = name; rg_distribution = d }
+    | v :: _ ->
+        raise
+          (Invalid
+             (Format.asprintf "fallback rung %s: %a" name Analysis.pp_violation v))
+  in
+  let rungs = ref [ checked "primary" primary ] in
+  let add name d =
+    if
+      not
+        (List.exists
+           (fun r -> r.rg_distribution.Analysis.placement = d.Analysis.placement)
+           !rungs)
+    then rungs := checked name d :: !rungs
+  in
+  List.iter
+    (fun (name, profile) ->
+      add name (Analysis.Session.solve ?algorithm ?profiler ?metrics session ~net:profile))
+    modes;
+  (* Terminal rung: everything on the client.  Location pins are
+     deliberately waived here — a Server pin presumes a reachable
+     server, and this rung exists precisely for when there is none.
+     With no placement remote, remotability and co-location hold
+     trivially, so the rung is valid by construction. *)
+  let n = Analysis.Session.node_count session in
+  let all_client =
+    {
+      Analysis.placement = Array.make n Constraints.Client;
+      cut_ns = 0;
+      predicted_comm_us = 0.;
+      server_count = 0;
+      node_count = n;
+      algorithm = primary.Analysis.algorithm;
+    }
+  in
+  if
+    not
+      (List.exists
+         (fun r -> r.rg_distribution.Analysis.placement = all_client.Analysis.placement)
+         !rungs)
+  then rungs := { rg_name = "all-client"; rg_distribution = all_client } :: !rungs;
+  {
+    fb_rungs = Array.of_list (List.rev !rungs);
+    fb_migration_safe = migration_safety session;
+  }
+
+let of_rungs ~migration_safe rungs =
+  if rungs = [] then raise (Invalid "fallback ladder needs at least one rung");
+  { fb_rungs = Array.of_list rungs; fb_migration_safe = migration_safe }
+
+let encode t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Array.length t.fb_rungs)
+       (Array.length t.fb_migration_safe));
+  Array.iter
+    (fun safe -> Buffer.add_char buf (if safe then '1' else '0'))
+    t.fb_migration_safe;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf r.rg_name;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Analysis.encode r.rg_distribution);
+      Buffer.add_char buf '\n')
+    t.fb_rungs;
+  Buffer.contents buf
+
+let decode s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | header :: safe_line :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ k; n ] ->
+          let k = int_of_string k and n = int_of_string n in
+          if String.length safe_line <> n then
+            invalid_arg "Fallback.decode: safety length mismatch";
+          let migration_safe = Array.init n (fun i -> safe_line.[i] = '1') in
+          let rec take acc i lines =
+            if i = k then List.rev acc
+            else
+              match lines with
+              | name :: dist_header :: placement :: tl ->
+                  let d = Analysis.decode (dist_header ^ "\n" ^ placement) in
+                  take ({ rg_name = name; rg_distribution = d } :: acc) (i + 1) tl
+              | _ -> invalid_arg "Fallback.decode: truncated rung"
+          in
+          { fb_rungs = Array.of_list (take [] 0 rest); fb_migration_safe = migration_safe }
+      | _ -> invalid_arg "Fallback.decode: bad header")
+  | _ -> invalid_arg "Fallback.decode: truncated"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ladder of %d rung(s):" (Array.length t.fb_rungs);
+  Array.iteri
+    (fun i r ->
+      Format.fprintf ppf "@,  %d %-10s server=%d/%d predicted=%.1fus" i r.rg_name
+        r.rg_distribution.Analysis.server_count r.rg_distribution.Analysis.node_count
+        r.rg_distribution.Analysis.predicted_comm_us)
+    t.fb_rungs;
+  let unsafe =
+    Array.fold_left (fun acc s -> if s then acc else acc + 1) 0 t.fb_migration_safe
+  in
+  Format.fprintf ppf "@,  %d/%d classifications migration-unsafe@]" unsafe
+    (Array.length t.fb_migration_safe)

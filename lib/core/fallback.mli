@@ -1,0 +1,69 @@
+(** Precomputed fallback distributions (the resilience ladder).
+
+    Coign picks one static distribution ahead of time (paper §4); a
+    degraded or partitioned link leaves the running application
+    retrying into it.  This module re-prices the analysis session's
+    abstract ICC graph under per-failure-mode network profiles
+    ({!Coign_netsim.Net_profiler.degrade},
+    {!Coign_netsim.Net_profiler.link_down}) and keeps the resulting
+    cuts as a ranked ladder: rung 0 is the primary distribution, later
+    rungs suit progressively worse regimes, and the final rung places
+    everything on the client — the regime where the server is simply
+    gone.  Every solved rung passes {!Analysis.validate}, so failover
+    can never land on a placement the pre-cut lint would reject; the
+    all-client rung waives location pins by design (a Server pin
+    presumes a reachable server) and is trivially valid otherwise.  A
+    per-classification migration-safety table records which instances
+    the RTE may move live. *)
+
+type rung = {
+  rg_name : string;  (** ["primary"], ["lossy"], ["partition"], ... *)
+  rg_distribution : Analysis.distribution;
+}
+
+type t
+
+exception Invalid of string
+(** Raised by {!compute} / {!of_rungs} when a rung fails validation or
+    the ladder is empty. *)
+
+val compute :
+  ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  ?profiler:Coign_obs.Profiler.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
+  ?modes:(string * Coign_netsim.Net_profiler.t) list ->
+  ?primary:Analysis.distribution ->
+  Analysis.Session.t ->
+  net:Coign_netsim.Net_profiler.t ->
+  unit ->
+  t
+(** Build the ladder from an analysis session.  [primary] (default: a
+    fresh solve against [net]) becomes rung 0; each failure mode in
+    [modes] (default: [lossy] then [partition] derived from [net]) is
+    solved and appended unless its placement duplicates an earlier
+    rung; the all-client placement is appended last under the same
+    dedup rule.  The session's pricing is reusable afterwards — the
+    next [solve] replaces it as always. *)
+
+val of_rungs : migration_safe:bool array -> rung list -> t
+(** Hand-built ladder (tests, custom policies).  No validation beyond
+    non-emptiness — callers own the invariants. *)
+
+val migration_safety : Analysis.Session.t -> bool array
+(** Per-classification safety facts: a classification is safe to
+    migrate live iff it touches no non-remotable ICC edge and is not
+    co-location-chained (transitively) to one that does. *)
+
+val rung_count : t -> int
+val rung : t -> int -> rung
+(** Rungs are ranked: 0 is primary, higher indexes suit worse regimes. *)
+
+val migration_safe : t -> int -> bool
+(** Whether a classification may be migrated live; out-of-range
+    classifications (including main, -1) are unsafe. *)
+
+val encode : t -> string
+val decode : string -> t
+(** Round-trips rung names, distributions and the safety table. *)
+
+val pp : Format.formatter -> t -> unit

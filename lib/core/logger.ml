@@ -13,7 +13,8 @@ let profiling ~icc ~inst_comm =
         Inst_comm.record inst_comm ~src:callee ~dst:caller ~bytes:reply_bytes
     | Event.Component_instantiated _ | Event.Component_destroyed _
     | Event.Interface_instantiated _ | Event.Interface_destroyed _
-    | Event.Call_retried _ | Event.Instantiation_degraded _ ->
+    | Event.Call_retried _ | Event.Instantiation_degraded _ | Event.Breaker_opened _
+    | Event.Breaker_closed _ | Event.Failover _ | Event.Failback _ ->
         ()
   in
   { logger_name = "profiling"; log }

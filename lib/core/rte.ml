@@ -59,6 +59,77 @@ let make_instruments reg =
       histogram reg ~help:"Cross-wrapper reply message sizes, in bytes." "coign_rte_reply_bytes";
   }
 
+(* Resilience instruments, separate from the base set so a run without
+   a resilience policy exposes exactly the metrics it always did. *)
+type resil_instruments = {
+  ri_opens : Metrics.counter;
+  ri_closes : Metrics.counter;
+  ri_failovers : Metrics.counter;
+  ri_failbacks : Metrics.counter;
+  ri_migrations : Metrics.counter;
+  ri_stranded : Metrics.counter;
+  ri_rescued : Metrics.counter;
+  ri_wait_us : Metrics.counter;
+  ri_rung : Metrics.gauge;
+  ri_ewma : Metrics.gauge;
+}
+
+let make_resil_instruments reg =
+  let open Metrics in
+  {
+    ri_opens =
+      counter reg ~help:"Circuit-breaker open transitions." "coign_resilience_breaker_opens_total";
+    ri_closes =
+      counter reg ~help:"Circuit-breaker close transitions."
+        "coign_resilience_breaker_closes_total";
+    ri_failovers =
+      counter reg ~help:"Placement switches down the fallback ladder."
+        "coign_resilience_failovers_total";
+    ri_failbacks =
+      counter reg ~help:"Placement switches back up the fallback ladder."
+        "coign_resilience_failbacks_total";
+    ri_migrations =
+      counter reg ~help:"Instances migrated live between machines."
+        "coign_resilience_migrated_instances_total";
+    ri_stranded =
+      counter reg ~help:"Calls that had to wait out an open breaker."
+        "coign_resilience_stranded_calls_total";
+    ri_rescued =
+      counter reg ~help:"Failed remote calls completed locally after failover."
+        "coign_resilience_rescued_calls_total";
+    ri_wait_us =
+      counter reg ~help:"Virtual time stranded calls spent waiting on cooloffs, in microseconds."
+        "coign_resilience_wait_us_total";
+    ri_rung = gauge reg ~help:"Fallback rung currently installed (0 = primary)." "coign_resilience_rung";
+    ri_ewma =
+      gauge reg ~help:"EWMA link health (1 = all successes)." "coign_resilience_link_ewma";
+  }
+
+type resilience_config = {
+  rc_ladder : Fallback.t;
+  rc_health : Health.policy;
+  rc_max_probe_rounds : int;
+}
+
+let resilience ?(health = Health.default_policy) ?(max_probe_rounds = 8) ladder =
+  { rc_ladder = ladder; rc_health = health; rc_max_probe_rounds = max_probe_rounds }
+
+(* Mutable resilience state: breaker, current rung, counters. *)
+type resil = {
+  r_ladder : Fallback.t;
+  r_health : Health.t;
+  r_max_probe_rounds : int;
+  r_obs : resil_instruments option;
+  mutable r_rung : int;
+  mutable r_breaker_opens : int;
+  mutable r_breaker_closes : int;
+  mutable r_failovers : int;
+  mutable r_failbacks : int;
+  mutable r_migrations : int;
+  mutable r_stranded : int; (* calls that waited on an open breaker *)
+  mutable r_rescued : int; (* failed calls completed locally after failover *)
+}
+
 type mode =
   | M_profiling
   | M_distributed of {
@@ -69,6 +140,7 @@ type mode =
       m_faults : Fault.t option;
       m_retry : Fault.retry_policy;
       m_retry_rng : Prng.t;    (* backoff jitter: its own stream *)
+      m_resil : resil option;
     }
 
 type t = {
@@ -113,6 +185,7 @@ type distributed_config = {
   dc_seed : int64;
   dc_faults : Fault.spec option;
   dc_retry : Fault.retry_policy;
+  dc_resilience : resilience_config option;
 }
 
 (* One master seed, one stream per stochastic concern. The jitter
@@ -137,6 +210,126 @@ let machine_of_instance t inst =
   match t.mode with
   | M_profiling -> Constraints.Client
   | M_distributed { m_factory; _ } -> Factory.machine_of m_factory inst
+
+(* Zero-duration marker span for a breaker transition or rung switch. *)
+let resil_span t ~name ~at_us args =
+  match t.obs_tracer with
+  | None -> ()
+  | Some tr ->
+      let id = Trace.open_span tr ~name ~cat:"resilience" ~at_us in
+      Trace.close_span tr ~args id ~at_us
+
+(* Switch the placement map to another rung of the fallback ladder and
+   migrate the instances the static remotability facts mark safe; the
+   rest stay where they are (their calls may strand on the breaker). *)
+let switch_rung t m_factory r ~to_rung ~at_us =
+  let from_rung = r.r_rung in
+  let rung = Fallback.rung r.r_ladder to_rung in
+  let dist = rung.Fallback.rg_distribution in
+  Factory.set_policy m_factory (Factory.By_classification dist);
+  let migrated = ref 0 and left = ref 0 in
+  List.iter
+    (fun (inst, machine) ->
+      if inst <> Runtime.main_instance then begin
+        let c = classification_of t inst in
+        let target =
+          if c >= 0 && c < dist.Analysis.node_count then Analysis.location_of dist c
+          else machine
+        in
+        if target <> machine then
+          if Fallback.migration_safe r.r_ladder c then begin
+            Factory.record_instance m_factory ~inst target;
+            incr migrated
+          end
+          else incr left
+      end)
+    (Factory.instances m_factory);
+  r.r_rung <- to_rung;
+  r.r_migrations <- r.r_migrations + !migrated;
+  (match r.r_obs with
+  | None -> ()
+  | Some ri ->
+      Metrics.inc_int ri.ri_migrations !migrated;
+      Metrics.set ri.ri_rung (float_of_int to_rung));
+  let at_int = int_of_float at_us in
+  if to_rung > from_rung then begin
+    r.r_failovers <- r.r_failovers + 1;
+    (match r.r_obs with None -> () | Some ri -> Metrics.inc ri.ri_failovers);
+    t.logger.Logger.log
+      (Event.Failover
+         {
+           at_us = at_int;
+           rung = rung.Fallback.rg_name;
+           from_rung;
+           to_rung;
+           migrated = !migrated;
+           stranded = !left;
+         });
+    resil_span t ~name:"failover" ~at_us
+      [
+        ("from_rung", Jsonu.Int from_rung);
+        ("to_rung", Jsonu.Int to_rung);
+        ("migrated", Jsonu.Int !migrated);
+        ("stranded", Jsonu.Int !left);
+      ]
+  end
+  else begin
+    r.r_failbacks <- r.r_failbacks + 1;
+    (match r.r_obs with None -> () | Some ri -> Metrics.inc ri.ri_failbacks);
+    t.logger.Logger.log
+      (Event.Failback
+         {
+           at_us = at_int;
+           rung = rung.Fallback.rg_name;
+           from_rung;
+           to_rung;
+           migrated = !migrated;
+         });
+    resil_span t ~name:"failback" ~at_us
+      [
+        ("from_rung", Jsonu.Int from_rung);
+        ("to_rung", Jsonu.Int to_rung);
+        ("migrated", Jsonu.Int !migrated);
+      ]
+  end
+
+(* React to a breaker transition: count it, log it, and move along the
+   ladder — down a rung when the breaker opens, back to the primary
+   when a probe closes it. *)
+let resil_on_transition t m_factory r (tr : Health.transition) =
+  let at_us = tr.Health.tr_at_us in
+  let at_int = int_of_float at_us in
+  (match r.r_obs with
+  | None -> ()
+  | Some ri -> Metrics.set ri.ri_ewma (Health.ewma r.r_health));
+  match tr.Health.tr_to with
+  | Health.Half_open ->
+      resil_span t ~name:"breaker.half_open" ~at_us
+        [ ("cooloff_us", Jsonu.Float (Health.cooloff_us r.r_health)) ]
+  | Health.Open ->
+      r.r_breaker_opens <- r.r_breaker_opens + 1;
+      (match r.r_obs with None -> () | Some ri -> Metrics.inc ri.ri_opens);
+      t.logger.Logger.log
+        (Event.Breaker_opened
+           {
+             at_us = at_int;
+             failures = Health.consecutive_failures r.r_health;
+             drops = t.n_drops;
+             spikes = t.n_spikes;
+           });
+      resil_span t ~name:"breaker.open" ~at_us
+        [ ("failures", Jsonu.Int (Health.consecutive_failures r.r_health)) ];
+      let bottom = Fallback.rung_count r.r_ladder - 1 in
+      let next = min (r.r_rung + 1) bottom in
+      if next <> r.r_rung then switch_rung t m_factory r ~to_rung:next ~at_us
+  | Health.Closed ->
+      r.r_breaker_closes <- r.r_breaker_closes + 1;
+      (match r.r_obs with None -> () | Some ri -> Metrics.inc ri.ri_closes);
+      t.logger.Logger.log
+        (Event.Breaker_closed
+           { at_us = at_int; probes = (Health.policy r.r_health).Health.hp_probe_successes });
+      resil_span t ~name:"breaker.close" ~at_us [];
+      if r.r_rung <> 0 then switch_rung t m_factory r ~to_rung:0 ~at_us
 
 (* Mint (or reuse) the Coign-instrumented wrapper for a raw handle. *)
 let rec wrap t raw_h =
@@ -237,7 +430,8 @@ and intercept_run t raw_h ~meth args =
              request_bytes = sizes.Informer.request_bytes;
              reply_bytes = sizes.Informer.reply_bytes;
            })
-  | M_distributed { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng } ->
+  | M_distributed { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng; m_resil }
+    ->
       let src = Factory.machine_of m_factory caller in
       let dst = Factory.machine_of m_factory callee in
       if src <> dst then begin
@@ -251,44 +445,50 @@ and intercept_run t raw_h ~meth args =
           if m_jitter = 0. then base
           else Float.max 0. (Prng.gaussian m_rng ~mu:base ~sigma:(m_jitter *. base))
         in
-        (* Virtual send time: communication so far plus the compute the
+        (* One simulated round trip with its full fault accounting —
+           identical whether or not a resilience policy is watching the
+           outcome, so fault-free runs are bit-identical either way.
+           Virtual send time: communication so far plus the compute the
            application has charged — the clock fault windows are
            expressed against. *)
-        let oc =
-          Fault.call ?model:m_faults ~retry:m_retry ~rng:m_retry_rng
-            ~now_us:(t.comm +. Runtime.compute_us t.ctx)
-            ~request_bytes:sizes.Informer.request_bytes
-            ~reply_bytes:sizes.Informer.reply_bytes
-            ~request_us:(fun () ->
-              jittered (Network.message_us m_network ~bytes:sizes.Informer.request_bytes))
-            ~reply_us:(fun () ->
-              jittered (Network.message_us m_network ~bytes:sizes.Informer.reply_bytes))
-            ()
+        let simulate () =
+          let oc =
+            Fault.call ?model:m_faults ~retry:m_retry ~rng:m_retry_rng
+              ~now_us:(t.comm +. Runtime.compute_us t.ctx)
+              ~request_bytes:sizes.Informer.request_bytes
+              ~reply_bytes:sizes.Informer.reply_bytes
+              ~request_us:(fun () ->
+                jittered (Network.message_us m_network ~bytes:sizes.Informer.request_bytes))
+              ~reply_us:(fun () ->
+                jittered (Network.message_us m_network ~bytes:sizes.Informer.reply_bytes))
+              ()
+          in
+          t.comm <- t.comm +. oc.Fault.oc_time_us;
+          t.n_retries <- t.n_retries + oc.Fault.oc_retries;
+          t.n_drops <- t.n_drops + oc.Fault.oc_drops;
+          t.n_spikes <- t.n_spikes + oc.Fault.oc_spikes;
+          t.fault_us <- t.fault_us +. oc.Fault.oc_fault_us;
+          (match t.obs with
+          | None -> ()
+          | Some i ->
+              Metrics.inc ~by:oc.Fault.oc_time_us i.i_comm_us;
+              Metrics.inc_int i.i_retries oc.Fault.oc_retries;
+              Metrics.inc_int i.i_drops oc.Fault.oc_drops;
+              Metrics.inc_int i.i_spikes oc.Fault.oc_spikes;
+              Metrics.inc ~by:oc.Fault.oc_fault_us i.i_fault_us;
+              Metrics.observe i.i_request_bytes sizes.Informer.request_bytes;
+              Metrics.observe i.i_reply_bytes sizes.Informer.reply_bytes);
+          if oc.Fault.oc_retries > 0 && oc.Fault.oc_ok then
+            t.logger.Logger.log
+              (Event.Call_retried
+                 {
+                   iface = Itype.name itype;
+                   meth = msig.Idl_type.mname;
+                   retries = oc.Fault.oc_retries;
+                 });
+          oc
         in
-        t.comm <- t.comm +. oc.Fault.oc_time_us;
-        t.n_retries <- t.n_retries + oc.Fault.oc_retries;
-        t.n_drops <- t.n_drops + oc.Fault.oc_drops;
-        t.n_spikes <- t.n_spikes + oc.Fault.oc_spikes;
-        t.fault_us <- t.fault_us +. oc.Fault.oc_fault_us;
-        (match t.obs with
-        | None -> ()
-        | Some i ->
-            Metrics.inc ~by:oc.Fault.oc_time_us i.i_comm_us;
-            Metrics.inc_int i.i_retries oc.Fault.oc_retries;
-            Metrics.inc_int i.i_drops oc.Fault.oc_drops;
-            Metrics.inc_int i.i_spikes oc.Fault.oc_spikes;
-            Metrics.inc ~by:oc.Fault.oc_fault_us i.i_fault_us;
-            Metrics.observe i.i_request_bytes sizes.Informer.request_bytes;
-            Metrics.observe i.i_reply_bytes sizes.Informer.reply_bytes);
-        if oc.Fault.oc_retries > 0 && oc.Fault.oc_ok then
-          t.logger.Logger.log
-            (Event.Call_retried
-               {
-                 iface = Itype.name itype;
-                 meth = msig.Idl_type.mname;
-                 retries = oc.Fault.oc_retries;
-               });
-        if not oc.Fault.oc_ok then begin
+        let fail_unreachable dst =
           t.n_unreachable <- t.n_unreachable + 1;
           (match t.obs with None -> () | Some i -> Metrics.inc i.i_unreachable);
           Hresult.fail
@@ -297,16 +497,94 @@ and intercept_run t raw_h ~meth args =
                   (Itype.name itype) msig.Idl_type.mname
                   (Constraints.location_name dst)
                   (max 1 m_retry.Fault.rp_max_attempts)))
-        end;
-        t.n_remote_calls <- t.n_remote_calls + 1;
-        t.n_remote_bytes <-
-          t.n_remote_bytes + sizes.Informer.request_bytes + sizes.Informer.reply_bytes;
-        match t.obs with
-        | None -> ()
-        | Some i ->
-            Metrics.inc i.i_remote_calls;
-            Metrics.inc_int i.i_remote_bytes
-              (sizes.Informer.request_bytes + sizes.Informer.reply_bytes)
+        in
+        let count_remote () =
+          t.n_remote_calls <- t.n_remote_calls + 1;
+          t.n_remote_bytes <-
+            t.n_remote_bytes + sizes.Informer.request_bytes + sizes.Informer.reply_bytes;
+          match t.obs with
+          | None -> ()
+          | Some i ->
+              Metrics.inc i.i_remote_calls;
+              Metrics.inc_int i.i_remote_bytes
+                (sizes.Informer.request_bytes + sizes.Informer.reply_bytes)
+        in
+        match m_resil with
+        | None ->
+            let oc = simulate () in
+            if not oc.Fault.oc_ok then fail_unreachable dst;
+            count_remote ()
+        | Some r ->
+            (* Route the call through the breaker. Failures feed the
+               health tracker; when it opens, the transition handler
+               fails over to the next rung, after which the endpoints
+               may share a machine — the call then completes locally
+               (the underlying [Runtime.call] already ran; the fault
+               model only decides whether the communication made it).
+               Open-breaker calls are stranded: they wait out the
+               cooloff and become the half-open probe. *)
+            let rounds = ref 0 in
+            let stranded_counted = ref false in
+            let rec go () =
+              let src = Factory.machine_of m_factory caller in
+              let dst = Factory.machine_of m_factory callee in
+              if src = dst then begin
+                if !rounds > 0 then begin
+                  r.r_rescued <- r.r_rescued + 1;
+                  match r.r_obs with None -> () | Some ri -> Metrics.inc ri.ri_rescued
+                end
+              end
+              else begin
+                let now = sim_now t in
+                (match Health.observe r.r_health ~now_us:now with
+                | Some tr -> resil_on_transition t m_factory r tr
+                | None -> ());
+                if not (Health.allows r.r_health ~now_us:now) then begin
+                  if not !stranded_counted then begin
+                    stranded_counted := true;
+                    r.r_stranded <- r.r_stranded + 1;
+                    match r.r_obs with None -> () | Some ri -> Metrics.inc ri.ri_stranded
+                  end;
+                  let wait = Health.cooloff_expires_at r.r_health -. now in
+                  t.comm <- t.comm +. wait;
+                  t.fault_us <- t.fault_us +. wait;
+                  (match t.obs with
+                  | None -> ()
+                  | Some i ->
+                      Metrics.inc ~by:wait i.i_comm_us;
+                      Metrics.inc ~by:wait i.i_fault_us);
+                  (match r.r_obs with
+                  | None -> ()
+                  | Some ri -> Metrics.inc ~by:wait ri.ri_wait_us);
+                  go ()
+                end
+                else if !rounds >= r.r_max_probe_rounds then fail_unreachable dst
+                else begin
+                  let oc = simulate () in
+                  let now' = sim_now t in
+                  if oc.Fault.oc_ok then begin
+                    (match Health.record_success r.r_health ~now_us:now' with
+                    | Some tr -> resil_on_transition t m_factory r tr
+                    | None -> ());
+                    (match r.r_obs with
+                    | None -> ()
+                    | Some ri -> Metrics.set ri.ri_ewma (Health.ewma r.r_health));
+                    count_remote ()
+                  end
+                  else begin
+                    incr rounds;
+                    (match Health.record_failure r.r_health ~now_us:now' with
+                    | Some tr -> resil_on_transition t m_factory r tr
+                    | None -> ());
+                    (match r.r_obs with
+                    | None -> ()
+                    | Some ri -> Metrics.set ri.ri_ewma (Health.ewma r.r_health));
+                    go ()
+                  end
+                end
+              end
+            in
+            go ()
       end);
   (* Keep every escaping interface pointer wrapped — but only walk the
      reply when the method can actually output interface pointers (the
@@ -363,7 +641,8 @@ and on_create_run t (req : Runtime.create_request) =
   in
   (match t.mode with
   | M_profiling -> ()
-  | M_distributed { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng } ->
+  | M_distributed { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng; m_resil }
+    ->
       let creator_machine = Factory.machine_of m_factory creator in
       let machine = Factory.decide m_factory ~classification ~cname ~creator_machine in
       let machine =
@@ -378,32 +657,35 @@ and on_create_run t (req : Runtime.create_request) =
           in
           let request = Marshal_size.scalar_overhead + (2 * 16) in
           let reply = Marshal_size.scalar_overhead + Marshal_size.objref_size in
-          let oc =
-            Fault.call ?model:m_faults ~retry:m_retry ~rng:m_retry_rng
-              ~now_us:(t.comm +. Runtime.compute_us t.ctx)
-              ~request_bytes:request ~reply_bytes:reply
-              ~request_us:(fun () -> jittered (Network.message_us m_network ~bytes:request))
-              ~reply_us:(fun () -> jittered (Network.message_us m_network ~bytes:reply))
-              ()
+          let simulate () =
+            let oc =
+              Fault.call ?model:m_faults ~retry:m_retry ~rng:m_retry_rng
+                ~now_us:(t.comm +. Runtime.compute_us t.ctx)
+                ~request_bytes:request ~reply_bytes:reply
+                ~request_us:(fun () -> jittered (Network.message_us m_network ~bytes:request))
+                ~reply_us:(fun () -> jittered (Network.message_us m_network ~bytes:reply))
+                ()
+            in
+            t.comm <- t.comm +. oc.Fault.oc_time_us;
+            t.n_retries <- t.n_retries + oc.Fault.oc_retries;
+            t.n_drops <- t.n_drops + oc.Fault.oc_drops;
+            t.n_spikes <- t.n_spikes + oc.Fault.oc_spikes;
+            t.fault_us <- t.fault_us +. oc.Fault.oc_fault_us;
+            (match t.obs with
+            | None -> ()
+            | Some i ->
+                Metrics.inc ~by:oc.Fault.oc_time_us i.i_comm_us;
+                Metrics.inc_int i.i_retries oc.Fault.oc_retries;
+                Metrics.inc_int i.i_drops oc.Fault.oc_drops;
+                Metrics.inc_int i.i_spikes oc.Fault.oc_spikes;
+                Metrics.inc ~by:oc.Fault.oc_fault_us i.i_fault_us);
+            if oc.Fault.oc_retries > 0 && oc.Fault.oc_ok then
+              t.logger.Logger.log
+                (Event.Call_retried
+                   { iface = "ICoCreateInstance"; meth = "create"; retries = oc.Fault.oc_retries });
+            oc
           in
-          t.comm <- t.comm +. oc.Fault.oc_time_us;
-          t.n_retries <- t.n_retries + oc.Fault.oc_retries;
-          t.n_drops <- t.n_drops + oc.Fault.oc_drops;
-          t.n_spikes <- t.n_spikes + oc.Fault.oc_spikes;
-          t.fault_us <- t.fault_us +. oc.Fault.oc_fault_us;
-          (match t.obs with
-          | None -> ()
-          | Some i ->
-              Metrics.inc ~by:oc.Fault.oc_time_us i.i_comm_us;
-              Metrics.inc_int i.i_retries oc.Fault.oc_retries;
-              Metrics.inc_int i.i_drops oc.Fault.oc_drops;
-              Metrics.inc_int i.i_spikes oc.Fault.oc_spikes;
-              Metrics.inc ~by:oc.Fault.oc_fault_us i.i_fault_us);
-          if oc.Fault.oc_retries > 0 && oc.Fault.oc_ok then
-            t.logger.Logger.log
-              (Event.Call_retried
-                 { iface = "ICoCreateInstance"; meth = "create"; retries = oc.Fault.oc_retries });
-          if oc.Fault.oc_ok then begin
+          let forwarded () =
             t.n_remote_calls <- t.n_remote_calls + 1;
             t.n_remote_bytes <- t.n_remote_bytes + request + reply;
             (match t.obs with
@@ -412,17 +694,48 @@ and on_create_run t (req : Runtime.create_request) =
                 Metrics.inc i.i_remote_calls;
                 Metrics.inc_int i.i_remote_bytes (request + reply));
             machine
-          end
-          else begin
-            (* Graceful degradation: the peer factory never answered, so
-               place the instance with its creator — the factory's
-               co-location default — instead of failing the
-               instantiation. *)
+          in
+          (* Graceful degradation: the peer factory never answered (or
+             the breaker is open), so place the instance with its
+             creator — the factory's co-location default — instead of
+             failing the instantiation. *)
+          let degraded creator_machine =
             t.n_fallbacks <- t.n_fallbacks + 1;
             (match t.obs with None -> () | Some i -> Metrics.inc i.i_fallbacks);
             t.logger.Logger.log (Event.Instantiation_degraded { cname; classification });
             creator_machine
-          end
+          in
+          match m_resil with
+          | None -> if (simulate ()).Fault.oc_ok then forwarded () else degraded creator_machine
+          | Some r ->
+              let now = sim_now t in
+              (match Health.observe r.r_health ~now_us:now with
+              | Some tr -> resil_on_transition t m_factory r tr
+              | None -> ());
+              if not (Health.allows r.r_health ~now_us:now) then
+                (* Open breaker: fail fast to the creator, spending no
+                   communication on a link known to be down. *)
+                degraded (Factory.machine_of m_factory creator)
+              else begin
+                let oc = simulate () in
+                let now' = sim_now t in
+                let transition =
+                  if oc.Fault.oc_ok then Health.record_success r.r_health ~now_us:now'
+                  else Health.record_failure r.r_health ~now_us:now'
+                in
+                (match transition with
+                | Some tr -> resil_on_transition t m_factory r tr
+                | None -> ());
+                (match r.r_obs with
+                | None -> ()
+                | Some ri -> Metrics.set ri.ri_ewma (Health.ewma r.r_health));
+                if oc.Fault.oc_ok then forwarded ()
+                else
+                  (* A failure may have tripped the breaker and failed
+                     over; re-read the creator's machine so the instance
+                     lands where its creator now lives. *)
+                  degraded (Factory.machine_of m_factory creator)
+              end
         end
       in
       (* Record the machine under the instance id we are about to
@@ -512,6 +825,25 @@ let install_distributed ?loggers ?tracer ?metrics ~classifier ~config ctx =
   (* The main program lives on the client. *)
   let factory = Factory.create ?metrics config.dc_factory_policy in
   Factory.record_instance factory ~inst:Runtime.main_instance Constraints.Client;
+  let resil =
+    Option.map
+      (fun rc ->
+        {
+          r_ladder = rc.rc_ladder;
+          r_health = Health.create ~policy:rc.rc_health ();
+          r_max_probe_rounds = rc.rc_max_probe_rounds;
+          r_obs = Option.map make_resil_instruments metrics;
+          r_rung = 0;
+          r_breaker_opens = 0;
+          r_breaker_closes = 0;
+          r_failovers = 0;
+          r_failbacks = 0;
+          r_migrations = 0;
+          r_stranded = 0;
+          r_rescued = 0;
+        })
+      config.dc_resilience
+  in
   install ?loggers ?tracer ?metrics ~classifier
     ~mode:
       (M_distributed
@@ -526,6 +858,7 @@ let install_distributed ?loggers ?tracer ?metrics ~classifier ~config ctx =
                config.dc_faults;
            m_retry = config.dc_retry;
            m_retry_rng = Prng.create (retry_seed config.dc_seed);
+           m_resil = resil;
          })
     ctx
 
@@ -555,6 +888,14 @@ let remote_calls t = t.n_remote_calls
 let remote_bytes t = t.n_remote_bytes
 let intercepted_calls t = t.n_intercepted
 
+let resil_of t =
+  match t.mode with
+  | M_profiling | M_distributed { m_resil = None; _ } -> None
+  | M_distributed { m_resil = Some r; _ } -> Some r
+
+let link_health t = Option.map (fun r -> r.r_health) (resil_of t)
+let current_rung t = match resil_of t with None -> 0 | Some r -> r.r_rung
+
 type stats = {
   st_comm_us : float;
   st_remote_calls : int;
@@ -566,9 +907,21 @@ type stats = {
   st_fallbacks : int;
   st_unreachable : int;
   st_fault_us : float;
+  (* Resilience counters — all zero unless a resilience policy was
+     installed. *)
+  st_breaker_opens : int;
+  st_breaker_closes : int;
+  st_failovers : int;
+  st_failbacks : int;
+  st_migrations : int;
+  st_stranded_calls : int;
+  st_rescued_calls : int;
+  st_final_rung : int;
 }
 
 let stats t =
+  let r = resil_of t in
+  let ri f = match r with None -> 0 | Some r -> f r in
   {
     st_comm_us = t.comm;
     st_remote_calls = t.n_remote_calls;
@@ -580,4 +933,12 @@ let stats t =
     st_fallbacks = t.n_fallbacks;
     st_unreachable = t.n_unreachable;
     st_fault_us = t.fault_us;
+    st_breaker_opens = ri (fun r -> r.r_breaker_opens);
+    st_breaker_closes = ri (fun r -> r.r_breaker_closes);
+    st_failovers = ri (fun r -> r.r_failovers);
+    st_failbacks = ri (fun r -> r.r_failbacks);
+    st_migrations = ri (fun r -> r.r_migrations);
+    st_stranded_calls = ri (fun r -> r.r_stranded);
+    st_rescued_calls = ri (fun r -> r.r_rescued);
+    st_final_rung = ri (fun r -> r.r_rung);
   }

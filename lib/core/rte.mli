@@ -42,6 +42,24 @@ val install_profiling :
     default to off, and when off the RTE runs exactly the instructions
     it always did — profiles, stats, and events are bit-identical. *)
 
+type resilience_config = {
+  rc_ladder : Fallback.t;
+      (** ranked fallback distributions; rung 0 should match the
+          installed factory policy so failback restores it *)
+  rc_health : Coign_netsim.Health.policy;  (** breaker configuration *)
+  rc_max_probe_rounds : int;
+      (** failed attempt/probe rounds a single call endures (waiting
+          out cooloffs in between) before raising [E_unreachable] *)
+}
+
+val resilience :
+  ?health:Coign_netsim.Health.policy ->
+  ?max_probe_rounds:int ->
+  Fallback.t ->
+  resilience_config
+(** Convenience constructor: {!Coign_netsim.Health.default_policy} and
+    8 probe rounds unless overridden. *)
+
 type distributed_config = {
   dc_factory_policy : Factory.policy;
   dc_network : Coign_netsim.Network.t;   (** ground-truth network *)
@@ -56,6 +74,11 @@ type distributed_config = {
                             [Some Fault.zero]) runs fault-free *)
   dc_retry : Coign_netsim.Fault.retry_policy;
                         (** how cross-machine messaging survives drops *)
+  dc_resilience : resilience_config option;
+                        (** adaptive failover across the fallback
+                            ladder; [None] (the default everywhere)
+                            runs the PR 3 retry-only path, bit for
+                            bit *)
 }
 
 val install_distributed :
@@ -79,7 +102,24 @@ val install_distributed :
     [Com_error (E_unreachable _)] after counting itself; an
     instantiation request whose retries are exhausted degrades
     gracefully — the instance is placed with its creator and the
-    fallback counted (see {!stats}). *)
+    fallback counted (see {!stats}).
+
+    With [dc_resilience], every forwarded call and create is routed
+    through a link circuit breaker ({!Coign_netsim.Health}). Failures
+    feed the breaker; when it opens, the RTE atomically switches the
+    factory to the next rung of the fallback ladder, migrates the
+    instances the static remotability facts mark safe, and lets the
+    failed call complete locally if the failover co-located its
+    endpoints (the underlying call already ran — the fault model only
+    judges the communication). Calls that must still cross the dead
+    link are stranded: they wait out the cooloff on the virtual clock
+    and become the half-open probe; probe success closes the breaker
+    and fails back to rung 0, probe failure reopens it with an
+    escalated cooloff. Breaker transitions and rung switches are
+    logged ({!Event.Breaker_opened} etc.), traced (category
+    ["resilience"]) and counted ([coign_resilience_*] metrics and
+    {!stats}). With [dc_resilience = None] the run is bit-identical to
+    one without the resilience layer compiled in. *)
 
 val uninstall : t -> unit
 (** Remove all hooks; the context reverts to plain local execution. *)
@@ -126,10 +166,25 @@ type stats = {
   st_fallbacks : int;      (** instantiations degraded to the creator *)
   st_unreachable : int;    (** calls abandoned with [E_unreachable] *)
   st_fault_us : float;     (** comm time attributable to faults *)
+  st_breaker_opens : int;  (** breaker trips (zero without resilience) *)
+  st_breaker_closes : int;
+  st_failovers : int;      (** switches down the fallback ladder *)
+  st_failbacks : int;      (** switches back up to the primary *)
+  st_migrations : int;     (** instances moved live between machines *)
+  st_stranded_calls : int; (** calls that waited on an open breaker *)
+  st_rescued_calls : int;  (** failed calls completed locally after
+                               failover *)
+  st_final_rung : int;     (** rung installed when the run ended *)
 }
 
 val stats : t -> stats
 (** One-shot snapshot of the run's communication and fault counters. *)
+
+val link_health : t -> Coign_netsim.Health.t option
+(** The breaker state, when a resilience policy is installed. *)
+
+val current_rung : t -> int
+(** Fallback rung currently installed (0 without resilience). *)
 
 val machine_of_instance : t -> int -> Constraints.location
 

@@ -1,0 +1,146 @@
+(* Per-link health tracking and a three-state circuit breaker.
+
+   The tracker is driven entirely off the caller's simulated clock: every
+   state change is a pure function of the observed call outcomes and their
+   timestamps, so a run is reproducible from [dc_seed] alone — the breaker
+   itself draws no randomness.  Timestamps are microseconds on the same
+   virtual axis as [Fault.spec] windows. *)
+
+type policy = {
+  hp_failure_threshold : int;
+  hp_cooloff_us : float;
+  hp_cooloff_mult : float;
+  hp_cooloff_max_us : float;
+  hp_probe_successes : int;
+  hp_ewma_alpha : float;
+}
+
+let default_policy =
+  {
+    hp_failure_threshold = 2;
+    hp_cooloff_us = 50_000.;
+    hp_cooloff_mult = 2.;
+    hp_cooloff_max_us = 400_000.;
+    hp_probe_successes = 1;
+    hp_ewma_alpha = 0.2;
+  }
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type transition = { tr_from : state; tr_to : state; tr_at_us : float }
+
+type t = {
+  hl_policy : policy;
+  mutable hl_state : state;
+  mutable hl_ewma : float; (* EWMA of outcomes: success = 1, failure = 0 *)
+  mutable hl_consecutive_failures : int;
+  mutable hl_opened_at_us : float;
+  mutable hl_cooloff_us : float; (* current, possibly escalated, cooloff *)
+  mutable hl_probe_successes : int; (* successes since entering Half_open *)
+  mutable hl_successes : int;
+  mutable hl_failures : int;
+}
+
+let create ?(policy = default_policy) () =
+  if policy.hp_failure_threshold < 1 then
+    invalid_arg "Health.create: hp_failure_threshold < 1";
+  if not (policy.hp_cooloff_us > 0.) then
+    invalid_arg "Health.create: hp_cooloff_us <= 0";
+  if not (policy.hp_cooloff_mult >= 1.) then
+    invalid_arg "Health.create: hp_cooloff_mult < 1";
+  if not (policy.hp_cooloff_max_us >= policy.hp_cooloff_us) then
+    invalid_arg "Health.create: hp_cooloff_max_us < hp_cooloff_us";
+  if policy.hp_probe_successes < 1 then
+    invalid_arg "Health.create: hp_probe_successes < 1";
+  if not (policy.hp_ewma_alpha > 0. && policy.hp_ewma_alpha <= 1.) then
+    invalid_arg "Health.create: hp_ewma_alpha outside (0, 1]";
+  {
+    hl_policy = policy;
+    hl_state = Closed;
+    hl_ewma = 1.;
+    hl_consecutive_failures = 0;
+    hl_opened_at_us = 0.;
+    hl_cooloff_us = policy.hp_cooloff_us;
+    hl_probe_successes = 0;
+    hl_successes = 0;
+    hl_failures = 0;
+  }
+
+let policy t = t.hl_policy
+let state t = t.hl_state
+let ewma t = t.hl_ewma
+let consecutive_failures t = t.hl_consecutive_failures
+let successes t = t.hl_successes
+let failures t = t.hl_failures
+let cooloff_us t = t.hl_cooloff_us
+let cooloff_expires_at t = t.hl_opened_at_us +. t.hl_cooloff_us
+
+let allows t ~now_us =
+  match t.hl_state with
+  | Closed | Half_open -> true
+  | Open -> now_us >= cooloff_expires_at t
+
+(* Advance the clock: an Open breaker whose cooloff has elapsed moves to
+   Half_open, where the next call acts as a probe. *)
+let observe t ~now_us =
+  match t.hl_state with
+  | Open when now_us >= cooloff_expires_at t ->
+      t.hl_state <- Half_open;
+      t.hl_probe_successes <- 0;
+      Some { tr_from = Open; tr_to = Half_open; tr_at_us = now_us }
+  | _ -> None
+
+let blend t ok =
+  let a = t.hl_policy.hp_ewma_alpha in
+  t.hl_ewma <- ((1. -. a) *. t.hl_ewma) +. (a *. if ok then 1. else 0.)
+
+let trip t ~now_us from =
+  t.hl_state <- Open;
+  t.hl_opened_at_us <- now_us;
+  t.hl_probe_successes <- 0;
+  Some { tr_from = from; tr_to = Open; tr_at_us = now_us }
+
+let record_success t ~now_us =
+  blend t true;
+  t.hl_successes <- t.hl_successes + 1;
+  t.hl_consecutive_failures <- 0;
+  match t.hl_state with
+  | Closed -> None
+  | Open | Half_open ->
+      (* A success while Open can only come from a probe the caller issued
+         after [allows] turned true; treat it like a Half_open probe. *)
+      t.hl_probe_successes <- t.hl_probe_successes + 1;
+      if t.hl_probe_successes >= t.hl_policy.hp_probe_successes then begin
+        let from = t.hl_state in
+        t.hl_state <- Closed;
+        t.hl_cooloff_us <- t.hl_policy.hp_cooloff_us;
+        Some { tr_from = from; tr_to = Closed; tr_at_us = now_us }
+      end
+      else None
+
+let record_failure t ~now_us =
+  blend t false;
+  t.hl_failures <- t.hl_failures + 1;
+  t.hl_consecutive_failures <- t.hl_consecutive_failures + 1;
+  match t.hl_state with
+  | Closed ->
+      if t.hl_consecutive_failures >= t.hl_policy.hp_failure_threshold then
+        trip t ~now_us Closed
+      else None
+  | Half_open ->
+      (* Failed probe: reopen with an escalated cooloff. *)
+      t.hl_cooloff_us <-
+        Float.min
+          (t.hl_cooloff_us *. t.hl_policy.hp_cooloff_mult)
+          t.hl_policy.hp_cooloff_max_us;
+      trip t ~now_us Half_open
+  | Open ->
+      (* Recording while Open without a preceding [observe] keeps the
+         breaker open; refresh the window so the cooloff restarts. *)
+      t.hl_opened_at_us <- now_us;
+      None

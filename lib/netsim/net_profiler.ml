@@ -88,3 +88,33 @@ let exact net =
 let pp ppf t =
   Format.fprintf ppf "profile of %s: %.1fus + %.4fus/byte (%d obs)" t.profiled_name
     t.fixed_us t.per_byte_us (Array.length t.observations)
+
+(* Derived failure-mode profiles (consumed by the fallback ladder in
+   coign_core). Each shifts every observation and the fitted intercept
+   by a fixed per-message penalty: the per-byte slope is untouched, so
+   chatty pairs grow more expensive relative to bulky ones. A uniform
+   *scaling* would leave every min cut unchanged — only a shape change
+   can move the fallback cut. *)
+let penalize t ~suffix ~penalty_us =
+  if not (penalty_us >= 0.) then
+    invalid_arg "Net_profiler.penalize: negative penalty";
+  {
+    profiled_name = t.profiled_name ^ "+" ^ suffix;
+    observations = Array.map (fun (b, us) -> (b, us +. penalty_us)) t.observations;
+    fixed_us = t.fixed_us +. penalty_us;
+    per_byte_us = t.per_byte_us;
+  }
+
+let degrade ?(drop_rate = 0.3) ?(retry = Fault.default_retry) t =
+  if not (drop_rate >= 0. && drop_rate < 1.) then
+    invalid_arg "Net_profiler.degrade: drop_rate outside [0, 1)";
+  (* A round trip survives only when both legs do; every failed attempt
+     costs a full timeout plus the base backoff before the retry. *)
+  let p_fail = 1. -. ((1. -. drop_rate) ** 2.) in
+  let expected_retries = p_fail /. (1. -. p_fail) in
+  let penalty_us =
+    expected_retries *. (retry.Fault.rp_timeout_us +. retry.Fault.rp_backoff_us)
+  in
+  penalize t ~suffix:(Printf.sprintf "lossy%g" drop_rate) ~penalty_us
+
+let link_down ?(penalty_us = 1e7) t = penalize t ~suffix:"down" ~penalty_us

@@ -45,3 +45,24 @@ val exact : Network.t -> t
     for tests that need determinism tighter than the fit error. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Failure-mode profiles}
+
+    Derived profiles for the fallback ladder (PAPER.md §4.4 adaptivity
+    under degradation). Each adds a fixed per-message penalty to every
+    observation and to the fitted intercept, leaving the per-byte slope
+    alone: min cuts are invariant under uniform scaling, so only a
+    shape change like this can move the fallback cut — it taxes chatty
+    pairs more than bulky ones. *)
+
+val degrade : ?drop_rate:float -> ?retry:Fault.retry_policy -> t -> t
+(** The link as seen through sustained loss: each message pays the
+    expected retry penalty (timeouts plus base backoff) of surviving
+    [drop_rate] (default 0.3) per leg under [retry] (default
+    {!Fault.default_retry}). *)
+
+val link_down : ?penalty_us:float -> t -> t
+(** The link as seen through a partition: a huge fixed per-message cost
+    (default 1e7 µs), so the resulting cut minimizes the number of
+    crossing messages — the principled "pull everything movable to one
+    machine" floor, still honouring pins. *)

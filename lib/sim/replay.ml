@@ -105,7 +105,9 @@ let replay ?faults ?(retry = Fault.default_retry) ~events ~placement ~network ()
                  fires for hand-built placements that bypassed it. *)
               violations := (iface, meth) :: !violations
       | Event.Component_destroyed _ | Event.Interface_instantiated _
-      | Event.Interface_destroyed _ | Event.Call_retried _ | Event.Instantiation_degraded _ ->
+      | Event.Interface_destroyed _ | Event.Call_retried _ | Event.Instantiation_degraded _
+      | Event.Breaker_opened _ | Event.Breaker_closed _ | Event.Failover _ | Event.Failback _
+        ->
           ())
     events;
   let server_instances =

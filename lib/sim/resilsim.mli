@@ -1,0 +1,84 @@
+(** Resilience-grid simulation: adaptive failover vs. retry-only.
+
+    For each point of a (drop rate × partition length) fault grid, runs
+    the scenario twice under the image's stored distribution — once with
+    the PR 3 retry-only distributed RTE (the baseline) and once with a
+    resilience policy attached (circuit breaker + precomputed fallback
+    ladder) — and tabulates the availability and communication-time
+    consequences side by side.
+
+    Availability is measured against a fault-free run of the same
+    scenario: the fraction of its intercepted calls that executed
+    before the faulted run completed or was cut short by
+    [E_unreachable]. The fallback ladder is computed once for the whole
+    grid from the exact network model, so every cell fails over across
+    the same rungs.
+
+    Determinism mirrors {!Faultsim}: every cell is seeded from the same
+    master seed, the breaker draws no randomness (it is driven by the
+    virtual clock), and cells are independent — a [pool] changes
+    wall time, never results. *)
+
+type cell = {
+  rr_drop_rate : float;
+  rr_partition_us : float;     (** partition window length; 0 = none *)
+  rr_baseline : Coign_core.Adps.exec_stats;   (** retry-only *)
+  rr_resilient : Coign_core.Adps.exec_stats;  (** breaker + ladder *)
+}
+
+type grid = {
+  rg_network : Coign_netsim.Network.t;
+  rg_seed : int64;
+  rg_clean_calls : int;        (** intercepted calls of the fault-free
+                                   run — the availability denominator *)
+  rg_ladder : Coign_core.Fallback.t;
+  rg_cells : cell list;        (** row-major: drop rate outer,
+                                   partition length inner *)
+}
+
+val default_drop_rates : float list
+(** [0; 0.05; 0.1] *)
+
+val default_partitions_us : float list
+(** [0; 200_000] — none, and a 200 ms outage *)
+
+val availability : grid -> Coign_core.Adps.exec_stats -> float
+(** Intercepted calls as a fraction of the clean run's, capped at 1;
+    1 when the clean run intercepted nothing. *)
+
+val run :
+  ?pool:Coign_util.Parallel.t ->
+  ?profiler:Coign_obs.Profiler.t ->
+  ?seed:int64 ->
+  ?jitter:float ->
+  ?retry:Coign_netsim.Fault.retry_policy ->
+  ?health:Coign_netsim.Health.policy ->
+  ?max_probe_rounds:int ->
+  ?modes:(string * Coign_netsim.Net_profiler.t) list ->
+  ?drop_rates:float list ->
+  ?partitions_us:float list ->
+  ?partition_start_us:float ->
+  image:Coign_image.Binary_image.t ->
+  registry:Coign_com.Runtime.registry ->
+  network:Coign_netsim.Network.t ->
+  Coign_core.Adps.scenario ->
+  grid
+(** Execute the grid. The image must hold an accumulated profile (like
+    {!Coign_core.Adps.analyze} and [coign sweep]): one analysis session
+    prices the primary cut — rung 0, the distribution every run
+    installs — and the fallback rungs, then each cell executes the
+    resulting distributed image. [health], [max_probe_rounds] and
+    [modes] configure the resilient side; the baseline side never sees
+    them. Nonzero partition lengths become one
+    [\[partition_start_us, start + length)] window on the run's virtual
+    clock. [profiler] times the analysis under its usual phases and
+    every execution (clean, baseline, resilient) under the
+    ["resilsim_cell"] phase. *)
+
+val pp_text : Format.formatter -> grid -> unit
+(** The human-readable table [coign resilience] prints. *)
+
+val to_json : grid -> string
+(** The grid as a JSON array, one object per cell with [baseline] and
+    [resilient] sub-objects; floats are printed with [%.17g] so equal
+    grids serialize byte-identically. *)

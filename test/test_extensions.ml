@@ -103,6 +103,7 @@ let run_distributed_counts (app : App.t) classifier policy (sc : App.scenario) =
           dc_seed = 1L;
           dc_faults = None;
           dc_retry = Fault.default_retry;
+          dc_resilience = None;
         }
       ctx
   in

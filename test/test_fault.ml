@@ -209,6 +209,7 @@ let run_split ?(jitter = 0.) ?(seed = 1L) ?faults ?(retry = fixed_retry) rounds 
           dc_seed = seed;
           dc_faults = faults;
           dc_retry = retry;
+          dc_resilience = None;
         }
       ctx
   in
@@ -294,6 +295,7 @@ let test_rte_partition_mid_run_unreachable () =
           dc_seed = 1L;
           dc_faults = Some { Fault.zero with Fault.fs_partitions_us = [ (2_000., 1e9) ] };
           dc_retry = fixed_retry;
+          dc_resilience = None;
         }
       ctx
   in

@@ -13,6 +13,7 @@ let () =
       ("session", Test_session.suite);
       ("rte", Test_rte.suite);
       ("fault", Test_fault.suite);
+      ("resilience", Test_resilience.suite);
       ("adps", Test_adps.suite);
       ("apps", Test_apps.suite);
       ("sim", Test_sim.suite);

@@ -75,6 +75,11 @@ let all_event_shapes =
       };
     Event.Call_retried { iface = "IBack"; meth = "store"; retries = 2 };
     Event.Instantiation_degraded { cname = "Mini.Back"; classification = 1 };
+    Event.Breaker_opened { at_us = 9_000; failures = 2; drops = 6; spikes = 0 };
+    Event.Breaker_closed { at_us = 28_500; probes = 1 };
+    Event.Failover
+      { at_us = 9_000; rung = "all-client"; from_rung = 0; to_rung = 1; migrated = 3; stranded = 1 };
+    Event.Failback { at_us = 28_500; rung = "primary"; from_rung = 1; to_rung = 0; migrated = 0 };
   ]
 
 let test_event_json_roundtrip_all_constructors () =
@@ -142,6 +147,25 @@ let gen_event =
       ( s >>= fun cname ->
         i >>= fun classification ->
         return (Event.Instantiation_degraded { cname; classification }) );
+      ( i >>= fun at_us ->
+        i >>= fun failures ->
+        i >>= fun drops ->
+        i >>= fun spikes -> return (Event.Breaker_opened { at_us; failures; drops; spikes }) );
+      ( i >>= fun at_us ->
+        i >>= fun probes -> return (Event.Breaker_closed { at_us; probes }) );
+      ( i >>= fun at_us ->
+        s >>= fun rung ->
+        i >>= fun from_rung ->
+        i >>= fun to_rung ->
+        i >>= fun migrated ->
+        i >>= fun stranded ->
+        return (Event.Failover { at_us; rung; from_rung; to_rung; migrated; stranded }) );
+      ( i >>= fun at_us ->
+        s >>= fun rung ->
+        i >>= fun from_rung ->
+        i >>= fun to_rung ->
+        i >>= fun migrated ->
+        return (Event.Failback { at_us; rung; from_rung; to_rung; migrated }) );
     ]
 
 let qcheck_event_roundtrip =
@@ -214,9 +238,13 @@ let test_tally_key_stability () =
   Alcotest.(check (list (pair string int)))
     "one key per constructor, sorted"
     [
+      ("breaker_closed", 1);
+      ("breaker_opened", 1);
       ("call_retried", 1);
       ("component_destroyed", 1);
       ("component_instantiated", 1);
+      ("failback", 1);
+      ("failover", 1);
       ("instantiation_degraded", 1);
       ("interface_call", 1);
       ("interface_destroyed", 1);

@@ -154,6 +154,7 @@ let distributed_config policy =
     dc_seed = 1L;
     dc_faults = None;
     dc_retry = Coign_netsim.Fault.default_retry;
+    dc_resilience = None;
   }
 
 let run_distributed policy rounds =
@@ -199,6 +200,7 @@ let test_jitter_perturbs () =
             dc_seed = seed;
             dc_faults = None;
             dc_retry = Coign_netsim.Fault.default_retry;
+            dc_resilience = None;
           }
         ctx
     in
