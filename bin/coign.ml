@@ -225,25 +225,222 @@ let combine_cmd =
 
 (* lint ------------------------------------------------------------- *)
 
+(* Shared by lint and verify: exit 1 when the report crosses the gating
+   severity — errors always gate, warnings gate too under --strict. *)
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Exit non-zero on warnings as well as errors, so CI can gate on a clean report.")
+
+let gate_exit ~strict diags =
+  match Lint.worst diags with
+  | Some Lint.Error -> exit 1
+  | Some Lint.Warning when strict -> exit 1
+  | _ -> ()
+
 let lint_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array.")
   in
-  let run image_path json =
+  let run image_path json strict =
     let image = Binary_image.load image_path in
     let diags = Lint.lint_image image in
     if json then print_endline (Lint.to_json diags)
     else if diags = [] then print_endline "no diagnostics"
     else Format.printf "%a" Lint.pp_text diags;
-    if Lint.worst diags = Some Lint.Error then exit 1
+    gate_exit ~strict diags
   in
-  let term = Term.(const run $ image_arg $ json) in
+  let term = Term.(const run $ image_arg $ json $ strict_arg) in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the static remotability linter over an image: interface-flow analysis, \
           non-remotable interface checks, pin conflicts, and co-location constraints \
-          (diagnostic codes CG000-CG007).")
+          (diagnostic codes CG000-CG007). Exits 1 when the report crosses the gating \
+          severity (errors; with $(b,--strict), warnings too).")
+    term
+
+(* verify ----------------------------------------------------------- *)
+
+let verify_cmd =
+  let module V = Coign_verify in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as a JSON object.")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt int V.Explore.default_depth
+      & info [ "depth" ] ~docv:"N"
+          ~doc:"Bound on the explored interleaving length (BFS layers).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains exploring initial-event subtrees concurrently: 1 (default) = \
+             sequential, 0 = one per core. The output is identical either way.")
+  in
+  let run image_path network depth jobs json strict =
+    if depth < 1 then begin
+      Printf.eprintf "error: --depth must be >= 1\n";
+      exit 1
+    end;
+    if jobs < 0 then begin
+      Printf.eprintf "error: --jobs must be >= 0\n";
+      exit 1
+    end;
+    let image = Binary_image.load image_path in
+    let classifier, icc =
+      match Adps.load_profile image with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "error: image holds no profile — run coign profile first\n";
+          exit 1
+    in
+    let session =
+      try Adps.analysis_session image
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let net = Net_profiler.exact network in
+    let ladder = Adps.fallback_ladder ~image ~net () in
+    let truth = Fallback.migration_safety session in
+    let model = V.Model.build ~classifier ~icc ~ladder ~truth () in
+    let pool, owned =
+      match jobs with
+      | 1 -> (None, None)
+      | 0 -> (Some (Parallel.default ()), None)
+      | n ->
+          let p = Parallel.create ~domains:(n - 1) () in
+          (Some p, Some p)
+    in
+    let result = V.Explore.run ?pool ~depth model in
+    Option.iter Parallel.shutdown owned;
+    (* I2: every rung honours the static constraints.  The terminal
+       all-client rung waives location pins by design — a Server pin
+       presumes a reachable server. *)
+    let rung_diags =
+      let classifier = Analysis.Session.classifier session in
+      let constraints = Analysis.Session.constraints session in
+      let k = Fallback.rung_count ladder in
+      List.concat
+        (List.init k (fun r ->
+             let rung = Fallback.rung ladder r in
+             Analysis.validate ~classifier ~constraints rung.Fallback.rg_distribution
+             |> List.filter (fun v ->
+                    r < k - 1
+                    || match v with Analysis.Pin_violated _ -> false | _ -> true)
+             |> List.map (fun v ->
+                    Lint.diag "CG007" Lint.Error rung.Fallback.rg_name
+                      (Format.asprintf "rung %d (%s): %a" r rung.Fallback.rg_name
+                         Analysis.pp_violation v))))
+    in
+    let diags = Lint.order (V.Explore.diagnostics model result @ rung_diags) in
+    let stats = result.V.Explore.r_stats in
+    let rungs_reached =
+      List.filteri (fun r _ -> stats.V.Explore.sr_rungs_reached.(r))
+        (Array.to_list model.V.Model.m_rung_names)
+    in
+    if json then begin
+      let sev_count s =
+        List.length (List.filter (fun d -> d.Lint.severity = s) diags)
+      in
+      let j =
+        Jsonu.Obj
+          [
+            ("image", Jsonu.Str image.Binary_image.img_name);
+            ("network", Jsonu.Str network.Network.net_name);
+            ("depth", Jsonu.Int depth);
+            ( "model",
+              Jsonu.Obj
+                [
+                  ("classifications", Jsonu.Int model.V.Model.m_classifications);
+                  ("groups", Jsonu.Int (V.Model.group_count model));
+                  ("edges", Jsonu.Int (Array.length model.V.Model.m_edges));
+                  ( "rungs",
+                    Jsonu.Arr
+                      (Array.to_list
+                         (Array.map (fun n -> Jsonu.Str n) model.V.Model.m_rung_names)) );
+                ] );
+            ( "stats",
+              Jsonu.Obj
+                [
+                  ("states", Jsonu.Int stats.V.Explore.sr_states);
+                  ("transitions", Jsonu.Int stats.V.Explore.sr_transitions);
+                  ("dedup_hits", Jsonu.Int stats.V.Explore.sr_dedup_hits);
+                  ("depth_reached", Jsonu.Int stats.V.Explore.sr_depth);
+                  ("complete", Jsonu.Bool stats.V.Explore.sr_complete);
+                  ( "rungs_reached",
+                    Jsonu.Arr (List.map (fun n -> Jsonu.Str n) rungs_reached) );
+                ] );
+            ( "violations",
+              Jsonu.Arr
+                (List.map
+                   (fun (v : V.Explore.violation) ->
+                     Jsonu.Obj
+                       [
+                         ("code", Jsonu.Str v.V.Explore.vl_code);
+                         ("subject", Jsonu.Str v.V.Explore.vl_subject);
+                         ("message", Jsonu.Str v.V.Explore.vl_message);
+                         ( "trace",
+                           Jsonu.Arr
+                             (List.map
+                                (fun ev -> Jsonu.Str (V.Explore.event_id model ev))
+                                v.V.Explore.vl_trace) );
+                       ])
+                   result.V.Explore.r_violations) );
+            ( "diagnostics",
+              Jsonu.Arr
+                (List.map
+                   (fun (d : Lint.diagnostic) ->
+                     Jsonu.Obj
+                       [
+                         ("code", Jsonu.Str d.Lint.code);
+                         ("severity", Jsonu.Str (Lint.severity_name d.Lint.severity));
+                         ("subject", Jsonu.Str d.Lint.subject);
+                         ("message", Jsonu.Str d.Lint.message);
+                       ])
+                   diags) );
+            ("errors", Jsonu.Int (sev_count Lint.Error));
+            ("warnings", Jsonu.Int (sev_count Lint.Warning));
+          ]
+      in
+      print_endline (Jsonu.to_string j)
+    end
+    else begin
+      Printf.printf "verify: %s on %s, depth %d\n" image.Binary_image.img_name
+        network.Network.net_name depth;
+      Printf.printf "model: %d classifications -> %d groups, %d edges, %d rungs\n"
+        model.V.Model.m_classifications (V.Model.group_count model)
+        (Array.length model.V.Model.m_edges)
+        (V.Model.rung_count model);
+      Printf.printf "explored: %d states, %d transitions, %d dedup hits, depth %d, %s\n"
+        stats.V.Explore.sr_states stats.V.Explore.sr_transitions
+        stats.V.Explore.sr_dedup_hits stats.V.Explore.sr_depth
+        (if stats.V.Explore.sr_complete then "complete" else "truncated");
+      Printf.printf "rungs installed: %s\n" (String.concat ", " rungs_reached);
+      if diags = [] then print_endline "no violations: ladder verified"
+      else Format.printf "%a" Lint.pp_text diags
+    end;
+    gate_exit ~strict diags
+  in
+  let term =
+    Term.(
+      const run $ image_arg $ network_arg $ depth_arg $ jobs_arg $ json_arg $ strict_arg)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Exhaustively explore the image's failover interleavings — link faults, breaker \
+          transitions, failover, migration, failback — against its fallback ladder, \
+          checking that no reachable placement crosses a non-remotable interface (CG008), \
+          no reachable migration moves a statically unsafe classification (CG009), and no \
+          rung is dead (CG010). Exits 1 when the report crosses the gating severity \
+          (errors; with $(b,--strict), warnings too).")
     term
 
 (* analyze ---------------------------------------------------------- *)
@@ -811,6 +1008,6 @@ let () =
        (Cmd.group
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
           [
-            instrument_cmd; profile_cmd; combine_cmd; lint_cmd; analyze_cmd; sweep_cmd;
+            instrument_cmd; profile_cmd; combine_cmd; lint_cmd; verify_cmd; analyze_cmd; sweep_cmd;
             faultsim_cmd; resilience_cmd; trace_cmd; metrics_cmd; show_cmd; run_cmd; list_cmd;
           ]))

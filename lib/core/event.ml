@@ -29,6 +29,13 @@ type t =
       stranded : int;
     }
   | Failback of { at_us : int; rung : string; from_rung : int; to_rung : int; migrated : int }
+  | Instance_migrated of {
+      at_us : int;
+      inst : int;
+      classification : int;
+      from_loc : string;
+      to_loc : string;
+    }
 
 let kind_name = function
   | Component_instantiated _ -> "component_instantiated"
@@ -42,6 +49,7 @@ let kind_name = function
   | Breaker_closed _ -> "breaker_closed"
   | Failover _ -> "failover"
   | Failback _ -> "failback"
+  | Instance_migrated _ -> "instance_migrated"
 
 let fields = function
   | Component_instantiated { inst; cname; classification; creator } ->
@@ -108,6 +116,14 @@ let fields = function
         ("from_rung", Jsonu.Int from_rung);
         ("to_rung", Jsonu.Int to_rung);
         ("migrated", Jsonu.Int migrated);
+      ]
+  | Instance_migrated { at_us; inst; classification; from_loc; to_loc } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("inst", Jsonu.Int inst);
+        ("classification", Jsonu.Int classification);
+        ("from_loc", Jsonu.Str from_loc);
+        ("to_loc", Jsonu.Str to_loc);
       ]
 
 let to_json e = Jsonu.Obj (("event", Jsonu.Str (kind_name e)) :: fields e)
@@ -206,6 +222,16 @@ let of_json j =
                to_rung = int "to_rung";
                migrated = int "migrated";
              })
+    | Jsonu.Str "instance_migrated" ->
+        Ok
+          (Instance_migrated
+             {
+               at_us = int "at_us";
+               inst = int "inst";
+               classification = int "classification";
+               from_loc = str "from_loc";
+               to_loc = str "to_loc";
+             })
     | Jsonu.Str other -> Error ("unknown event kind " ^ other)
     | _ -> Error "event tag is not a string"
   with Bad msg -> Error msg
@@ -236,3 +262,6 @@ let pp ppf = function
   | Failback { at_us; rung; from_rung; to_rung; migrated } ->
       Format.fprintf ppf "failback @%dus rung %d -> %d (%s), %d migrated" at_us from_rung
         to_rung rung migrated
+  | Instance_migrated { at_us; inst; classification; from_loc; to_loc } ->
+      Format.fprintf ppf "migrate @%dus #%d c%d %s -> %s" at_us inst classification from_loc
+        to_loc

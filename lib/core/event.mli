@@ -59,6 +59,15 @@ type t =
       to_rung : int;
       migrated : int;
     }  (** the RTE climbed back up the ladder after probe success *)
+  | Instance_migrated of {
+      at_us : int;
+      inst : int;
+      classification : int;
+      from_loc : string;  (** {!Constraints.location_name} of the old home *)
+      to_loc : string;
+    }
+      (** one instance moved machines during a rung switch — emitted per
+          instance, after the aggregate {!Failover}/{!Failback} event *)
 
 val kind_name : t -> string
 (** Stable lowercase tag for each constructor — the key under which

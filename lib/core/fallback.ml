@@ -22,6 +22,7 @@ exception Invalid of string
 let rung_count t = Array.length t.fb_rungs
 let rung t i = t.fb_rungs.(i)
 let migration_safe t c = c >= 0 && c < Array.length t.fb_migration_safe && t.fb_migration_safe.(c)
+let migration_safety_table t = Array.copy t.fb_migration_safe
 
 let migration_safety = Analysis.Session.migration_safety
 

@@ -62,6 +62,12 @@ val migration_safe : t -> int -> bool
 (** Whether a classification may be migrated live; out-of-range
     classifications (including main, -1) are unsafe. *)
 
+val migration_safety_table : t -> bool array
+(** A copy of the ladder's per-classification safety table, indexed by
+    classification.  The verifier compares this (what the RTE will act
+    on) against a freshly derived {!migration_safety} (the static
+    truth) to detect stale or hand-edited tables. *)
+
 val encode : t -> string
 val decode : string -> t
 (** Round-trips rung names, distributions and the safety table. *)

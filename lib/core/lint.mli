@@ -21,7 +21,21 @@
       "black web".
     - [CG007] (error) — a computed or proposed distribution violates a
       static constraint; raised as {!Rejected} by
-      {!Adps.analyze}. *)
+      {!Adps.analyze}.
+
+    The [Coign_verify] explorer emits three further codes through the
+    same diagnostic type ([coign verify]):
+
+    - [CG008] (error) — a reachable failover interleaving separates two
+      classifications joined by a non-remotable interface, including
+      transient mid-migration placements.
+    - [CG009] (error) — a reachable migration moves a classification
+      the static remotability facts mark unsafe (the ladder's table
+      disagrees with the derived truth, and the disagreement is
+      exercisable).
+    - [CG010] — a dead rung: (error) an open breaker that can never
+      admit a half-open probe, or (warning) a ladder rung no explored
+      interleaving ever installs. *)
 
 type severity = Info | Warning | Error
 

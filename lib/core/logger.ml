@@ -14,7 +14,8 @@ let profiling ~icc ~inst_comm =
     | Event.Component_instantiated _ | Event.Component_destroyed _
     | Event.Interface_instantiated _ | Event.Interface_destroyed _
     | Event.Call_retried _ | Event.Instantiation_degraded _ | Event.Breaker_opened _
-    | Event.Breaker_closed _ | Event.Failover _ | Event.Failback _ ->
+    | Event.Breaker_closed _ | Event.Failover _ | Event.Failback _
+    | Event.Instance_migrated _ ->
         ()
   in
   { logger_name = "profiling"; log }

@@ -227,7 +227,7 @@ let switch_rung t m_factory r ~to_rung ~at_us =
   let rung = Fallback.rung r.r_ladder to_rung in
   let dist = rung.Fallback.rg_distribution in
   Factory.set_policy m_factory (Factory.By_classification dist);
-  let migrated = ref 0 and left = ref 0 in
+  let migrated = ref 0 and left = ref 0 and moved = ref [] in
   List.iter
     (fun (inst, machine) ->
       if inst <> Runtime.main_instance then begin
@@ -239,6 +239,7 @@ let switch_rung t m_factory r ~to_rung ~at_us =
         if target <> machine then
           if Fallback.migration_safe r.r_ladder c then begin
             Factory.record_instance m_factory ~inst target;
+            moved := (inst, c, machine, target) :: !moved;
             incr migrated
           end
           else incr left
@@ -291,7 +292,19 @@ let switch_rung t m_factory r ~to_rung ~at_us =
         ("to_rung", Jsonu.Int to_rung);
         ("migrated", Jsonu.Int !migrated);
       ]
-  end
+  end;
+  List.iter
+    (fun (inst, c, machine, target) ->
+      t.logger.Logger.log
+        (Event.Instance_migrated
+           {
+             at_us = at_int;
+             inst;
+             classification = c;
+             from_loc = Constraints.location_name machine;
+             to_loc = Constraints.location_name target;
+           }))
+    (List.rev !moved)
 
 (* React to a breaker transition: count it, log it, and move along the
    ladder — down a rung when the breaker opens, back to the primary

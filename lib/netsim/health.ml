@@ -34,6 +34,89 @@ let state_name = function
 
 type transition = { tr_from : state; tr_to : state; tr_at_us : float }
 
+(* --- Pure step function ------------------------------------------------
+
+   The breaker's control state is the five fields below; everything else
+   on [t] (EWMA, lifetime counters) is instrumentation that never feeds
+   back into admission decisions.  [transition] is the single source of
+   truth for how that control state evolves: the mutable API delegates to
+   it, and the verifier folds it over candidate event interleavings, so
+   both observe bit-identical behaviour by construction. *)
+
+type snapshot = {
+  sn_state : state;
+  sn_consecutive_failures : int;
+  sn_cooloff_us : float;
+  sn_opened_at_us : float;
+  sn_probe_successes : int;
+}
+
+type input = Observe | Success | Failure
+
+let input_name = function
+  | Observe -> "observe"
+  | Success -> "success"
+  | Failure -> "failure"
+
+let initial_snapshot policy =
+  {
+    sn_state = Closed;
+    sn_consecutive_failures = 0;
+    sn_cooloff_us = policy.hp_cooloff_us;
+    sn_opened_at_us = 0.;
+    sn_probe_successes = 0;
+  }
+
+let transition policy s ~at_us input =
+  let trip from s =
+    ( { s with sn_state = Open; sn_opened_at_us = at_us; sn_probe_successes = 0 },
+      Some { tr_from = from; tr_to = Open; tr_at_us = at_us } )
+  in
+  match (input, s.sn_state) with
+  | Observe, Open when at_us >= s.sn_opened_at_us +. s.sn_cooloff_us ->
+      ( { s with sn_state = Half_open; sn_probe_successes = 0 },
+        Some { tr_from = Open; tr_to = Half_open; tr_at_us = at_us } )
+  | Observe, _ -> (s, None)
+  | Success, Closed -> ({ s with sn_consecutive_failures = 0 }, None)
+  | Success, (Open | Half_open) ->
+      (* A success while Open can only come from a probe the caller issued
+         after [allows] turned true; treat it like a Half_open probe. *)
+      let s =
+        {
+          s with
+          sn_consecutive_failures = 0;
+          sn_probe_successes = s.sn_probe_successes + 1;
+        }
+      in
+      if s.sn_probe_successes >= policy.hp_probe_successes then
+        ( { s with sn_state = Closed; sn_cooloff_us = policy.hp_cooloff_us },
+          Some { tr_from = s.sn_state; tr_to = Closed; tr_at_us = at_us } )
+      else (s, None)
+  | Failure, Closed ->
+      let s = { s with sn_consecutive_failures = s.sn_consecutive_failures + 1 } in
+      if s.sn_consecutive_failures >= policy.hp_failure_threshold then trip Closed s
+      else (s, None)
+  | Failure, Half_open ->
+      (* Failed probe: reopen with an escalated cooloff. *)
+      let s =
+        {
+          s with
+          sn_consecutive_failures = s.sn_consecutive_failures + 1;
+          sn_cooloff_us =
+            Float.min (s.sn_cooloff_us *. policy.hp_cooloff_mult) policy.hp_cooloff_max_us;
+        }
+      in
+      trip Half_open s
+  | Failure, Open ->
+      (* Recording while Open without a preceding [observe] keeps the
+         breaker open; refresh the window so the cooloff restarts. *)
+      ( {
+          s with
+          sn_consecutive_failures = s.sn_consecutive_failures + 1;
+          sn_opened_at_us = at_us;
+        },
+        None )
+
 type t = {
   hl_policy : policy;
   mutable hl_state : state;
@@ -85,62 +168,41 @@ let allows t ~now_us =
   | Closed | Half_open -> true
   | Open -> now_us >= cooloff_expires_at t
 
+let snapshot t =
+  {
+    sn_state = t.hl_state;
+    sn_consecutive_failures = t.hl_consecutive_failures;
+    sn_cooloff_us = t.hl_cooloff_us;
+    sn_opened_at_us = t.hl_opened_at_us;
+    sn_probe_successes = t.hl_probe_successes;
+  }
+
+let restore t s =
+  t.hl_state <- s.sn_state;
+  t.hl_consecutive_failures <- s.sn_consecutive_failures;
+  t.hl_cooloff_us <- s.sn_cooloff_us;
+  t.hl_opened_at_us <- s.sn_opened_at_us;
+  t.hl_probe_successes <- s.sn_probe_successes
+
+let step t ~now_us input =
+  let s, tr = transition t.hl_policy (snapshot t) ~at_us:now_us input in
+  restore t s;
+  tr
+
 (* Advance the clock: an Open breaker whose cooloff has elapsed moves to
    Half_open, where the next call acts as a probe. *)
-let observe t ~now_us =
-  match t.hl_state with
-  | Open when now_us >= cooloff_expires_at t ->
-      t.hl_state <- Half_open;
-      t.hl_probe_successes <- 0;
-      Some { tr_from = Open; tr_to = Half_open; tr_at_us = now_us }
-  | _ -> None
+let observe t ~now_us = step t ~now_us Observe
 
 let blend t ok =
   let a = t.hl_policy.hp_ewma_alpha in
   t.hl_ewma <- ((1. -. a) *. t.hl_ewma) +. (a *. if ok then 1. else 0.)
 
-let trip t ~now_us from =
-  t.hl_state <- Open;
-  t.hl_opened_at_us <- now_us;
-  t.hl_probe_successes <- 0;
-  Some { tr_from = from; tr_to = Open; tr_at_us = now_us }
-
 let record_success t ~now_us =
   blend t true;
   t.hl_successes <- t.hl_successes + 1;
-  t.hl_consecutive_failures <- 0;
-  match t.hl_state with
-  | Closed -> None
-  | Open | Half_open ->
-      (* A success while Open can only come from a probe the caller issued
-         after [allows] turned true; treat it like a Half_open probe. *)
-      t.hl_probe_successes <- t.hl_probe_successes + 1;
-      if t.hl_probe_successes >= t.hl_policy.hp_probe_successes then begin
-        let from = t.hl_state in
-        t.hl_state <- Closed;
-        t.hl_cooloff_us <- t.hl_policy.hp_cooloff_us;
-        Some { tr_from = from; tr_to = Closed; tr_at_us = now_us }
-      end
-      else None
+  step t ~now_us Success
 
 let record_failure t ~now_us =
   blend t false;
   t.hl_failures <- t.hl_failures + 1;
-  t.hl_consecutive_failures <- t.hl_consecutive_failures + 1;
-  match t.hl_state with
-  | Closed ->
-      if t.hl_consecutive_failures >= t.hl_policy.hp_failure_threshold then
-        trip t ~now_us Closed
-      else None
-  | Half_open ->
-      (* Failed probe: reopen with an escalated cooloff. *)
-      t.hl_cooloff_us <-
-        Float.min
-          (t.hl_cooloff_us *. t.hl_policy.hp_cooloff_mult)
-          t.hl_policy.hp_cooloff_max_us;
-      trip t ~now_us Half_open
-  | Open ->
-      (* Recording while Open without a preceding [observe] keeps the
-         breaker open; refresh the window so the cooloff restarts. *)
-      t.hl_opened_at_us <- now_us;
-      None
+  step t ~now_us Failure

@@ -34,6 +34,34 @@ val state_name : state -> string
 
 type transition = { tr_from : state; tr_to : state; tr_at_us : float }
 
+type snapshot = {
+  sn_state : state;
+  sn_consecutive_failures : int;
+  sn_cooloff_us : float;  (** Current (possibly escalated) cooloff. *)
+  sn_opened_at_us : float;  (** When the breaker last tripped. *)
+  sn_probe_successes : int;  (** Successes since entering [Half_open]. *)
+}
+(** The breaker's complete control state — the exact set of fields that
+    feed back into admission decisions.  The EWMA and lifetime counters
+    on {!t} are instrumentation only and are deliberately excluded. *)
+
+type input = Observe | Success | Failure
+(** The three stimuli a breaker reacts to: a clock advance, a
+    successful call, a failed call. *)
+
+val input_name : input -> string
+(** ["observe"], ["success"], ["failure"]. *)
+
+val initial_snapshot : policy -> snapshot
+(** The control state of a freshly created tracker: [Closed], zero
+    counters, base cooloff. *)
+
+val transition : policy -> snapshot -> at_us:float -> input -> snapshot * transition option
+(** The pure breaker step.  {!observe}, {!record_success} and
+    {!record_failure} all delegate to this function, as does the
+    [lib/verify] explorer, so the model checker and the RTE share one
+    implementation of the state machine by construction. *)
+
 type t
 
 val create : ?policy:policy -> unit -> t
@@ -73,3 +101,6 @@ val record_success : t -> now_us:float -> transition option
 val record_failure : t -> now_us:float -> transition option
 (** Report a failed call.  In [Closed], may trip the breaker; in
     [Half_open], reopens it with an escalated cooloff. *)
+
+val snapshot : t -> snapshot
+(** The tracker's current control state. *)

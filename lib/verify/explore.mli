@@ -1,0 +1,104 @@
+(** Explicit-state exploration of failover interleavings.
+
+    BFS with hashed-state dedup over the finite model built by
+    {!Model}, checking the invariant catalogue from the design doc:
+
+    - I1 / CG008 — no reachable placement (transient mid-migration ones
+      included) separates a non-remotable pair;
+    - I3 / CG010 (error) — every open breaker admits a half-open probe
+      at cooloff expiry;
+    - I4 / CG009 — no reachable migration moves a classification the
+      static facts mark unsafe;
+    - CG010 (warning) — every ladder rung is installed by some explored
+      interleaving.
+
+    (I2 — location pins on non-terminal rungs — is a per-rung static
+    property and is checked by the [coign verify] driver through
+    {!Analysis.validate}, not by the explorer.)
+
+    Breaker steps reuse the pure {!Coign_netsim.Health.transition}, so
+    the explorer and the RTE share one state machine by construction.
+    Counterexamples are replayable event traces ({!Replay}). *)
+
+open Coign_core
+
+type event =
+  | Link_ok  (** a successful remote call outcome on the link *)
+  | Link_fail  (** a failed one *)
+  | Cooloff  (** the sim clock passes the open breaker's cooloff *)
+  | Migrate of int  (** one risky group migrates to its rung target *)
+  | Migrate_rest  (** all pending safe groups migrate atomically *)
+
+val event_id : Model.t -> event -> string
+(** Stable machine-readable id ([link_fail], [migrate:3], ...). *)
+
+val event_of_id : Model.t -> string -> event option
+(** Inverse of {!event_id}; [None] on unknown ids or out-of-range
+    group numbers. *)
+
+val pp_event : Model.t -> Format.formatter -> event -> unit
+(** Human form; [Migrate] shows the group's subject class. *)
+
+val pp_trace : Model.t -> Format.formatter -> event list -> unit
+(** [ev -> ev -> ...]. *)
+
+type state = {
+  st_rung : int;
+  st_snap : Coign_netsim.Health.snapshot;  (** canonical, see [canon] *)
+  st_locs : Constraints.location array;  (** per group *)
+}
+
+val init : Model.t -> state
+(** Rung 0, closed breaker, every group at its primary target. *)
+
+val canon : Coign_netsim.Health.snapshot -> Coign_netsim.Health.snapshot
+(** Canonicalize a snapshot onto the finite grid: opened-at pinned to 0,
+    consecutive failures kept only in [Closed], probe successes only in
+    [Half_open].  Exact (bisimilar) — each field is unread before its
+    next reset outside the kept state; see the implementation header. *)
+
+val enabled : Model.t -> state -> event list
+(** Events enabled in a state, in deterministic order.  Link events
+    need an admitting breaker and remotable separated traffic;
+    [Cooloff] needs an open breaker; migrations need a ladder-safe
+    group away from its current rung target. *)
+
+val apply : Model.t -> state -> event -> state * (string * Lint.severity * string * string) list
+(** Successor state plus the (code, severity, subject, message)
+    violations the step itself manifests (I3, I4).  I1 is a property of
+    the arrival state — see {!run}. *)
+
+type violation = {
+  vl_code : string;
+  vl_severity : Lint.severity;
+  vl_subject : string;
+  vl_message : string;
+  vl_trace : event list;  (** from the initial state; replayable *)
+}
+
+type stats = {
+  sr_states : int;  (** distinct states reached (initial one included) *)
+  sr_transitions : int;  (** event applications performed *)
+  sr_dedup_hits : int;  (** applications that landed on a known state *)
+  sr_depth : int;  (** deepest BFS layer reached *)
+  sr_complete : bool;  (** no frontier was cut off by the depth bound *)
+  sr_rungs_reached : bool array;  (** per rung: some state installed it *)
+}
+
+type result = { r_stats : stats; r_violations : violation list }
+
+val default_depth : int
+
+val run : ?pool:Coign_util.Parallel.t -> ?depth:int -> Model.t -> result
+(** Explore to [depth] (default {!default_depth}).  Exploration always
+    splits on the initial state's successor subtrees and merges
+    deterministically, so the result is bit-identical with or without a
+    [pool] and for any worker count.  Violations are deduplicated per
+    (code, subject), keeping the shortest (then lexicographically
+    first) counterexample trace.  Raises [Invalid_argument] when
+    [depth < 1]. *)
+
+val diagnostics : Model.t -> result -> Lint.diagnostic list
+(** The result as ordered lint diagnostics: one per violation (trace
+    appended to the message) plus CG010 warnings for rungs never
+    installed. *)

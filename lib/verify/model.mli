@@ -1,0 +1,69 @@
+(** The finite component-interaction model checked by {!Explore}.
+
+    {!build} compiles an image's profiled ICC facts, its {!Fallback}
+    ladder + migration-safety table, and a {!Coign_netsim.Health}
+    breaker policy into a small automaton alphabet: symmetry-reduced
+    {e groups} of classifications, the inter-group communication
+    {e edges} that drive and endanger them, and the finite cooloff
+    escalation chain the breaker can visit.
+
+    The type is transparent so tests can hand-build adversarial models
+    (lying safety tables, unreachable rungs) without forging images. *)
+
+open Coign_core
+
+type group = {
+  g_id : int;
+  g_members : int list;  (** classifications; -1 is the main program *)
+  g_subject : string;  (** representative class name, for diagnostics *)
+  g_targets : Constraints.location array;  (** placement per rung *)
+  g_ladder_safe : bool;  (** what the ladder's table will act on *)
+  g_truth_safe : bool;  (** what the static facts actually derive *)
+}
+
+type edge = {
+  e_a : int;  (** group ids, [e_a < e_b] *)
+  e_b : int;
+  e_iface : string;  (** sample interface; a non-remotable one if any *)
+  e_remotable : bool;
+  e_non_remotable : bool;
+}
+
+type t = {
+  m_groups : group array;
+  m_edges : edge array;
+  m_rung_names : string array;
+  m_policy : Coign_netsim.Health.policy;
+  m_cooloffs : float array;  (** escalation chain, base to cap *)
+  m_classifications : int;  (** classifications folded in, incl. main *)
+}
+
+val rung_count : t -> int
+val group_count : t -> int
+
+val risky : group -> bool
+(** Ladder-safe but truth-unsafe: the migrations that can manifest
+    I1/I4 violations, interleaved individually by the explorer. *)
+
+val cooloff_chain : Coign_netsim.Health.policy -> float array
+(** [c, min(c*mult, cap), ...] to fixpoint — every cooloff value the
+    breaker can reach by escalation. *)
+
+val cooloff_index : t -> float -> int
+(** Position of a cooloff value in the chain, by float bit equality
+    (the verifier steps the real {!Coign_netsim.Health.transition}, so
+    escalated values must land exactly on chain entries).  Raises
+    [Invalid_argument] if the value is off-chain. *)
+
+val build :
+  ?policy:Coign_netsim.Health.policy ->
+  classifier:Classifier.t ->
+  icc:Icc.t ->
+  ladder:Fallback.t ->
+  truth:bool array ->
+  unit ->
+  t
+(** Compile the model.  [truth] is the freshly derived
+    {!Fallback.migration_safety} table; the ladder's own table is read
+    through {!Fallback.migration_safe} so a stale or hand-edited table
+    shows up as {!risky} groups. *)

@@ -20,5 +20,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
+      ("verify", Test_verify.suite);
       ("cli", Test_cli.suite);
     ]

@@ -80,6 +80,8 @@ let all_event_shapes =
     Event.Failover
       { at_us = 9_000; rung = "all-client"; from_rung = 0; to_rung = 1; migrated = 3; stranded = 1 };
     Event.Failback { at_us = 28_500; rung = "primary"; from_rung = 1; to_rung = 0; migrated = 0 };
+    Event.Instance_migrated
+      { at_us = 9_000; inst = 3; classification = 1; from_loc = "server0"; to_loc = "client" };
   ]
 
 let test_event_json_roundtrip_all_constructors () =
@@ -166,6 +168,12 @@ let gen_event =
         i >>= fun to_rung ->
         i >>= fun migrated ->
         return (Event.Failback { at_us; rung; from_rung; to_rung; migrated }) );
+      ( i >>= fun at_us ->
+        i >>= fun inst ->
+        i >>= fun classification ->
+        s >>= fun from_loc ->
+        s >>= fun to_loc ->
+        return (Event.Instance_migrated { at_us; inst; classification; from_loc; to_loc }) );
     ]
 
 let qcheck_event_roundtrip =
@@ -245,6 +253,7 @@ let test_tally_key_stability () =
       ("component_instantiated", 1);
       ("failback", 1);
       ("failover", 1);
+      ("instance_migrated", 1);
       ("instantiation_degraded", 1);
       ("interface_call", 1);
       ("interface_destroyed", 1);
