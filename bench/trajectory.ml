@@ -1,0 +1,159 @@
+(* Perf-trajectory gate over the bench harness's --json snapshots.
+
+   Usage: trajectory NEW.json [OLD.json] [--tolerance T] [--min-speedup S]
+
+   Within-snapshot gates on NEW (machine-independent invariants):
+     - the session sweep reproduced fresh analysis bit for bit
+       (sections.session.identical);
+     - the two-stage session path beats fresh analysis by at least
+       --min-speedup (default 3.0; the PR 7 acceptance bar was 5x on an
+       idle machine, the gate leaves headroom for loaded CI runners);
+     - the relabel-to-front micro kernel runs within 8x of Dinic on the
+       150-node bench graph (the pre-PR-7 pathology was ~60x).
+
+   Cross-snapshot comparisons against OLD use ratios rather than raw
+   nanoseconds, so trajectories survive machine changes: the session
+   speedup and the rtf/dinic ratio may regress by at most --tolerance
+   (default 0.5, i.e. 50%).
+
+   Exit codes: 0 all gates pass, 1 a gate failed, 2 usage or parse
+   error. *)
+
+module J = Coign_util.Jsonu
+
+let usage () =
+  prerr_endline
+    "usage: trajectory NEW.json [OLD.json] [--tolerance T] [--min-speedup S]";
+  exit 2
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error msg ->
+      Printf.eprintf "trajectory: cannot read %s: %s\n" path msg;
+      exit 2
+
+let parse_snapshot path =
+  match J.parse (read_file path) with
+  | Ok json -> json
+  | Error msg ->
+      Printf.eprintf "trajectory: %s: %s\n" path msg;
+      exit 2
+
+let section name json = Option.bind (J.member "sections" json) (J.member name)
+
+let number = function
+  | Some (J.Int n) -> Some (float_of_int n)
+  | Some (J.Float f) -> Some f
+  | _ -> None
+
+let micro_kernels json =
+  match section "micro" json with
+  | Some (J.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match (J.member "kernel" row, number (J.member "ns_per_run" row)) with
+          | Some (J.Str name), Some ns -> Some (name, ns)
+          | _ -> None)
+        rows
+  | _ -> []
+
+let failures = ref 0
+
+let check name ok detail =
+  Printf.printf "%s %-52s %s\n" (if ok then "ok  " else "FAIL") name detail;
+  if not ok then incr failures
+
+let skip name why = Printf.printf "skip %-52s %s\n" name why
+
+(* --- gates ---------------------------------------------------------- *)
+
+let session_fields json =
+  match section "session" json with
+  | None -> None
+  | Some s ->
+      let identical = match J.member "identical" s with Some (J.Bool b) -> Some b | _ -> None in
+      Some (identical, number (J.member "speedup" s))
+
+let rtf_dinic_ratio json =
+  let kernels = micro_kernels json in
+  match
+    ( List.assoc_opt "kernels/relabel-to-front" kernels,
+      List.assoc_opt "kernels/dinic" kernels )
+  with
+  | Some rtf, Some dinic when dinic > 0. -> Some (rtf /. dinic)
+  | _ -> None
+
+let within_gates ~min_speedup fresh =
+  (match session_fields fresh with
+  | None -> skip "session: identical" "no session section in NEW"
+  | Some (identical, speedup) -> (
+      check "session: distributions bit-identical" (identical = Some true)
+        (match identical with
+        | Some b -> Printf.sprintf "identical=%b" b
+        | None -> "field missing");
+      match speedup with
+      | None -> skip "session: speedup" "field missing"
+      | Some s ->
+          check
+            (Printf.sprintf "session: reprice speedup >= %.1fx" min_speedup)
+            (s >= min_speedup)
+            (Printf.sprintf "speedup=%.2fx" s)));
+  match rtf_dinic_ratio fresh with
+  | None -> skip "micro: rtf within 8x of dinic" "kernels missing in NEW"
+  | Some r ->
+      check "micro: rtf within 8x of dinic" (r <= 8.)
+        (Printf.sprintf "rtf/dinic=%.2fx" r)
+
+let cross_gates ~tolerance ~old_path fresh old =
+  Printf.printf "-- comparing against %s (tolerance %.0f%%)\n" old_path
+    (tolerance *. 100.);
+  (match (session_fields fresh, session_fields old) with
+  | Some (_, Some now), Some (_, Some before) ->
+      let floor = before *. (1. -. tolerance) in
+      check "session: speedup vs previous snapshot" (now >= floor)
+        (Printf.sprintf "%.2fx vs %.2fx (floor %.2fx)" now before floor)
+  | _ -> skip "session: speedup vs previous snapshot" "section missing on one side");
+  (match (rtf_dinic_ratio fresh, rtf_dinic_ratio old) with
+  | Some now, Some before ->
+      let ceiling = Float.max 8. (before *. (1. +. tolerance)) in
+      check "micro: rtf/dinic ratio vs previous snapshot" (now <= ceiling)
+        (Printf.sprintf "%.2fx vs %.2fx (ceiling %.2fx)" now before ceiling)
+  | _ -> skip "micro: rtf/dinic ratio vs previous snapshot" "kernels missing on one side");
+  match (session_fields fresh, session_fields old) with
+  | Some (now, _), Some (before, _) when before = Some true ->
+      check "session: identity regression" (now = Some true)
+        "previous snapshot was bit-identical"
+  | _ -> ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split paths tolerance min_speedup = function
+    | [] -> (List.rev paths, tolerance, min_speedup)
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0. -> split paths t min_speedup rest
+        | _ -> usage ())
+    | "--min-speedup" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s > 0. -> split paths tolerance s rest
+        | _ -> usage ())
+    | ("--tolerance" | "--min-speedup") :: [] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | path :: rest -> split (path :: paths) tolerance min_speedup rest
+  in
+  let paths, tolerance, min_speedup = split [] 0.5 3.0 args in
+  match paths with
+  | [] | _ :: _ :: _ :: _ -> usage ()
+  | fresh_path :: old_paths ->
+      let fresh = parse_snapshot fresh_path in
+      Printf.printf "perf trajectory: %s\n" fresh_path;
+      within_gates ~min_speedup fresh;
+      (match old_paths with
+      | [ old_path ] -> cross_gates ~tolerance ~old_path fresh (parse_snapshot old_path)
+      | _ -> ());
+      if !failures > 0 then begin
+        Printf.printf "%d gate(s) FAILED\n" !failures;
+        exit 1
+      end;
+      print_endline "all gates passed"

@@ -307,9 +307,6 @@ let verify_cmd =
         exit 1
     in
     let net = Net_profiler.exact network in
-    let ladder = Adps.fallback_ladder ~image ~net () in
-    let truth = Fallback.migration_safety session in
-    let model = V.Model.build ~classifier ~icc ~ladder ~truth () in
     let pool, owned =
       match jobs with
       | 1 -> (None, None)
@@ -318,6 +315,9 @@ let verify_cmd =
           let p = Parallel.create ~domains:(n - 1) () in
           (Some p, Some p)
     in
+    let ladder = Adps.fallback_ladder ?pool ~image ~net () in
+    let truth = Fallback.migration_safety session in
+    let model = V.Model.build ~classifier ~icc ~ladder ~truth () in
     let result = V.Explore.run ?pool ~depth model in
     Option.iter Parallel.shutdown owned;
     (* I2: every rung honours the static constraints.  The terminal

@@ -255,7 +255,7 @@ let execute ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?f
    exactly the analyzed cut) and a fresh solve of the same session
    otherwise; later rungs re-price the same session under the
    failure-mode profiles of [net]. *)
-let fallback_ladder ?algorithm ?profiler ?metrics ?modes ~image ~net () =
+let fallback_ladder ?algorithm ?profiler ?metrics ?pool ?modes ~image ~net () =
   let session = analysis_session ?profiler image in
   let primary = Option.map snd (load_distribution image) in
-  Fallback.compute ?algorithm ?profiler ?metrics ?modes ?primary session ~net ()
+  Fallback.compute ?algorithm ?profiler ?metrics ?pool ?modes ?primary session ~net ()

@@ -193,6 +193,7 @@ val fallback_ladder :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->
   ?profiler:Coign_obs.Profiler.t ->
   ?metrics:Coign_obs.Metrics.registry ->
+  ?pool:Coign_util.Parallel.t ->
   ?modes:(string * Coign_netsim.Net_profiler.t) list ->
   image:Coign_image.Binary_image.t ->
   net:Coign_netsim.Net_profiler.t ->

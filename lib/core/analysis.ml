@@ -23,19 +23,46 @@ let price_entry net (e : Icc.entry) =
 let ns_of_us us = int_of_float (Float.round (us *. 1000.))
 
 module Session = struct
+  module R = Flow_network.Residual
+
+  (* The network-dependent half of pricing, memoized per network
+     profile (by physical identity — profiles are immutable records, so
+     the same profile object always compiles to the same table). Sweeps
+     and fallback ladders re-solve against a small set of profile
+     objects, so the compile + per-size prediction work is paid once
+     per profile instead of once per solve. *)
+  let cost_cache_cap = 64
+
   type session = {
     s_classifier : Classifier.t;
     s_constraints : Constraints.t;
     s_graph : Icc_graph.t;
-    s_flow : Flow_network.t;
     s_client : int;  (* = main node of the abstract graph *)
     s_server : int;
-    (* Network-independent adjacency (infinite edges: non-remotable
-       pairs, pins, co-locations), fixed at session creation. *)
-    s_base_adj : int list array;
+    (* CSR flow arena holding every potential edge: infinite constraint
+       edges plus one zero-capacity slot per priced traffic pair.
+       Repricing writes capacities straight into the arena — no edge
+       list is ever rebuilt. *)
+    s_arena : R.g;
+    s_scratch : Mincut.scratch;
     (* Pair ids whose capacity must be re-priced per network: the pairs
        not already held together by an infinite edge. *)
     s_priced : int array;
+    s_arc_ab : int array;  (* per priced slot: arena arc a->b *)
+    s_arc_ba : int array;  (* per priced slot: arena arc b->a *)
+    s_caps : int array;    (* per priced slot: capacity of the last solve *)
+    (* Static placement adjacency in CSR form over the n+2 nodes; a tag
+       of -1 marks an infinite (constraint) edge, otherwise the priced
+       slot whose current capacity decides whether the edge exists. *)
+    s_adj_first : int array;
+    s_adj_node : int array;
+    s_adj_tag : int array;
+    (* Per-solve scratch, preallocated once. *)
+    s_seen : bool array;
+    s_stack : int array;
+    s_server_side : bool array;
+    s_pricing : Icc_graph.pricing;
+    mutable s_cost_cache : (Net_profiler.t * float array) list;
   }
 
   type t = session
@@ -51,21 +78,26 @@ module Session = struct
     (* Nodes: 0..n-1 classifications, n = client terminal (also the
        main program's node), n+1 = server. *)
     let client = n and server = n + 1 in
-    let g = Flow_network.create ~n:(n + 2) in
-    let base_adj = Array.make (n + 2) [] in
     let fixed = Array.make (Icc_graph.pair_count graph) false in
     let pair_id : (int * int, int) Hashtbl.t =
       Hashtbl.create (max 16 (2 * Icc_graph.pair_count graph))
     in
     Icc_graph.iter_pairs graph (fun p ~a ~b ~non_remotable:_ ->
         Hashtbl.replace pair_id (a, b) p);
+    (* Infinite undirected edges, deduplicated: repeat constraints on
+       one pair saturate at infinity_cap anyway, so one arena slot per
+       unordered pair carries them all. *)
+    let inf_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let inf_rev = ref [] in
     let add_infinite a b =
-      Flow_network.add_undirected g a b ~cap:Flow_network.infinity_cap;
-      base_adj.(a) <- b :: base_adj.(a);
-      base_adj.(b) <- a :: base_adj.(b);
+      let key = (min a b, max a b) in
+      if not (Hashtbl.mem inf_seen key) then begin
+        Hashtbl.add inf_seen key ();
+        inf_rev := key :: !inf_rev
+      end;
       (* An infinite edge dominates any finite traffic on the pair, so
          its price can never change the cut: skip it when repricing. *)
-      match Hashtbl.find_opt pair_id (min a b, max a b) with
+      match Hashtbl.find_opt pair_id key with
       | Some p -> fixed.(p) <- true
       | None -> ()
     in
@@ -113,15 +145,94 @@ module Session = struct
     for p = Icc_graph.pair_count graph - 1 downto 0 do
       if not fixed.(p) then priced := p :: !priced
     done;
+    let priced = Array.of_list !priced in
+    let np = Array.length priced in
+    let inf_pairs = Array.of_list (List.rev !inf_rev) in
+    let ninf = Array.length inf_pairs in
+    (* Directed edge list for the arena: both directions of every
+       infinite edge and of every priced pair (the latter at capacity
+       zero — inert until priced up). Sorted by (src, dst), the same
+       order Flow_network.edges fed the legacy compile; the inert
+       zero-capacity slots interleave without disturbing the relative
+       order of live arcs, and a zero-residual arc is invisible to
+       every solver, so traversals see exactly the legacy arc
+       sequence. *)
+    let nedges = 2 * (ninf + np) in
+    let edges = Array.make (max 1 nedges) (0, 0, 0, -1) in
+    Array.iteri
+      (fun i (a, b) ->
+        edges.(2 * i) <- (a, b, Flow_network.infinity_cap, -1);
+        edges.((2 * i) + 1) <- (b, a, Flow_network.infinity_cap, -1))
+      inf_pairs;
+    Array.iteri
+      (fun i p ->
+        let a, b = Icc_graph.pair graph p in
+        edges.((2 * ninf) + (2 * i)) <- (a, b, 0, i);
+        edges.((2 * ninf) + (2 * i) + 1) <- (b, a, 0, i))
+      priced;
+    let edges = if nedges = 0 then [||] else edges in
+    Array.sort compare edges;
+    let arena, fwd =
+      R.of_edges ~n:(n + 2) (Array.map (fun (s, d, c, _) -> (s, d, c)) edges)
+    in
+    let arc_ab = Array.make np 0 and arc_ba = Array.make np 0 in
+    Array.iteri
+      (fun i (src, dst, _, slot) ->
+        if slot >= 0 then
+          if src < dst then arc_ab.(slot) <- fwd.(i) else arc_ba.(slot) <- fwd.(i))
+      edges;
+    (* Placement adjacency CSR over the same undirected edge sets. *)
+    let deg = Array.make (n + 2) 0 in
+    let bump (a, b) =
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1
+    in
+    Array.iter bump inf_pairs;
+    Array.iter (fun p -> bump (Icc_graph.pair graph p)) priced;
+    let adj_first = Array.make (n + 3) 0 in
+    for v = 1 to n + 2 do
+      adj_first.(v) <- adj_first.(v - 1) + deg.(v - 1)
+    done;
+    let nadj = adj_first.(n + 2) in
+    let adj_node = Array.make (max 1 nadj) 0 in
+    let adj_tag = Array.make (max 1 nadj) 0 in
+    let fill = Array.make (n + 2) 0 in
+    let link a b tag =
+      let i = adj_first.(a) + fill.(a) in
+      fill.(a) <- fill.(a) + 1;
+      adj_node.(i) <- b;
+      adj_tag.(i) <- tag;
+      let j = adj_first.(b) + fill.(b) in
+      fill.(b) <- fill.(b) + 1;
+      adj_node.(j) <- a;
+      adj_tag.(j) <- tag
+    in
+    Array.iter (fun (a, b) -> link a b (-1)) inf_pairs;
+    Array.iteri
+      (fun i p ->
+        let a, b = Icc_graph.pair graph p in
+        link a b i)
+      priced;
     {
       s_classifier = classifier;
       s_constraints = constraints;
       s_graph = graph;
-      s_flow = g;
       s_client = client;
       s_server = server;
-      s_base_adj = base_adj;
-      s_priced = Array.of_list !priced;
+      s_arena = arena;
+      s_scratch = Mincut.scratch arena;
+      s_priced = priced;
+      s_arc_ab = arc_ab;
+      s_arc_ba = arc_ba;
+      s_caps = Array.make np 0;
+      s_adj_first = adj_first;
+      s_adj_node = adj_node;
+      s_adj_tag = adj_tag;
+      s_seen = Array.make (n + 2) false;
+      s_stack = Array.make (n + 2) 0;
+      s_server_side = Array.make (n + 2) false;
+      s_pricing = Icc_graph.make_pricing graph;
+      s_cost_cache = [];
     }
 
   let create ?profiler ~classifier ~icc ~constraints () =
@@ -131,7 +242,39 @@ module Session = struct
         Coign_obs.Profiler.time p "icc_graph_build" (fun () ->
             build_session ~classifier ~icc ~constraints ())
 
-  let copy t = { t with s_flow = Flow_network.copy t.s_flow }
+  let copy t =
+    let n2 = Icc_graph.classification_count t.s_graph + 2 in
+    let arena = R.copy t.s_arena in
+    {
+      t with
+      s_arena = arena;
+      s_scratch = Mincut.scratch arena;
+      s_caps = Array.copy t.s_caps;
+      s_seen = Array.make n2 false;
+      s_stack = Array.make n2 0;
+      s_server_side = Array.make n2 false;
+      s_pricing = Icc_graph.make_pricing t.s_graph;
+      (* The cache list and its entries are immutable once published;
+         sharing the snapshot lets a copied session skip re-compiling
+         profiles the original already priced. *)
+      s_cost_cache = t.s_cost_cache;
+    }
+
+  let cost_table_for t net =
+    let rec find = function
+      | [] ->
+          let cost = Icc_graph.cost_table t.s_graph (Net_profiler.compile net) in
+          let cache = t.s_cost_cache in
+          let cache =
+            if List.length cache >= cost_cache_cap then
+              List.filteri (fun i _ -> i < cost_cache_cap - 1) cache
+            else cache
+          in
+          t.s_cost_cache <- (net, cost) :: cache;
+          cost
+      | (key, cost) :: rest -> if key == net then cost else find rest
+    in
+    find t.s_cost_cache
 
   let solve ?(algorithm = Mincut.Relabel_to_front) ?profiler ?metrics t ~net =
     let timed name f =
@@ -141,49 +284,60 @@ module Session = struct
     let n = Icc_graph.classification_count graph in
     let pricing =
       timed "pricing" (fun () ->
-          let pricing = Icc_graph.price graph ~net in
-          (* Reprice: replace (not accumulate) the traffic capacity of
-             every non-fixed pair. set_edge removes zero-cost pairs, so
-             the edge set is exactly what a from-scratch build
+          let pricing = t.s_pricing in
+          Icc_graph.price_into graph ~cost:(cost_table_for t net) pricing;
+          (* Reprice: write every non-fixed pair's capacity straight
+             into its preallocated arena slots (clamped exactly as the
+             legacy Hashtbl path clamped). Zero-cost pairs leave
+             zero-capacity arcs, which no solver can traverse, so the
+             usable edge set is exactly what a from-scratch build
              produces. *)
-          Array.iter
-            (fun p ->
-              let a, b = Icc_graph.pair graph p in
-              Flow_network.set_undirected t.s_flow a b
-                ~cap:(ns_of_us pricing.Icc_graph.pair_us.(p)))
-            t.s_priced;
+          for i = 0 to Array.length t.s_priced - 1 do
+            let cap =
+              min Flow_network.infinity_cap
+                (ns_of_us pricing.Icc_graph.pair_us.(t.s_priced.(i)))
+            in
+            t.s_caps.(i) <- cap;
+            R.set_arc_cap t.s_arena t.s_arc_ab.(i) cap;
+            R.set_arc_cap t.s_arena t.s_arc_ba.(i) cap
+          done;
           pricing)
     in
     timed "cut" @@ fun () ->
     (* A cut must exist even in a graph with no server-pinned component:
        terminals are always present (the cut just puts everything on
        the client). *)
-    let cut = Mincut.min_cut ~algorithm t.s_flow ~s:t.s_client ~t:t.s_server in
+    R.reset t.s_arena;
+    let cut_ns =
+      Mincut.run ~algorithm t.s_arena t.s_scratch ~s:t.s_client ~t:t.s_server
+    in
+    let source_side = t.s_seen in
+    R.min_cut_side_into t.s_arena ~s:t.s_client ~seen:source_side ~stack:t.s_stack;
     (* A node the min cut leaves on the sink side belongs on the server
        only if it is actually connected to the server's side; components
        that never communicated are free and default to the client. *)
-    let adjacency = Array.copy t.s_base_adj in
-    Array.iter
-      (fun p ->
-        if ns_of_us pricing.Icc_graph.pair_us.(p) > 0 then begin
-          let a, b = Icc_graph.pair graph p in
-          adjacency.(a) <- b :: adjacency.(a);
-          adjacency.(b) <- a :: adjacency.(b)
-        end)
-      t.s_priced;
-    let server_side = Array.make (n + 2) false in
+    let server_side = t.s_server_side in
+    Array.fill server_side 0 (n + 2) false;
     server_side.(t.s_server) <- true;
-    let queue = Queue.create () in
-    Queue.add t.s_server queue;
-    while not (Queue.is_empty queue) do
-      let v = Queue.pop queue in
-      List.iter
-        (fun u ->
-          if (not server_side.(u)) && not cut.Mincut.source_side.(u) then begin
-            server_side.(u) <- true;
-            Queue.add u queue
-          end)
-        adjacency.(v)
+    let queue = t.s_stack in
+    queue.(0) <- t.s_server;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = queue.(!head) in
+      incr head;
+      for i = t.s_adj_first.(v) to t.s_adj_first.(v + 1) - 1 do
+        let u = t.s_adj_node.(i) in
+        let tag = t.s_adj_tag.(i) in
+        if
+          (tag < 0 || t.s_caps.(tag) > 0)
+          && (not server_side.(u))
+          && not source_side.(u)
+        then begin
+          server_side.(u) <- true;
+          queue.(!tail) <- u;
+          incr tail
+        end
+      done
     done;
     let placement =
       Array.init n (fun c ->
@@ -205,7 +359,7 @@ module Session = struct
     let d =
       {
         placement;
-        cut_ns = cut.Mincut.value;
+        cut_ns;
         predicted_comm_us;
         server_count;
         node_count = n;
@@ -287,6 +441,22 @@ module Session = struct
         adj.(c)
     done;
     safe
+
+  (* Domain-parallel pricing across network profiles: each
+     participating domain solves on its own session copy (own arena,
+     scratch and pricing buffers; the abstract graph and any already-
+     published cost tables are shared — both immutable). The pool's
+     order-preserving map keeps results bit-identical to the
+     sequential path. *)
+  let solve_many ?algorithm ?profiler ?metrics ?pool t ~nets =
+    match pool with
+    | None -> List.map (fun net -> solve ?algorithm ?profiler ?metrics t ~net) nets
+    | Some pool ->
+        Array.to_list
+          (Parallel.map_init pool
+             ~init:(fun () -> copy t)
+             ~f:(fun s net -> solve ?algorithm ?profiler ?metrics s ~net)
+             (Array.of_list nets))
 end
 
 let choose ?algorithm ?profiler ?metrics ~classifier ~icc ~constraints ~net () =

@@ -27,15 +27,19 @@ type distribution = {
 (** {1 Two-stage engine}
 
     Stage 1 ({!Session.create}) builds everything network-independent
-    once per profile: the abstract ICC graph ({!Icc_graph}), the flow
-    network with its constraint/pin/non-remotable infinite edges, and
-    the list of traffic pairs whose capacity depends on the network.
-    Stage 2 ({!Session.solve}) prices those pairs against one concrete
-    network profile through {!Flow_network.set_undirected} and cuts.
-    Solving the same session across many networks (the paper's §4.4
-    adaptivity sweeps) skips the per-network graph rebuild entirely,
-    and is guaranteed — by construction and by property test — to
-    produce bit-identical distributions to a fresh {!choose}. *)
+    once per profile: the abstract ICC graph ({!Icc_graph}) and a CSR
+    flow arena holding every potential edge — the constraint/pin/
+    non-remotable infinite edges plus one zero-capacity slot per
+    repriceable traffic pair. Stage 2 ({!Session.solve}) prices those
+    pairs against one concrete network profile by writing capacities
+    straight into the arena's flat arrays and cuts in place with
+    preallocated solver scratch; per-profile cost tables are memoized
+    (keyed by profile identity) so sweeps and fallback ladders compile
+    each network once. Solving the same session across many networks
+    (the paper's §4.4 adaptivity sweeps) therefore allocates almost
+    nothing per round, and is guaranteed — by construction and by
+    property test — to produce bit-identical distributions to a fresh
+    {!choose}. *)
 
 module Session : sig
   type t
@@ -67,11 +71,27 @@ module Session : sig
       [coign_analysis_*] instruments. Neither changes the
       distribution. *)
 
+  val solve_many :
+    ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+    ?profiler:Coign_obs.Profiler.t ->
+    ?metrics:Coign_obs.Metrics.registry ->
+    ?pool:Coign_util.Parallel.t ->
+    t ->
+    nets:Coign_netsim.Net_profiler.t list ->
+    distribution list
+  (** Solve one session against many network profiles, in input order.
+      With [pool], pricing runs domain-parallel: each participating
+      domain solves on its own {!copy} (private arena and scratch,
+      shared immutable abstract graph), and the pool's order-preserving
+      map makes the result list bit-identical to the sequential
+      path. *)
+
   val copy : t -> t
   (** An independent session sharing the immutable abstract graph but
-      owning its own flow network — solve copies concurrently from
-      different domains (one session alone must not be solved from two
-      domains at once, since pricing mutates its capacities). *)
+      owning its own flow arena, solver scratch and pricing buffers —
+      solve copies concurrently from different domains (one session
+      alone must not be solved from two domains at once, since pricing
+      mutates its capacities). *)
 
   val classifier : t -> Classifier.t
   val constraints : t -> Constraints.t

@@ -29,7 +29,7 @@ let migration_safety = Analysis.Session.migration_safety
 let default_modes net =
   [ ("lossy", Net_profiler.degrade net); ("partition", Net_profiler.link_down net) ]
 
-let compute ?algorithm ?profiler ?metrics ?modes ?primary session ~net () =
+let compute ?algorithm ?profiler ?metrics ?pool ?modes ?primary session ~net () =
   let primary =
     match primary with
     | Some d -> d
@@ -55,10 +55,14 @@ let compute ?algorithm ?profiler ?metrics ?modes ?primary session ~net () =
            !rungs)
     then rungs := checked name d :: !rungs
   in
-  List.iter
-    (fun (name, profile) ->
-      add name (Analysis.Session.solve ?algorithm ?profiler ?metrics session ~net:profile))
-    modes;
+  (* Rung pricing can fan out across domains; the distributions come
+     back in mode order, so the dedup fold below — and therefore the
+     ladder — is identical to the sequential build. *)
+  let mode_dists =
+    Analysis.Session.solve_many ?algorithm ?profiler ?metrics ?pool session
+      ~nets:(List.map snd modes)
+  in
+  List.iter2 (fun (name, _) d -> add name d) modes mode_dists;
   (* Terminal rung: everything on the client.  Location pins are
      deliberately waived here — a Server pin presumes a reachable
      server, and this rung exists precisely for when there is none.

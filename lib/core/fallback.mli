@@ -31,6 +31,7 @@ val compute :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->
   ?profiler:Coign_obs.Profiler.t ->
   ?metrics:Coign_obs.Metrics.registry ->
+  ?pool:Coign_util.Parallel.t ->
   ?modes:(string * Coign_netsim.Net_profiler.t) list ->
   ?primary:Analysis.distribution ->
   Analysis.Session.t ->
@@ -42,8 +43,10 @@ val compute :
     [modes] (default: [lossy] then [partition] derived from [net]) is
     solved and appended unless its placement duplicates an earlier
     rung; the all-client placement is appended last under the same
-    dedup rule.  The session's pricing is reusable afterwards — the
-    next [solve] replaces it as always. *)
+    dedup rule.  With [pool], the mode rungs price domain-parallel
+    ({!Analysis.Session.solve_many}) with no change to the resulting
+    ladder.  The session's pricing is reusable afterwards — the next
+    [solve] replaces it as always. *)
 
 val of_rungs : migration_safe:bool array -> rung list -> t
 (** Hand-built ladder (tests, custom policies).  No validation beyond

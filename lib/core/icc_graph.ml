@@ -1,17 +1,20 @@
 open Coign_util
 open Coign_netsim
 
-type segment = {
-  sg_pair : int;
-  sg_sizes : int array;    (* indices into [sizes] *)
-  sg_counts : float array; (* message count per item, as float *)
-}
-
+(* Flat CSR form: pairs as parallel endpoint arrays, segments as an
+   offset array over flat (size index, count) item arrays. One segment
+   per a<>b ICC entry, in entry order; sizes are interned into a shared
+   dictionary so pricing is one prediction per distinct size. *)
 type t = {
   n : int;
-  pairs : (int * int) array;
+  pair_a : int array;
+  pair_b : int array;
   non_remotable : bool array;
-  segments : segment array;  (* one per a<>b ICC entry, in entry order *)
+  seg_pair : int array;      (* pair id per segment, in entry order *)
+  seg_first : int array;     (* length nsegs + 1; items of segment s are
+                                seg_first.(s) .. seg_first.(s+1)-1 *)
+  item_size : int array;     (* indices into [sizes] *)
+  item_count : float array;  (* message count per item, as float *)
   sizes : int array;         (* distinct rounded bucket-mean sizes *)
 }
 
@@ -19,12 +22,16 @@ type pricing = { pair_us : float array; seg_us : float array }
 
 let classification_count t = t.n
 let main_node t = t.n
-let pair_count t = Array.length t.pairs
-let pair t p = t.pairs.(p)
+let pair_count t = Array.length t.pair_a
+let pair t p = (t.pair_a.(p), t.pair_b.(p))
 let pair_non_remotable t p = t.non_remotable.(p)
+let segment_count t = Array.length t.seg_pair
+let size_count t = Array.length t.sizes
 
 let iter_pairs t f =
-  Array.iteri (fun p (a, b) -> f p ~a ~b ~non_remotable:t.non_remotable.(p)) t.pairs
+  for p = 0 to Array.length t.pair_a - 1 do
+    f p ~a:t.pair_a.(p) ~b:t.pair_b.(p) ~non_remotable:t.non_remotable.(p)
+  done
 
 let build ~classifier ~icc =
   let n = Classifier.classification_count classifier in
@@ -34,7 +41,9 @@ let build ~classifier ~icc =
   let non_remotable_ids : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let size_ids : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let size_rev = ref [] and nsizes = ref 0 in
-  let seg_rev = ref [] in
+  (* Segments accumulate in reverse entry order; items in reverse item
+     order within each segment, flattened at the end. *)
+  let seg_rev = ref [] and nsegs = ref 0 and nitems = ref 0 in
   let intern_size s =
     match Hashtbl.find_opt size_ids s with
     | Some i -> i
@@ -61,49 +70,87 @@ let build ~classifier ~icc =
               id
         in
         if not e.Icc.remotable then Hashtbl.replace non_remotable_ids pid ();
-        let items =
+        let items, count =
           Exp_bucket.fold
-            (fun ~index ~count ~bytes:_ acc ->
+            (fun ~index ~count ~bytes:_ (acc, k) ->
               let mean = Exp_bucket.mean_bytes_in_bucket e.Icc.messages index in
-              (intern_size (int_of_float (Float.round mean)), float_of_int count) :: acc)
-            e.Icc.messages []
+              ( (intern_size (int_of_float (Float.round mean)), float_of_int count)
+                :: acc,
+                k + 1 ))
+            e.Icc.messages ([], 0)
         in
-        let items = Array.of_list (List.rev items) in
-        seg_rev :=
-          { sg_pair = pid; sg_sizes = Array.map fst items; sg_counts = Array.map snd items }
-          :: !seg_rev
+        seg_rev := (pid, count, items) :: !seg_rev;
+        incr nsegs;
+        nitems := !nitems + count
       end)
     (Icc.entries icc);
+  let seg_pair = Array.make !nsegs 0 in
+  let seg_first = Array.make (!nsegs + 1) 0 in
+  let item_size = Array.make !nitems 0 in
+  let item_count = Array.make !nitems 0. in
+  seg_first.(!nsegs) <- !nitems;
+  (* Walk the reversed segment list back to front, filling items from
+     the tail; within a segment the reversed item list unreverses the
+     same way. *)
+  let pos = ref !nitems in
+  let si = ref !nsegs in
+  List.iter
+    (fun (pid, count, items) ->
+      decr si;
+      seg_pair.(!si) <- pid;
+      seg_first.(!si) <- !pos - count;
+      List.iter
+        (fun (size, cnt) ->
+          decr pos;
+          item_size.(!pos) <- size;
+          item_count.(!pos) <- cnt)
+        items)
+    !seg_rev;
+  let pairs = Array.of_list (List.rev !pair_rev) in
   {
     n;
-    pairs = Array.of_list (List.rev !pair_rev);
+    pair_a = Array.map fst pairs;
+    pair_b = Array.map snd pairs;
     non_remotable = Array.init !npairs (Hashtbl.mem non_remotable_ids);
-    segments = Array.of_list (List.rev !seg_rev);
+    seg_pair;
+    seg_first;
+    item_size;
+    item_count;
     sizes = Array.of_list (List.rev !size_rev);
   }
 
-let price t ~net =
-  let compiled = Net_profiler.compile net in
-  let cost = Array.map (fun bytes -> Net_profiler.predict_compiled_us compiled ~bytes) t.sizes in
-  let pair_us = Array.make (Array.length t.pairs) 0. in
-  let seg_us = Array.make (Array.length t.segments) 0. in
+let cost_table t compiled =
+  Array.map (fun bytes -> Net_profiler.predict_compiled_us compiled ~bytes) t.sizes
+
+let price_into t ~cost pricing =
+  Array.fill pricing.pair_us 0 (Array.length pricing.pair_us) 0.;
   (* Segment order is entry order; within a segment, bucket order —
      the same float additions, in the same order, the one-stage
      engine performed, so costs match it bit for bit. *)
-  for s = 0 to Array.length t.segments - 1 do
-    let sg = t.segments.(s) in
+  for s = 0 to Array.length t.seg_pair - 1 do
     let total = ref 0. in
-    for i = 0 to Array.length sg.sg_sizes - 1 do
-      total := !total +. (sg.sg_counts.(i) *. cost.(sg.sg_sizes.(i)))
+    for i = t.seg_first.(s) to t.seg_first.(s + 1) - 1 do
+      total := !total +. (t.item_count.(i) *. cost.(t.item_size.(i)))
     done;
-    pair_us.(sg.sg_pair) <- pair_us.(sg.sg_pair) +. !total;
-    seg_us.(s) <- !total
-  done;
-  { pair_us; seg_us }
+    pricing.pair_us.(t.seg_pair.(s)) <- pricing.pair_us.(t.seg_pair.(s)) +. !total;
+    pricing.seg_us.(s) <- !total
+  done
+
+let make_pricing t =
+  {
+    pair_us = Array.make (Array.length t.pair_a) 0.;
+    seg_us = Array.make (Array.length t.seg_pair) 0.;
+  }
+
+let price t ~net =
+  let cost = cost_table t (Net_profiler.compile net) in
+  let pricing = make_pricing t in
+  price_into t ~cost pricing;
+  pricing
 
 let predicted_us t pricing ~separated =
   let total = ref 0. in
-  Array.iteri
-    (fun i sg -> if separated sg.sg_pair then total := !total +. pricing.seg_us.(i))
-    t.segments;
+  for s = 0 to Array.length t.seg_pair - 1 do
+    if separated t.seg_pair.(s) then total := !total +. pricing.seg_us.(s)
+  done;
   !total

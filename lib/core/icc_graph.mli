@@ -56,10 +56,29 @@ val pair_non_remotable : t -> int -> bool
 val iter_pairs : t -> (int -> a:int -> b:int -> non_remotable:bool -> unit) -> unit
 (** Iterate pairs in pair-id order. *)
 
+val segment_count : t -> int
+
+val size_count : t -> int
+(** Distinct interned message sizes — the length of a cost table. *)
+
 val price : t -> net:Coign_netsim.Net_profiler.t -> pricing
 (** Stage 2's entry point: map a network profile onto the abstract
     graph. Cost table first (one compiled prediction per distinct
-    size), then each segment as a count·cost dot product. *)
+    size), then each segment as a count·cost dot product. Equivalent
+    to {!cost_table} + {!price_into} on fresh buffers. *)
+
+val cost_table : t -> Coign_netsim.Net_profiler.compiled -> float array
+(** Per-distinct-size predicted cost (µs) under one compiled network
+    profile — the memoizable, network-dependent half of pricing. *)
+
+val make_pricing : t -> pricing
+(** Zeroed pricing buffers sized for this graph, for reuse across
+    {!price_into} calls. *)
+
+val price_into : t -> cost:float array -> pricing -> unit
+(** Recompute a pricing into preallocated buffers from a cost table:
+    one dot product per segment, no allocation. The float summation
+    order is identical to {!price}'s, so results are bit-identical. *)
 
 val predicted_us : t -> pricing -> separated:(int -> bool) -> float
 (** Total cost of the segments whose pair the placement separates,

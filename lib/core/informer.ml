@@ -5,34 +5,40 @@ type sizes = { request_bytes : int; reply_bytes : int; remotable : bool }
 
 let non_remotable = { request_bytes = 0; reply_bytes = 0; remotable = false }
 
+(* Lockstep walk over the compiled parameter programs and both value
+   lists: [ins] and [outs] each carry one slot per parameter (the RTE
+   builds them from the same signature), so indexing with [List.nth]
+   would be a quadratic re-scan on wide methods.  The [_exn] sizing
+   walks keep the per-call success path allocation-free. *)
+let rec measure_params req rep ps ins outs =
+  match (ps, ins, outs) with
+  | [], _, _ -> (req, rep)
+  | (dir, proc) :: ps', vin :: ins', vout :: outs' -> (
+      match dir with
+      | Idl_type.In -> measure_params (req + Midl.size_with_exn proc vin) rep ps' ins' outs'
+      | Idl_type.Out -> measure_params req (rep + Midl.size_with_exn proc vout) ps' ins' outs'
+      | Idl_type.In_out ->
+          measure_params
+            (req + Midl.size_with_exn proc vin)
+            (rep + Midl.size_with_exn proc vout)
+            ps' ins' outs')
+  | _, _, _ -> invalid_arg "Informer.measure_call: parameter arity mismatch"
+
 let measure_call itype ~meth ~ins ~outs ~ret =
   let procs = Itype.procs itype meth in
   if not procs.Midl.remotable then non_remotable
-  else begin
-    let exception Bail in
-    let size proc v =
-      match Midl.size_with proc v with Ok n -> n | Error _ -> raise Bail
-    in
-    try
-      let req = ref 0 and rep = ref 0 in
-      List.iteri
-        (fun i (dir, proc) ->
-          let vin = List.nth ins i and vout = List.nth outs i in
-          match dir with
-          | Idl_type.In -> req := !req + size proc vin
-          | Idl_type.Out -> rep := !rep + size proc vout
-          | Idl_type.In_out ->
-              req := !req + size proc vin;
-              rep := !rep + size proc vout)
-        procs.Midl.request_procs;
-      rep := !rep + size procs.Midl.ret_proc ret;
-      {
-        request_bytes = Marshal_size.scalar_overhead + !req;
-        reply_bytes = Marshal_size.scalar_overhead + !rep;
-        remotable = true;
-      }
-    with Bail -> non_remotable
-  end
+  else
+    match
+      let req, rep = measure_params 0 0 procs.Midl.request_procs ins outs in
+      (req, rep + Midl.size_with_exn procs.Midl.ret_proc ret)
+    with
+    | req, rep ->
+        {
+          request_bytes = Marshal_size.scalar_overhead + req;
+          reply_bytes = Marshal_size.scalar_overhead + rep;
+          remotable = true;
+        }
+    | exception Marshal_size.Err _ -> non_remotable
 
 let outgoing_handles itype ~meth ~outs ~ret =
   let procs = Itype.procs itype meth in

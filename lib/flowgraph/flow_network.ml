@@ -55,50 +55,56 @@ let edge_count t = Hashtbl.length t.caps
 let copy t = { n = t.n; caps = Hashtbl.copy t.caps }
 
 module Residual = struct
-  (* Forward-star layout: each node's arcs occupy a contiguous slot
-     range; [pair.(a)] is the reverse arc of [a]. Forward arcs carry
-     the edge capacity, reverse arcs start at zero. *)
+  (* Forward-star CSR arena: each node's arcs occupy a contiguous slot
+     range of the flat int arrays; [pair.(a)] is the reverse arc of
+     [a]. Forward arcs carry the edge capacity, reverse arcs start at
+     zero. The arena is reusable: [arc_cap] holds base capacities that
+     [set_arc_cap] rewrites and [reset] blits back into [arc_res], so a
+     pricing round touches no heap beyond these preallocated arrays. *)
   type g = {
     rn : int;
     arc_to : int array;
     arc_res : int array;      (* residual capacity, mutated by push *)
-    arc_orig : int array;     (* capacity at compile time *)
+    arc_cap : int array;      (* base capacity; reset restores res from it *)
     pair : int array;
     node_first : int array;   (* length rn + 1; arcs of v are
                                  node_first.(v) .. node_first.(v+1)-1 *)
   }
 
-  let of_network t =
-    let es = edges t in
-    let m = List.length es in
-    let degree = Array.make (t.n + 1) 0 in
-    List.iter
+  let of_edges ~n edges =
+    let m = Array.length edges in
+    let degree = Array.make (n + 1) 0 in
+    Array.iter
       (fun (src, dst, _) ->
         degree.(src) <- degree.(src) + 1;
         degree.(dst) <- degree.(dst) + 1)
-      es;
-    let node_first = Array.make (t.n + 1) 0 in
-    for v = 1 to t.n do
+      edges;
+    let node_first = Array.make (n + 1) 0 in
+    for v = 1 to n do
       node_first.(v) <- node_first.(v - 1) + degree.(v - 1)
     done;
-    let fill = Array.make t.n 0 in
+    let fill = Array.make (max 1 n) 0 in
     let arc_to = Array.make (2 * m) 0 in
-    let arc_res = Array.make (2 * m) 0 in
+    let arc_cap = Array.make (2 * m) 0 in
     let pair = Array.make (2 * m) 0 in
-    List.iter
-      (fun (src, dst, cap) ->
+    let fwd = Array.make m 0 in
+    Array.iteri
+      (fun i (src, dst, cap) ->
         let a = node_first.(src) + fill.(src) in
         fill.(src) <- fill.(src) + 1;
         let b = node_first.(dst) + fill.(dst) in
         fill.(dst) <- fill.(dst) + 1;
         arc_to.(a) <- dst;
-        arc_res.(a) <- cap;
+        arc_cap.(a) <- cap;
         arc_to.(b) <- src;
-        arc_res.(b) <- 0;
+        arc_cap.(b) <- 0;
         pair.(a) <- b;
-        pair.(b) <- a)
-      es;
-    { rn = t.n; arc_to; arc_res; arc_orig = Array.copy arc_res; pair; node_first }
+        pair.(b) <- a;
+        fwd.(i) <- a)
+      edges;
+    ({ rn = n; arc_to; arc_res = Array.copy arc_cap; arc_cap; pair; node_first }, fwd)
+
+  let of_network t = fst (of_edges ~n:t.n (Array.of_list (edges t)))
 
   let node_count g = g.rn
   let arc_count g = Array.length g.arc_to
@@ -107,13 +113,25 @@ module Residual = struct
 
   let first_arc g v = if out_degree g v = 0 then -1 else g.node_first.(v)
 
+  let arc_start g v = g.node_first.(v)
+  let arc_stop g v = g.node_first.(v + 1)
+
   let iter_out g v f =
     for a = g.node_first.(v) to g.node_first.(v + 1) - 1 do
       f ~arc:a ~dst:g.arc_to.(a) ~cap:g.arc_res.(a)
     done
 
   let arc_dst g a = g.arc_to.(a)
+  let arc_pair g a = g.pair.(a)
   let residual g a = g.arc_res.(a)
+  let base_cap g a = g.arc_cap.(a)
+
+  let set_arc_cap g a cap = g.arc_cap.(a) <- cap
+
+  let reset g = Array.blit g.arc_cap 0 g.arc_res 0 (Array.length g.arc_cap)
+
+  let copy g =
+    { g with arc_res = Array.copy g.arc_res; arc_cap = Array.copy g.arc_cap }
 
   let push g a amount =
     assert (amount >= 0 && amount <= g.arc_res.(a));
@@ -121,29 +139,36 @@ module Residual = struct
     let p = g.pair.(a) in
     g.arc_res.(p) <- g.arc_res.(p) + amount
 
+  let min_cut_side_into g ~s ~seen ~stack =
+    Array.fill seen 0 g.rn false;
+    seen.(s) <- true;
+    stack.(0) <- s;
+    let top = ref 1 in
+    while !top > 0 do
+      decr top;
+      let v = stack.(!top) in
+      for a = g.node_first.(v) to g.node_first.(v + 1) - 1 do
+        let u = g.arc_to.(a) in
+        if g.arc_res.(a) > 0 && not seen.(u) then begin
+          seen.(u) <- true;
+          stack.(!top) <- u;
+          incr top
+        end
+      done
+    done
+
   let min_cut_side g ~s =
     let seen = Array.make g.rn false in
-    let stack = ref [ s ] in
-    seen.(s) <- true;
-    while !stack <> [] do
-      match !stack with
-      | [] -> ()
-      | v :: rest ->
-          stack := rest;
-          iter_out g v (fun ~arc:_ ~dst ~cap ->
-              if cap > 0 && not seen.(dst) then begin
-                seen.(dst) <- true;
-                stack := dst :: !stack
-              end)
-    done;
+    let stack = Array.make (max 1 g.rn) 0 in
+    min_cut_side_into g ~s ~seen ~stack;
     seen
 
   let flow_value g _net ~s =
-    (* Net flow out of s: for each arc leaving s, (orig - residual) is
+    (* Net flow out of s: for each arc leaving s, (cap - residual) is
        the flow it carries (negative when the arc absorbed return
        flow). *)
     let total = ref 0 in
     iter_out g s (fun ~arc ~dst:_ ~cap:_ ->
-        total := !total + (g.arc_orig.(arc) - g.arc_res.(arc)));
+        total := !total + (g.arc_cap.(arc) - g.arc_res.(arc)));
     !total
 end

@@ -54,20 +54,56 @@ val copy : t -> t
 (** {1 Residual form}
 
     Max-flow algorithms run on a compiled adjacency structure with
-    paired residual arcs. *)
+    paired residual arcs, laid out as a CSR (compressed sparse row)
+    arena of flat int arrays. The arena is reusable across pricing
+    rounds: base capacities live in their own array, {!Residual.reset}
+    blits them back into the residual array, and
+    {!Residual.set_arc_cap} rewrites a single arc's base capacity in
+    place — so a reprice/recut round allocates nothing. *)
 
 module Residual : sig
   type g
 
   val of_network : t -> g
+
+  val of_edges : n:int -> (int * int * int) array -> g * int array
+  (** Compile an arena over nodes [0 .. n-1] from an explicit directed
+      edge array [(src, dst, cap)]. Edges must be distinct directed
+      pairs with [src <> dst] and [cap >= 0]; zero-capacity edges are
+      allowed and inert until {!set_arc_cap} raises them — this is how
+      a session arena pre-allocates slots for every potential traffic
+      pair. Arc layout follows input order, so passing the sorted
+      {!edges} list reproduces {!of_network} exactly. Also returns the
+      forward arc index of each input edge, so callers can rewrite
+      capacities later without searching. *)
+
   val node_count : g -> int
 
   val arc_count : g -> int
+
+  val reset : g -> unit
+  (** Restore every residual capacity to its base capacity (one blit);
+      run before re-solving on rewritten capacities. *)
+
+  val set_arc_cap : g -> int -> int -> unit
+  (** [set_arc_cap g arc cap] rewrites the base capacity of [arc].
+      Takes effect at the next {!reset}. *)
+
+  val base_cap : g -> int -> int
+
+  val copy : g -> g
+  (** An independent arena sharing the immutable layout arrays
+      (destinations, pairs, offsets) but owning its own capacity and
+      residual arrays — safe to solve from another domain. *)
 
   val iter_out : g -> int -> (arc:int -> dst:int -> cap:int -> unit) -> unit
   (** Iterate arcs leaving a node with their residual capacities. *)
 
   val arc_dst : g -> int -> int
+
+  val arc_pair : g -> int -> int
+  (** The paired reverse arc of an arc. *)
+
   val residual : g -> int -> int
   val push : g -> int -> int -> unit
   (** [push g arc amount] moves [amount] along [arc] (decreasing its
@@ -77,12 +113,23 @@ module Residual : sig
   (** Index of the first arc out of a node, or [-1]. Arcs of a node are
       [first_arc .. first_arc + out_degree - 1]. *)
 
+  val arc_start : g -> int -> int
+  val arc_stop : g -> int -> int
+  (** Arcs of node [v] are [arc_start v .. arc_stop v - 1]; unlike
+      {!first_arc} this is well-defined (an empty range) for isolated
+      nodes, which suits tight solver loops. *)
+
   val out_degree : g -> int -> int
 
   val min_cut_side : g -> s:int -> bool array
   (** After a max flow has been established: the source side of the
       minimum cut, i.e. nodes reachable from [s] in the residual
       graph. *)
+
+  val min_cut_side_into : g -> s:int -> seen:bool array -> stack:int array -> unit
+  (** Allocation-free {!min_cut_side}: writes the source side into
+      [seen] using [stack] as DFS scratch. Both arrays must hold at
+      least {!node_count} elements. *)
 
   val flow_value : g -> t -> s:int -> int
   (** Net flow out of [s], measured against original capacities in the

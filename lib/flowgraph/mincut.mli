@@ -4,10 +4,15 @@
     algorithm to choose a distribution with minimal communication
     time" (paper §2) — i.e. the relabel-to-front push-relabel max-flow
     algorithm of CLR ch. 27, with the min cut read off the final
-    residual graph. We also keep two classic baselines (Edmonds-Karp
-    and Dinic) and an exponential brute-force enumerator: the
-    algorithms must agree on cut value, which is one of the library's
-    strongest correctness properties. *)
+    residual graph. The [Relabel_to_front] slot is implemented as FIFO
+    push-relabel with the gap heuristic and periodic global relabeling
+    (the textbook discharge order was pathologically slow on analysis
+    graphs); because it runs to a genuine maximum flow, cut values and
+    minimal source sides are identical to the textbook algorithm's. We
+    also keep two classic baselines (Edmonds-Karp and Dinic) and an
+    exponential brute-force enumerator: the algorithms must agree on
+    cut value, which is one of the library's strongest correctness
+    properties. *)
 
 type algorithm = Relabel_to_front | Edmonds_karp | Dinic
 
@@ -18,6 +23,26 @@ type cut = {
   value : int;                (** total capacity crossing the cut *)
   source_side : bool array;   (** [source_side.(v)] iff [v] lands with [s] *)
 }
+
+type scratch
+(** Preallocated solver workspace sized for one residual arena. A
+    session allocates one scratch next to its arena and reuses both
+    across every solve; one scratch must not be used from two domains
+    at once. *)
+
+val scratch : Flow_network.Residual.g -> scratch
+
+val run :
+  ?algorithm:algorithm ->
+  Flow_network.Residual.g -> scratch -> s:int -> t:int -> int
+(** Run a max-flow algorithm in place on the arena's {e current}
+    residual state (callers re-solving after {!Flow_network.Residual.set_arc_cap}
+    must {!Flow_network.Residual.reset} first) and return the flow
+    value. Allocates nothing: all working state lives in [scratch].
+    The minimal source side can then be read off with
+    {!Flow_network.Residual.min_cut_side_into}. Raises
+    [Invalid_argument] on bad terminals or a scratch sized for a
+    different arena. *)
 
 val max_flow : algorithm -> Flow_network.t -> s:int -> t:int -> int
 (** Max-flow value only. *)

@@ -19,43 +19,61 @@ let ptr_flag = 4
 
 let ( let* ) = Result.bind
 
-let rec value_size ty v =
+exception Err of error
+
+(* The profiling informer sizes every intercepted call, so the walk
+   below is the hottest code in profiling mode.  It returns plain ints
+   and signals failure through [Err]: no [Ok]/[Error] cells, no fold
+   closures, no [List.length] pre-passes — the success path does not
+   touch the minor heap (a tested property). *)
+
+let rec same_length a b =
+  match (a, b) with
+  | [], [] -> true
+  | _ :: a, _ :: b -> same_length a b
+  | _, _ -> false
+
+let rec value_size_exn ty v =
   match (ty, v) with
-  | Idl_type.Void, Value.Unit -> Ok 0
-  | Idl_type.Int32, Value.Int _ -> Ok 4
-  | Idl_type.Int64, Value.Int _ -> Ok 8
-  | Idl_type.Double, Value.Float _ -> Ok 8
-  | Idl_type.Bool, Value.Bool _ -> Ok 4
-  | Idl_type.Str, Value.Str s -> Ok (len_prefix + String.length s)
-  | Idl_type.Blob, Value.Blob n when n >= 0 -> Ok (len_prefix + n)
-  | Idl_type.Array elt, Value.Arr vs ->
-      let* body =
-        List.fold_left
-          (fun acc v ->
-            let* acc = acc in
-            let* s = value_size elt v in
-            Ok (acc + s))
-          (Ok 0) vs
-      in
-      Ok (len_prefix + body)
-  | Idl_type.Struct fts, Value.Struct fvs when List.length fts = List.length fvs ->
-      List.fold_left2
-        (fun acc (fname, fty) (vname, fv) ->
-          let* acc = acc in
-          if not (String.equal fname vname) then
-            Error (Type_mismatch { expected = ty; got = v })
-          else
-            let* s = value_size fty fv in
-            Ok (acc + s))
-        (Ok 0) fts fvs
-  | Idl_type.Ptr _, Value.Null -> Ok ptr_flag
+  | Idl_type.Void, Value.Unit -> 0
+  | Idl_type.Int32, Value.Int _ -> 4
+  | Idl_type.Int64, Value.Int _ -> 8
+  | Idl_type.Double, Value.Float _ -> 8
+  | Idl_type.Bool, Value.Bool _ -> 4
+  | Idl_type.Str, Value.Str s -> len_prefix + String.length s
+  | Idl_type.Blob, Value.Blob n when n >= 0 -> len_prefix + n
+  | Idl_type.Array elt, Value.Arr vs -> len_prefix + array_size elt vs 0
+  | Idl_type.Struct fts, Value.Struct fvs when same_length fts fvs ->
+      struct_size ty v fts fvs 0
+  | Idl_type.Ptr _, Value.Null -> ptr_flag
   | Idl_type.Ptr pointee, Value.Ref inner ->
-      let* s = value_size pointee inner in
-      Ok (ptr_flag + s)
-  | Idl_type.Iface _, Value.Iface_ref _ -> Ok objref_size
-  | Idl_type.Iface _, Value.Null -> Ok ptr_flag
-  | Idl_type.Opaque tag, Value.Opaque_handle _ -> Error (Not_remotable tag)
-  | _, _ -> Error (Type_mismatch { expected = ty; got = v })
+      ptr_flag + value_size_exn pointee inner
+  | Idl_type.Iface _, Value.Iface_ref _ -> objref_size
+  | Idl_type.Iface _, Value.Null -> ptr_flag
+  | Idl_type.Opaque tag, Value.Opaque_handle _ -> raise (Err (Not_remotable tag))
+  | _, _ -> raise (Err (Type_mismatch { expected = ty; got = v }))
+
+and array_size elt vs acc =
+  match vs with
+  | [] -> acc
+  | v :: tl -> array_size elt tl (acc + value_size_exn elt v)
+
+(* [ty]/[v] are the enclosing struct, carried only for the mismatch
+   payload — a field-name disagreement reports the whole struct, as the
+   result-based walk always did. *)
+and struct_size ty v fts fvs acc =
+  match (fts, fvs) with
+  | [], [] -> acc
+  | (fname, fty) :: fts', (vname, fv) :: fvs' ->
+      if String.equal fname vname then
+        struct_size ty v fts' fvs' (acc + value_size_exn fty fv)
+      else raise (Err (Type_mismatch { expected = ty; got = v }))
+  | _, _ -> raise (Err (Type_mismatch { expected = ty; got = v }))
+
+let value_size ty v =
+  match value_size_exn ty v with
+  | n -> Ok n
+  | exception Err e -> Error e
 
 type call_size = { request : int; reply : int }
 

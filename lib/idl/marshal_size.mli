@@ -25,8 +25,17 @@ val scalar_overhead : int
 val objref_size : int
 (** Marshaled size of an interface pointer (an OBJREF). *)
 
+exception Err of error
+(** Exception form of {!error}, raised by the [_exn] walks. *)
+
 val value_size : Idl_type.t -> Value.t -> (int, error) result
 (** Deep-copy size of a single value against its declared type. *)
+
+val value_size_exn : Idl_type.t -> Value.t -> int
+(** {!value_size} returning a plain int and raising [Err] on failure.
+    The success path allocates nothing — no result cells, closures or
+    intermediate lists — so the profiling informer can size every
+    intercepted call without touching the minor heap. *)
 
 type call_size = { request : int; reply : int }
 (** Bytes moved caller->callee ([In] and [In_out] parameters plus

@@ -52,43 +52,52 @@ let compile ty =
 
 let opcount p = Array.length p.programs
 
-let ( let* ) = Result.bind
+let rec same_length a b =
+  match (a, b) with
+  | [], [] -> true
+  | _ :: a, _ :: b -> same_length a b
+  | _, _ -> false
+
+(* The interpreter the profiling informer runs on every intercepted
+   call.  Like {!Marshal_size.value_size_exn} it returns plain ints and
+   raises {!Marshal_size.Err}, so the success path is allocation-free:
+   no result boxing, no fold closures, no length pre-passes. *)
+let rec run_exn p idx v =
+  match (p.programs.(idx), v) with
+  | O_void, Value.Unit -> 0
+  | O_fixed n, (Value.Int _ | Value.Float _ | Value.Bool _) -> n
+  | O_counted_str, Value.Str s -> 4 + String.length s
+  | O_counted_blob, Value.Blob n when n >= 0 -> 4 + n
+  | O_array elt, Value.Arr vs -> 4 + run_array p elt vs 0
+  | O_struct fields, Value.Struct fvs when same_length fields fvs ->
+      run_struct p fields fvs 0
+  | O_ptr _, Value.Null -> 4
+  | O_ptr pointee, Value.Ref inner -> 4 + run_exn p pointee inner
+  | O_iface, Value.Iface_ref _ -> Marshal_size.objref_size
+  | O_iface, Value.Null -> 4
+  | O_opaque tag, Value.Opaque_handle _ ->
+      raise (Marshal_size.Err (Marshal_size.Not_remotable tag))
+  | _, got ->
+      raise (Marshal_size.Err (Marshal_size.Type_mismatch { expected = p.ty; got }))
+
+and run_array p elt vs acc =
+  match vs with
+  | [] -> acc
+  | v :: tl -> run_array p elt tl (acc + run_exn p elt v)
+
+and run_struct p fields fvs acc =
+  match (fields, fvs) with
+  | [], [] -> acc
+  | fidx :: fields', (_, fv) :: fvs' ->
+      run_struct p fields' fvs' (acc + run_exn p fidx fv)
+  | _, _ -> assert false (* guarded by [same_length] *)
+
+let size_with_exn p v = run_exn p 0 v
 
 let size_with p v =
-  let mismatch got = Error (Marshal_size.Type_mismatch { expected = p.ty; got }) in
-  let rec run idx v =
-    match (p.programs.(idx), v) with
-    | O_void, Value.Unit -> Ok 0
-    | O_fixed n, (Value.Int _ | Value.Float _ | Value.Bool _) -> Ok n
-    | O_counted_str, Value.Str s -> Ok (4 + String.length s)
-    | O_counted_blob, Value.Blob n when n >= 0 -> Ok (4 + n)
-    | O_array elt, Value.Arr vs ->
-        let* body =
-          List.fold_left
-            (fun acc v ->
-              let* acc = acc in
-              let* s = run elt v in
-              Ok (acc + s))
-            (Ok 0) vs
-        in
-        Ok (4 + body)
-    | O_struct fields, Value.Struct fvs when List.length fields = List.length fvs ->
-        List.fold_left2
-          (fun acc fidx (_, fv) ->
-            let* acc = acc in
-            let* s = run fidx fv in
-            Ok (acc + s))
-          (Ok 0) fields fvs
-    | O_ptr _, Value.Null -> Ok 4
-    | O_ptr pointee, Value.Ref inner ->
-        let* s = run pointee inner in
-        Ok (4 + s)
-    | O_iface, Value.Iface_ref _ -> Ok Marshal_size.objref_size
-    | O_iface, Value.Null -> Ok 4
-    | O_opaque tag, Value.Opaque_handle _ -> Error (Marshal_size.Not_remotable tag)
-    | _, got -> mismatch got
-  in
-  run 0 v
+  match run_exn p 0 v with
+  | n -> Ok n
+  | exception Marshal_size.Err e -> Error e
 
 (* Interface-pointer walk: retain only paths that can reach an Iface.
    Paths that cannot are compiled to Skip, so the distribution informer
@@ -182,26 +191,29 @@ let compile_method (msig : Idl_type.method_sig) =
     remotable = Idl_type.method_remotable msig;
   }
 
+let rec call_size_exn req rep ps vs =
+  match (ps, vs) with
+  | [], [] -> (req, rep)
+  | (dir, proc) :: ps', v :: vs' -> (
+      let s = run_exn proc 0 v in
+      match dir with
+      | Idl_type.In -> call_size_exn (req + s) rep ps' vs'
+      | Idl_type.Out -> call_size_exn req (rep + s) ps' vs'
+      | Idl_type.In_out -> call_size_exn (req + s) (rep + s) ps' vs')
+  | _, _ -> assert false (* guarded by [same_length] *)
+
 let method_call_size procs ~args ~result =
-  if List.length args <> List.length procs.request_procs then
+  if not (same_length args procs.request_procs) then
     Error
       (Marshal_size.Type_mismatch { expected = Idl_type.Void; got = Value.Arr args })
   else
-    let* req, rep =
-      List.fold_left2
-        (fun acc (dir, proc) v ->
-          let* req, rep = acc in
-          let* s = size_with proc v in
-          match dir with
-          | Idl_type.In -> Ok (req + s, rep)
-          | Idl_type.Out -> Ok (req, rep + s)
-          | Idl_type.In_out -> Ok (req + s, rep + s))
-        (Ok (0, 0))
-        procs.request_procs args
-    in
-    let* ret = size_with procs.ret_proc result in
-    Ok
+    match
+      let req, rep = call_size_exn 0 0 procs.request_procs args in
+      let ret = run_exn procs.ret_proc 0 result in
       {
         Marshal_size.request = Marshal_size.scalar_overhead + req;
         reply = Marshal_size.scalar_overhead + rep + ret;
       }
+    with
+    | cs -> Ok cs
+    | exception Marshal_size.Err e -> Error e

@@ -151,6 +151,139 @@ let prop_cut_edges_sum =
       List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Mincut.cut_edges g cut)
       = cut.Mincut.value)
 
+(* --- Relabel-to-front on analysis-sized graphs --------------------- *)
+
+(* A deterministic generator for graphs big enough to have triggered
+   the old relabel-to-front pathology (hundreds of nodes, 4n arcs). *)
+let lcg_graph ~seed ~n ~m =
+  let state = ref seed in
+  let rand bound =
+    state := ((!state * 25214903917) + 11) land 0x3FFFFFFFFFFF;
+    !state mod bound
+  in
+  let g = Flow_network.create ~n in
+  for _ = 1 to m do
+    let a = rand n and b = rand n in
+    if a <> b then Flow_network.add_edge g ~src:a ~dst:b ~cap:(1 + rand 10_000)
+  done;
+  g
+
+let test_large_random_algorithms_agree () =
+  for trial = 1 to 6 do
+    let n = 20 + (trial * 7) in
+    let g = lcg_graph ~seed:(42 + trial) ~n ~m:(4 * n) in
+    let cuts =
+      List.map
+        (fun algorithm -> Mincut.min_cut ~algorithm g ~s:0 ~t:(n - 1))
+        Mincut.all_algorithms
+    in
+    match cuts with
+    | reference :: rest ->
+        List.iteri
+          (fun i c ->
+            Alcotest.(check int)
+              (Printf.sprintf "trial %d value (alg %d)" trial i)
+              reference.Mincut.value c.Mincut.value;
+            (* Every algorithm runs to a genuine max flow, so the
+               minimal source side — residual reachability from s —
+               is the same bool array, not merely some min cut. *)
+            Alcotest.(check (array bool))
+              (Printf.sprintf "trial %d source side (alg %d)" trial i)
+              reference.Mincut.source_side c.Mincut.source_side)
+          rest
+    | [] -> ()
+  done
+
+let test_bench_sized_graph_rtf_matches_dinic () =
+  (* The shape of the bench micro kernel that exposed the pathology:
+     150 nodes, 600 undirected heavy edges. *)
+  let n = 150 in
+  let g = Flow_network.create ~n in
+  let state = ref 77 in
+  let rand bound =
+    state := ((!state * 25214903917) + 11) land 0x3FFFFFFFFFFF;
+    !state mod bound
+  in
+  for _ = 1 to n * 4 do
+    let a = rand n and b = rand n in
+    if a <> b then Flow_network.add_undirected g a b ~cap:(1 + rand 10_000)
+  done;
+  let rtf = Mincut.min_cut ~algorithm:Mincut.Relabel_to_front g ~s:0 ~t:1 in
+  let dinic = Mincut.min_cut ~algorithm:Mincut.Dinic g ~s:0 ~t:1 in
+  Alcotest.(check int) "value" dinic.Mincut.value rtf.Mincut.value;
+  Alcotest.(check (array bool)) "source side" dinic.Mincut.source_side rtf.Mincut.source_side
+
+(* --- CSR arena: reprice path vs legacy adjacency form -------------- *)
+
+module R = Flow_network.Residual
+
+(* Mimic a session arena: compile every potential edge as a
+   zero-capacity slot, raise capacities through set_arc_cap, reset,
+   solve in place with preallocated scratch. *)
+let arena_cut ~n ~dedup ~cap_of =
+  let edges =
+    Array.of_list (List.map (fun (src, dst) -> (src, dst, 0)) dedup)
+  in
+  let arena, fwd = R.of_edges ~n edges in
+  let scratch = Mincut.scratch arena in
+  List.iteri (fun i (src, dst) -> R.set_arc_cap arena fwd.(i) (cap_of src dst)) dedup;
+  R.reset arena;
+  let value = Mincut.run arena scratch ~s:0 ~t:1 in
+  (value, R.min_cut_side arena ~s:0, arena, scratch, fwd)
+
+let legacy_cut ~n ~dedup ~cap_of =
+  let g = Flow_network.create ~n in
+  List.iter
+    (fun (src, dst) -> Flow_network.add_edge g ~src ~dst ~cap:(cap_of src dst))
+    dedup;
+  Mincut.min_cut g ~s:0 ~t:1
+
+let prop_arena_reprice_matches_legacy =
+  QCheck.Test.make ~name:"CSR arena reprice equals legacy adjacency cut" ~count:200
+    arb_graph (fun (n, edges) ->
+      (* Aggregate to distinct directed pairs (the arena's contract),
+         saturating like the adjacency form does. *)
+      let caps = Hashtbl.create 16 in
+      List.iter
+        (fun (src, dst, cap) ->
+          if src <> dst then
+            let prior = Option.value ~default:0 (Hashtbl.find_opt caps (src, dst)) in
+            Hashtbl.replace caps (src, dst)
+              (min Flow_network.infinity_cap (prior + cap)))
+        edges;
+      let dedup =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) caps [])
+      in
+      let cap_of src dst = Hashtbl.find caps (src, dst) in
+      let value, side, arena, scratch, fwd = arena_cut ~n ~dedup ~cap_of in
+      let legacy = legacy_cut ~n ~dedup ~cap_of in
+      let first_matches =
+        value = legacy.Mincut.value && side = legacy.Mincut.source_side
+      in
+      (* Second round on the same arena: halved capacities, exercising
+         set_arc_cap over dirty residuals plus reset. *)
+      let cap_of2 src dst = cap_of src dst / 2 in
+      List.iteri
+        (fun i (src, dst) -> R.set_arc_cap arena fwd.(i) (cap_of2 src dst))
+        dedup;
+      R.reset arena;
+      let value2 = Mincut.run arena scratch ~s:0 ~t:1 in
+      let side2 = R.min_cut_side arena ~s:0 in
+      let legacy2 = legacy_cut ~n ~dedup ~cap_of:cap_of2 in
+      first_matches
+      && value2 = legacy2.Mincut.value
+      && side2 = legacy2.Mincut.source_side)
+
+let test_scratch_reuse () =
+  let g = clrs_network () in
+  let arena = R.of_network g in
+  let scratch = Mincut.scratch arena in
+  let v1 = Mincut.run arena scratch ~s:0 ~t:5 in
+  R.reset arena;
+  let v2 = Mincut.run arena scratch ~s:0 ~t:5 in
+  Alcotest.(check int) "first solve" 23 v1;
+  Alcotest.(check int) "re-solve on reused scratch" 23 v2
+
 (* --- Multiway ------------------------------------------------------ *)
 
 let test_multiway_two_terminals_exact () =
@@ -212,6 +345,12 @@ let suite =
     qtest prop_each_algorithm_matches_brute_force;
     qtest prop_matches_brute_force;
     qtest prop_cut_edges_sum;
+    Alcotest.test_case "large random graphs: all algorithms agree" `Quick
+      test_large_random_algorithms_agree;
+    Alcotest.test_case "bench-sized graph: rtf matches dinic" `Quick
+      test_bench_sized_graph_rtf_matches_dinic;
+    qtest prop_arena_reprice_matches_legacy;
+    Alcotest.test_case "scratch reuse across solves" `Quick test_scratch_reuse;
     Alcotest.test_case "multiway two terminals exact" `Quick test_multiway_two_terminals_exact;
     Alcotest.test_case "multiway three terminals" `Quick test_multiway_three_terminals;
     Alcotest.test_case "multiway terminal ownership" `Quick test_multiway_terminal_ownership;

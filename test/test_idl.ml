@@ -211,6 +211,64 @@ let test_method_procs_remotable_flag () =
   let dirty = Idl_type.method_ "m" [ Idl_type.param "x" (Idl_type.Opaque "SHM") ] in
   Alcotest.(check bool) "non-remotable" false (Midl.compile_method dirty).Midl.remotable
 
+(* --- Zero-allocation size walks ------------------------------------ *)
+
+let prop_exn_walks_agree =
+  (* Pair the type of one generated value with the value of another, so
+     the walks hit both the success path and every mismatch arm. *)
+  QCheck.Test.make ~name:"exn size walks agree with result walks" ~count:500
+    (QCheck.pair arb_typed_value arb_typed_value)
+    (fun ((ty, _), (_, v)) ->
+      let proc = Midl.compile ty in
+      let direct =
+        match Marshal_size.value_size_exn ty v with
+        | n -> Ok n
+        | exception Marshal_size.Err e -> Error e
+      in
+      let compiled =
+        match Midl.size_with_exn proc v with
+        | n -> Ok n
+        | exception Marshal_size.Err e -> Error e
+      in
+      direct = Marshal_size.value_size ty v
+      && compiled = Midl.size_with proc v
+      (* Compiled and interpreted agree on success/failure, and on the
+         size when both succeed (error payloads differ by design: the
+         compiled walk reports the proc's root type). *)
+      && Result.is_ok direct = Result.is_ok compiled
+      && match (direct, compiled) with Ok a, Ok b -> a = b | _ -> true)
+
+let test_size_walk_zero_alloc () =
+  let ty =
+    Idl_type.Array
+      (Idl_type.Struct
+         [ ("x", Idl_type.Str); ("y", Idl_type.Int32);
+           ("p", Idl_type.Ptr Idl_type.Blob); ("i", Idl_type.Iface "IPeer") ])
+  in
+  let v =
+    Value.Arr
+      (List.init 8 (fun i ->
+           Value.Struct
+             [ ("x", Value.Str (String.make 16 'x')); ("y", Value.Int i);
+               ("p", Value.Ref (Value.Blob 128)); ("i", Value.Iface_ref i) ]))
+  in
+  let proc = Midl.compile ty in
+  let expected =
+    match Marshal_size.value_size ty v with Ok n -> n | Error _ -> -1 in
+  (* Warm up, then measure: 10k walks of a nested value must not grow
+     the minor heap beyond the noise of reading the GC counters. *)
+  ignore (Marshal_size.value_size_exn ty v);
+  ignore (Midl.size_with_exn proc v);
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    assert (Marshal_size.value_size_exn ty v = expected);
+    assert (Midl.size_with_exn proc v = expected)
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "10k size walks allocated %.0f minor words" delta)
+    true (delta < 64.)
+
 let suite =
   [
     Alcotest.test_case "remotable" `Quick test_remotable;
@@ -231,4 +289,6 @@ let suite =
     Alcotest.test_case "iface walk trivial" `Quick test_iface_walk_trivial;
     Alcotest.test_case "method procs match marshal" `Quick test_method_procs_match_marshal;
     Alcotest.test_case "method procs remotable flag" `Quick test_method_procs_remotable_flag;
+    qtest prop_exn_walks_agree;
+    Alcotest.test_case "size walks allocation-free" `Quick test_size_walk_zero_alloc;
   ]

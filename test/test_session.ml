@@ -130,6 +130,47 @@ let test_session_empty_profile () =
        ~net:exact_net ())
     d
 
+let test_solve_many_matches_sequential () =
+  let classifier, icc, constraints = sample_profile () in
+  let session = Analysis.Session.create ~classifier ~icc ~constraints () in
+  let nets = preset_nets 7L in
+  let sequential = List.map (fun net -> Analysis.Session.solve session ~net) nets in
+  let batched = Analysis.Session.solve_many session ~nets in
+  List.iter2 (fun a b -> check_same "solve_many sequential" a b) sequential batched
+
+let test_solve_many_pool_matches_sequential () =
+  let classifier, icc, constraints = sample_profile () in
+  let session = Analysis.Session.create ~classifier ~icc ~constraints () in
+  let nets = preset_nets 13L in
+  let sequential = Analysis.Session.solve_many session ~nets in
+  let pool = Coign_util.Parallel.create ~domains:3 () in
+  let parallel =
+    Fun.protect
+      ~finally:(fun () -> Coign_util.Parallel.shutdown pool)
+      (fun () -> Analysis.Session.solve_many ~pool session ~nets)
+  in
+  List.iter2 (fun a b -> check_same "solve_many pool" a b) sequential parallel;
+  (* The batch must not have disturbed the session's own buffers. *)
+  let net = List.hd nets in
+  check_same "session intact after pooled batch"
+    (Analysis.choose ~classifier ~icc ~constraints ~net ())
+    (Analysis.Session.solve session ~net)
+
+let test_fallback_pool_identical () =
+  let classifier, icc, constraints = sample_profile () in
+  let session = Analysis.Session.create ~classifier ~icc ~constraints () in
+  let net = Net_profiler.profile (Coign_util.Prng.create 21L) Network.isdn_128 in
+  let sequential = Fallback.compute session ~net () in
+  let pool = Coign_util.Parallel.create ~domains:2 () in
+  let parallel =
+    Fun.protect
+      ~finally:(fun () -> Coign_util.Parallel.shutdown pool)
+      (fun () -> Fallback.compute ~pool session ~net ())
+  in
+  Alcotest.(check string)
+    "ladder identical with and without pool" (Fallback.encode sequential)
+    (Fallback.encode parallel)
+
 (* --- Randomized equivalence ----------------------------------------- *)
 
 let gen_instance =
@@ -224,5 +265,9 @@ let suite =
     Alcotest.test_case "session matches choose per algorithm" `Quick test_session_algorithms;
     Alcotest.test_case "session copies are independent" `Quick test_session_copy_independent;
     Alcotest.test_case "session on empty profile" `Quick test_session_empty_profile;
+    Alcotest.test_case "solve_many matches sequential" `Quick test_solve_many_matches_sequential;
+    Alcotest.test_case "solve_many with pool matches sequential" `Quick
+      test_solve_many_pool_matches_sequential;
+    Alcotest.test_case "fallback ladder identical with pool" `Quick test_fallback_pool_identical;
     QCheck_alcotest.to_alcotest prop_session_equals_choose;
   ]
