@@ -6,7 +6,7 @@
    Usage: dune exec bench/main.exe [-- section ...] [--json FILE]
    Sections: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 table4
              table5 overhead adaptive multiway drift whatif session
-             micro faultsim obs resilience verify (default: all).
+             micro faultsim obs resilience verify load (default: all).
 
    --json FILE additionally writes the machine-readable results of the
    sections that ran (micro estimates, the session-vs-fresh analysis
@@ -1054,6 +1054,130 @@ let verify_bench () =
      few dozen states and explores in well under a second.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop load: queueing-aware latency percentiles                  *)
+(* ------------------------------------------------------------------ *)
+
+let load_bench () =
+  section_header "Open-Loop Load: Queueing-Aware Latency Percentiles"
+    "ISSUE 8 acceptance; Sec. 4 scenarios driven as live traffic";
+  let net = Coign_netsim.Net_profiler.profile (Prng.create 7L) network in
+  let build (app : App.t) scenarios =
+    let image = Adps.instrument app.App.app_image in
+    let image =
+      List.fold_left
+        (fun image id ->
+          let sc = App.scenario app id in
+          fst (Adps.profile ~image ~registry:app.App.app_registry sc.App.sc_run))
+        image scenarios
+    in
+    fst (Adps.analyze ~image ~net ())
+  in
+  (* Single-session queueing-off runs must reproduce the Replay
+     estimator bit for bit — the load layer adds queueing on top of
+     the same cost model, it does not fork it. *)
+  let identity_gate (app : App.t) image scenarios =
+    let classifier, dist = Option.get (Adps.load_distribution image) in
+    List.for_all
+      (fun id ->
+        let sc = App.scenario app id in
+        let events =
+          Replay.record_scenario ~registry:app.App.app_registry ~classifier
+            sc.App.sc_run
+        in
+        let est = Replay.what_if ~events ~distribution:dist ~network () in
+        let r =
+          Loadsim.run ~queueing:false ~sessions:1 ~scenarios:[ id ]
+            ~arrival:(Loadsim.Poisson 1.) ~seed:1L ~image ~network ()
+        in
+        Int64.bits_of_float r.Loadsim.r_p50_us
+        = Int64.bits_of_float est.Replay.re_comm_us)
+      scenarios
+  in
+  let sessions = 1_500 in
+  let apps =
+    [
+      ("octarine", [ "o_oldwp0"; "o_oldtb0" ], [ 0.5; 1.0; 2.0 ]);
+      ("ingest", [ "i_strm1"; "i_replay" ], [ 5.0; 10.0; 15.0 ]);
+    ]
+  in
+  let t =
+    Tablefmt.create
+      [
+        ("App", Tablefmt.Left); ("Rate (/s)", Tablefmt.Right);
+        ("p50 (ms)", Tablefmt.Right); ("p95 (ms)", Tablefmt.Right);
+        ("p99 (ms)", Tablefmt.Right); ("Thruput (/s)", Tablefmt.Right);
+        ("Avail", Tablefmt.Right); ("Link util", Tablefmt.Right);
+      ]
+  in
+  let rows = ref [] in
+  let all_monotone = ref true in
+  let all_identical = ref true in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  List.iter
+    (fun (name, scenarios, rates) ->
+      let app = Suite.find_app name in
+      let image = build app scenarios in
+      let identical = identity_gate app image scenarios in
+      all_identical := !all_identical && identical;
+      let results =
+        List.map
+          (fun rate ->
+            ( rate,
+              Loadsim.run ~sessions ~scenarios ~arrival:(Loadsim.Poisson rate)
+                ~seed:0x5EEDL ~image ~network () ))
+          rates
+      in
+      all_monotone :=
+        !all_monotone
+        && strictly_increasing (List.map (fun (_, r) -> r.Loadsim.r_p99_us) results);
+      List.iter
+        (fun (rate, r) ->
+          let comm_us =
+            List.fold_left
+              (fun acc c ->
+                acc
+                +. (float_of_int c.Loadsim.cs_sessions *. c.Loadsim.cs_comm_us))
+              0. r.Loadsim.r_classes
+            /. float_of_int r.Loadsim.r_sessions
+          in
+          Tablefmt.add_row t
+            [
+              name; Tablefmt.cell_float ~decimals:1 rate;
+              Tablefmt.cell_float (r.Loadsim.r_p50_us /. 1e3);
+              Tablefmt.cell_float (r.Loadsim.r_p95_us /. 1e3);
+              Tablefmt.cell_float (r.Loadsim.r_p99_us /. 1e3);
+              Tablefmt.cell_float (r.Loadsim.r_throughput_per_s);
+              Tablefmt.cell_float ~decimals:4 r.Loadsim.r_availability;
+              Tablefmt.cell_float ~decimals:3 r.Loadsim.r_link_util;
+            ];
+          rows :=
+            Printf.sprintf
+              "{\"app\": \"%s\", \"rate\": %.17g, \"sessions\": %d, \"p50_us\": \
+               %.17g, \"p95_us\": %.17g, \"p99_us\": %.17g, \"throughput_per_s\": \
+               %.17g, \"availability\": %.17g, \"comm_us\": %.17g, \"link_util\": \
+               %.17g, \"identical\": %b}"
+              (json_escape name) rate r.Loadsim.r_sessions r.Loadsim.r_p50_us
+              r.Loadsim.r_p95_us r.Loadsim.r_p99_us r.Loadsim.r_throughput_per_s
+              r.Loadsim.r_availability comm_us r.Loadsim.r_link_util identical
+            :: !rows)
+        results)
+    apps;
+  print_string (Tablefmt.render t);
+  Printf.printf "queueing-off identity vs Replay: %s; p99 %s with arrival rate.\n"
+    (if !all_identical then "bit-exact" else "BROKEN (BUG)")
+    (if !all_monotone then "strictly increasing" else "NOT MONOTONE (BUG)");
+  add_json "load" (Printf.sprintf "[%s]" (String.concat ", " (List.rev !rows)));
+  if not (!all_identical && !all_monotone) then exit 3;
+  note
+    "Expected shape: tail latency rises strictly with offered load as FIFO\n\
+     queues build at the server host and link, while the unloaded single-session\n\
+     cost stays exactly the Replay estimate — queueing is layered on the same\n\
+     cost model, not a second pricing path.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1063,6 +1187,7 @@ let sections =
     ("multiway", multiway); ("drift", drift); ("whatif", whatif);
     ("session", session_bench); ("micro", micro); ("faultsim", faultsim_bench);
     ("obs", obs_bench); ("resilience", resilience_bench); ("verify", verify_bench);
+    ("load", load_bench);
   ]
 
 let () =

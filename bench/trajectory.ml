@@ -9,7 +9,10 @@
        --min-speedup (default 3.0; the PR 7 acceptance bar was 5x on an
        idle machine, the gate leaves headroom for loaded CI runners);
      - the relabel-to-front micro kernel runs within 8x of Dinic on the
-       150-node bench graph (the pre-PR-7 pathology was ~60x).
+       150-node bench graph (the pre-PR-7 pathology was ~60x);
+     - the open-loop load sweep (when present): queueing-off pricing
+       reproduced the Replay estimator bit for bit, and each app's p99
+       latency rises strictly with offered arrival rate.
 
    Cross-snapshot comparisons against OLD use ratios rather than raw
    nanoseconds, so trajectories survive machine changes: the session
@@ -84,6 +87,52 @@ let rtf_dinic_ratio json =
   | Some rtf, Some dinic when dinic > 0. -> Some (rtf /. dinic)
   | _ -> None
 
+let load_rows json =
+  match section "load" json with
+  | Some (J.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( J.member "app" row,
+              number (J.member "rate" row),
+              number (J.member "p99_us" row),
+              J.member "identical" row )
+          with
+          | Some (J.Str app), Some rate, Some p99, Some (J.Bool identical) ->
+              Some (app, rate, p99, identical)
+          | _ -> None)
+        rows
+  | _ -> []
+
+let load_gates fresh =
+  match load_rows fresh with
+  | [] -> skip "load: queueing gates" "no load section in NEW"
+  | rows ->
+      check "load: queueing-off identity vs Replay"
+        (List.for_all (fun (_, _, _, identical) -> identical) rows)
+        (Printf.sprintf "%d rows" (List.length rows));
+      let apps =
+        List.sort_uniq compare (List.map (fun (app, _, _, _) -> app) rows)
+      in
+      List.iter
+        (fun app ->
+          let mine =
+            List.sort
+              (fun (_, a, _, _) (_, b, _, _) -> compare a b)
+              (List.filter (fun (a, _, _, _) -> a = app) rows)
+          in
+          let rec monotone = function
+            | (_, _, a, _) :: ((_, _, b, _) :: _ as rest) ->
+                a < b && monotone rest
+            | _ -> true
+          in
+          check
+            (Printf.sprintf "load: %s p99 rises with arrival rate" app)
+            (monotone mine)
+            (String.concat " < "
+               (List.map (fun (_, _, p99, _) -> Printf.sprintf "%.0fus" p99) mine)))
+        apps
+
 let within_gates ~min_speedup fresh =
   (match session_fields fresh with
   | None -> skip "session: identical" "no session section in NEW"
@@ -99,11 +148,12 @@ let within_gates ~min_speedup fresh =
             (Printf.sprintf "session: reprice speedup >= %.1fx" min_speedup)
             (s >= min_speedup)
             (Printf.sprintf "speedup=%.2fx" s)));
-  match rtf_dinic_ratio fresh with
+  (match rtf_dinic_ratio fresh with
   | None -> skip "micro: rtf within 8x of dinic" "kernels missing in NEW"
   | Some r ->
       check "micro: rtf within 8x of dinic" (r <= 8.)
-        (Printf.sprintf "rtf/dinic=%.2fx" r)
+        (Printf.sprintf "rtf/dinic=%.2fx" r));
+  load_gates fresh
 
 let cross_gates ~tolerance ~old_path fresh old =
   Printf.printf "-- comparing against %s (tolerance %.0f%%)\n" old_path

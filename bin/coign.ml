@@ -122,7 +122,7 @@ let instrument_cmd =
     Arg.(
       required
       & opt (some string) None
-      & info [ "app" ] ~docv:"APP" ~doc:"Application: octarine, photodraw, or benefits.")
+      & info [ "app" ] ~docv:"APP" ~doc:"Application: octarine, photodraw, benefits, or ingest.")
   in
   let classifier =
     Arg.(
@@ -984,6 +984,133 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a scenario under the distribution stored in the image.")
     term
 
+(* load ------------------------------------------------------------- *)
+
+let load_cmd =
+  let arrival_conv =
+    let parse s =
+      match Coign_sim.Loadsim.arrival_of_string s with
+      | Ok a -> Ok a
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf a = Format.pp_print_string ppf (Coign_sim.Loadsim.arrival_to_string a) in
+    Arg.conv (parse, print)
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "sessions" ] ~docv:"N" ~doc:"Number of open-loop sessions to drive.")
+  in
+  let arrival_arg =
+    Arg.(
+      value
+      & opt arrival_conv (Coign_sim.Loadsim.Poisson 200.)
+      & info [ "arrival" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process: poisson:RATE, bursty:RATE,ON_MS,OFF_MS, or \
+             diurnal:PEAK,PERIOD_S (rates in sessions/second on the sim clock).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0x5EED
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Master seed; each session derives its own draw stream.")
+  in
+  let scenarios_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "scenarios" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated scenario mix (default: all of the app's non-bigone scenarios), \
+             drawn uniformly per session.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Availability deadline: a session within MS of end-to-end latency counts as \
+                available.")
+  in
+  let no_queueing_arg =
+    Arg.(
+      value & flag
+      & info [ "no-queueing" ]
+          ~doc:
+            "Disable FIFO queueing: every session pays its unloaded Replay estimate \
+             (the identity-gate mode).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Attach a metrics registry and print the coign_load_* instruments after the \
+                report (Prometheus text exposition).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains filling per-session draws concurrently: 1 (default) = sequential, 0 = \
+             one per core. The output is byte-identical either way.")
+  in
+  let run image_path sessions arrival seed scenarios deadline_ms no_queueing json metrics
+      jobs =
+    if sessions <= 0 then begin
+      Printf.eprintf "error: --sessions must be positive\n";
+      exit 1
+    end;
+    if jobs < 0 then begin
+      Printf.eprintf "error: --jobs must be >= 0\n";
+      exit 1
+    end;
+    fun network ->
+      let image = Binary_image.load image_path in
+      let pool, owned =
+        match jobs with
+        | 1 -> (None, None)
+        | 0 -> (Some (Parallel.default ()), None)
+        | n ->
+            let p = Parallel.create ~domains:(n - 1) () in
+            (Some p, Some p)
+      in
+      let registry = if metrics then Some (Coign_obs.Metrics.registry ()) else None in
+      let result =
+        try
+          Coign_sim.Loadsim.run ?pool ?metrics:registry ~queueing:(not no_queueing)
+            ?deadline_us:(Option.map (fun ms -> ms *. 1e3) deadline_ms)
+            ?scenarios ~sessions ~arrival ~seed:(Int64.of_int seed) ~image ~network ()
+        with Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      in
+      Option.iter Parallel.shutdown owned;
+      if json then print_endline (Jsonu.to_string (Coign_sim.Loadsim.to_json result))
+      else Format.printf "@[<v>%a@]@?" Coign_sim.Loadsim.pp_text result;
+      Option.iter
+        (fun reg -> print_string (Coign_obs.Metrics.prometheus reg))
+        registry
+  in
+  let term =
+    Term.(
+      const run $ image_arg $ sessions_arg $ arrival_arg $ seed_arg $ scenarios_arg
+      $ deadline_arg $ no_queueing_arg $ json_arg $ metrics_arg $ jobs_arg $ network_arg)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive an open-loop arrival process of concurrent sessions against the image's \
+          analyzed distribution, with FIFO queueing at the server host and the link so \
+          latency grows with utilization. Reports p50/p95/p99 end-to-end latency, \
+          throughput, and availability next to the unloaded comm time. Deterministic: \
+          equal seeds give byte-identical reports, across any number of jobs.")
+    term
+
 (* list ------------------------------------------------------------- *)
 
 let list_cmd =
@@ -1009,5 +1136,6 @@ let () =
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
           [
             instrument_cmd; profile_cmd; combine_cmd; lint_cmd; verify_cmd; analyze_cmd; sweep_cmd;
-            faultsim_cmd; resilience_cmd; trace_cmd; metrics_cmd; show_cmd; run_cmd; list_cmd;
+            faultsim_cmd; resilience_cmd; load_cmd; trace_cmd; metrics_cmd; show_cmd; run_cmd;
+            list_cmd;
           ]))

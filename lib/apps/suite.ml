@@ -1,4 +1,4 @@
-let all = [ Octarine.app; Photodraw.app; Benefits.app ]
+let all = [ Octarine.app; Photodraw.app; Benefits.app; Ingest.app ]
 
 let find_app name =
   match List.find_opt (fun a -> String.equal a.App.app_name name) all with

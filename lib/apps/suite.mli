@@ -1,10 +1,12 @@
 (** The full application and scenario suite (paper Table 1). *)
 
 val all : App.t list
-(** Octarine, PhotoDraw, Corporate Benefits. *)
+(** Octarine, PhotoDraw, Corporate Benefits, plus the synthetic
+    {!Ingest} pipeline (not in the paper's Table 1). *)
 
 val find_app : string -> App.t
-(** By name ("octarine", "photodraw", "benefits"); raises [Not_found]. *)
+(** By name ("octarine", "photodraw", "benefits", "ingest"); raises
+    [Not_found]. *)
 
 val table1 : (string * string * string) list
 (** [(app, scenario id, description)] rows in the paper's order. *)

@@ -17,6 +17,17 @@ let message_us t ~bytes =
 let round_trip_us t ~request ~reply =
   message_us t ~bytes:request +. message_us t ~bytes:reply
 
+(* Decomposition of [message_us] for queueing simulators: the protocol
+   stack occupies a host CPU while the wire (propagation plus
+   transmission) occupies the link, so the two components contend in
+   different FIFO queues. [host_us + wire_us = message_us] up to float
+   association. *)
+let host_us t = t.proc_us
+
+let wire_us t ~bytes =
+  assert (bytes >= 0);
+  t.latency_us +. (float_of_int bytes *. 8. /. t.bandwidth_mbps)
+
 (* Per-message processing: the DCOM/RPC stack on two 200 MHz Pentiums
    costs on the order of half a millisecond per message end-to-end. *)
 let ethernet_10 =

@@ -25,6 +25,18 @@ val round_trip_us : t -> request:int -> reply:int -> float
 (** A call's full communication time: request message plus reply
     message (DCOM calls are synchronous). *)
 
+val host_us : t -> float
+(** The host-CPU share of {!message_us}: per-message protocol
+    processing ([proc_us]). Under load this is the service demand a
+    message places on the serving host's FIFO queue. *)
+
+val wire_us : t -> bytes:int -> float
+(** The link share of {!message_us}: propagation latency plus
+    transmission time ([latency + bytes*8/bandwidth]). Under load this
+    is the service demand a message places on the link's FIFO queue;
+    [host_us t +. wire_us t ~bytes] equals [message_us t ~bytes] up to
+    float association. *)
+
 (** {1 Presets} *)
 
 val ethernet_10 : t

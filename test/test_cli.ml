@@ -115,6 +115,63 @@ let test_trace_chrome_and_metrics_parse () =
         Alcotest.(check bool) "rte counters exported" true
           (Coign_util.Jsonu.member "coign_rte_intercepted_calls_total" m <> None))
 
+let run_cmd_to out args =
+  let cmd = Filename.quote_command exe args in
+  Sys.command (cmd ^ " > " ^ Filename.quote out ^ " 2>/dev/null")
+
+let test_load_golden_octarine () =
+  let golden = "golden/load_octarine.txt" in
+  if not (Sys.file_exists exe && Sys.file_exists golden) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "oct.img" in
+        let out = Filename.concat dir "load.txt" in
+        check_ok "instrument" (run_cmd [ "instrument"; "--app"; "octarine"; "-o"; img ]);
+        check_ok "profile wp0" (run_cmd [ "profile"; img; "--scenario"; "o_oldwp0"; "-o"; img ]);
+        check_ok "profile tb0" (run_cmd [ "profile"; img; "--scenario"; "o_oldtb0"; "-o"; img ]);
+        check_ok "analyze" (run_cmd [ "analyze"; img; "-o"; img ]);
+        check_ok "load"
+          (run_cmd_to out
+             [
+               "load"; img; "--sessions"; "200"; "--arrival"; "poisson:1"; "--seed"; "11";
+               "--scenarios"; "o_oldwp0,o_oldtb0";
+             ]);
+        Alcotest.(check string) "load text golden" (read_file golden) (read_file out))
+
+let test_load_golden_ingest () =
+  let golden = "golden/load_ingest.txt" in
+  if not (Sys.file_exists exe && Sys.file_exists golden) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "ing.img" in
+        let out1 = Filename.concat dir "load1.txt" in
+        let out4 = Filename.concat dir "load4.txt" in
+        let js = Filename.concat dir "load.json" in
+        check_ok "instrument" (run_cmd [ "instrument"; "--app"; "ingest"; "-o"; img ]);
+        check_ok "profile strm1" (run_cmd [ "profile"; img; "--scenario"; "i_strm1"; "-o"; img ]);
+        check_ok "profile replay" (run_cmd [ "profile"; img; "--scenario"; "i_replay"; "-o"; img ]);
+        check_ok "analyze" (run_cmd [ "analyze"; img; "-o"; img ]);
+        let args jobs =
+          [
+            "load"; img; "--sessions"; "200"; "--arrival"; "bursty:30,250,500"; "--seed"; "11";
+            "--scenarios"; "i_strm1,i_replay"; "--jobs"; jobs;
+          ]
+        in
+        check_ok "load --jobs 1" (run_cmd_to out1 (args "1"));
+        check_ok "load --jobs 4" (run_cmd_to out4 (args "4"));
+        Alcotest.(check string) "load text golden" (read_file golden) (read_file out1);
+        Alcotest.(check string) "jobs 1 == jobs 4, byte-identical" (read_file out1)
+          (read_file out4);
+        (* The JSON form parses with the in-repo parser and carries the
+           percentile fields. *)
+        check_ok "load --json" (run_cmd_to js (args "1" @ [ "--json" ]));
+        let j = Coign_util.Jsonu.parse_exn (read_file js) in
+        List.iter
+          (fun field ->
+            Alcotest.(check bool) (field ^ " present") true
+              (Coign_util.Jsonu.member field j <> None))
+          [ "p50_us"; "p95_us"; "p99_us"; "throughput_per_s"; "availability" ])
+
 let suite =
   [
     Alcotest.test_case "cli full pipeline" `Slow test_full_pipeline;
@@ -122,4 +179,6 @@ let suite =
     Alcotest.test_case "cli error reporting" `Quick test_error_reporting;
     Alcotest.test_case "cli trace golden" `Slow test_trace_golden;
     Alcotest.test_case "cli trace/metrics json" `Slow test_trace_chrome_and_metrics_parse;
+    Alcotest.test_case "cli load golden octarine" `Slow test_load_golden_octarine;
+    Alcotest.test_case "cli load golden ingest" `Slow test_load_golden_ingest;
   ]

@@ -17,6 +17,7 @@ let () =
       ("adps", Test_adps.suite);
       ("apps", Test_apps.suite);
       ("sim", Test_sim.suite);
+      ("loadsim", Test_loadsim.suite);
       ("extensions", Test_extensions.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
