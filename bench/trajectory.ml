@@ -12,7 +12,10 @@
        150-node bench graph (the pre-PR-7 pathology was ~60x);
      - the open-loop load sweep (when present): queueing-off pricing
        reproduced the Replay estimator bit for bit, and each app's p99
-       latency rises strictly with offered arrival rate.
+       latency rises strictly with offered arrival rate;
+     - the drift watch (when present): a quiet watch left the deployed
+       run bit-identical, the closed loop converged to the offline
+       oracle's cut, and steady-state communication went down.
 
    Cross-snapshot comparisons against OLD use ratios rather than raw
    nanoseconds, so trajectories survive machine changes: the session
@@ -133,6 +136,32 @@ let load_gates fresh =
                (List.map (fun (_, _, p99, _) -> Printf.sprintf "%.0fus" p99) mine)))
         apps
 
+let watch_gates fresh =
+  match section "watch" fresh with
+  | None -> skip "watch: drift-loop gates" "no watch section in NEW"
+  | Some s ->
+      let bool_field k =
+        match J.member k s with Some (J.Bool b) -> Some b | _ -> None
+      in
+      check "watch: quiet watch bit-identical"
+        (bool_field "quiet_identical" = Some true)
+        (match bool_field "quiet_identical" with
+        | Some b -> Printf.sprintf "quiet_identical=%b" b
+        | None -> "field missing");
+      check "watch: converged to the oracle cut"
+        (bool_field "converged" = Some true)
+        (match bool_field "converged" with
+        | Some b -> Printf.sprintf "converged=%b" b
+        | None -> "field missing");
+      (match
+         (number (J.member "steady_stale_us" s),
+          number (J.member "steady_watched_us" s))
+       with
+      | Some stale, Some watched ->
+          check "watch: steady-state comm reduced" (watched < stale)
+            (Printf.sprintf "%.0fus -> %.0fus" stale watched)
+      | _ -> skip "watch: steady-state comm reduced" "fields missing")
+
 let within_gates ~min_speedup fresh =
   (match session_fields fresh with
   | None -> skip "session: identical" "no session section in NEW"
@@ -153,7 +182,8 @@ let within_gates ~min_speedup fresh =
   | Some r ->
       check "micro: rtf within 8x of dinic" (r <= 8.)
         (Printf.sprintf "rtf/dinic=%.2fx" r));
-  load_gates fresh
+  load_gates fresh;
+  watch_gates fresh
 
 let cross_gates ~tolerance ~old_path fresh old =
   Printf.printf "-- comparing against %s (tolerance %.0f%%)\n" old_path

@@ -1111,6 +1111,155 @@ let load_cmd =
           equal seeds give byte-identical reports, across any number of jobs.")
     term
 
+(* watch ------------------------------------------------------------ *)
+
+let watch_cmd =
+  let profile_arg =
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "profile" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated scenario mix to profile and analyze offline — the (soon to \
+             be stale) cut the watch starts from.")
+  in
+  let phases_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "phases" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Semicolon-separated phases, each a comma-separated scenario list, replayed \
+             in order — e.g. 'o_oldwp0;o_oldwp7,o_oldwp7,o_oldwp7'. The last phase is \
+             the steady state the oracle is cut for.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.90
+      & info [ "threshold" ] ~docv:"SIM"
+          ~doc:"Similarity below which the window counts as drifted (cosine, in [0,1]).")
+  in
+  let half_life_arg =
+    Arg.(
+      value & opt float 750.
+      & info [ "half-life-ms" ] ~docv:"MS"
+          ~doc:"Observation window half-life on the virtual clock.")
+  in
+  let check_every_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "check-every" ] ~docv:"N" ~doc:"Observations between drift checks.")
+  in
+  let min_dwell_arg =
+    Arg.(
+      value & opt float 750.
+      & info [ "min-dwell-ms" ] ~docv:"MS"
+          ~doc:"Minimum virtual time between placement switches (hysteresis).")
+  in
+  let min_window_arg =
+    Arg.(
+      value & opt float 16.
+      & info [ "min-window" ] ~docv:"MASS"
+          ~doc:"Decayed observation mass required before drift checks may fire.")
+  in
+  let sample_every_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "sample-every" ] ~docv:"K"
+          ~doc:"Tap sampling rate: measure and stream one observation in K.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0x5EED
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed for the deterministic replay.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Attach a metrics registry to the watched run and print the coign_drift_* / \
+             coign_watch_* instruments after the report (Prometheus text exposition).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains evaluating the stale/watched/oracle regimes concurrently: 1 \
+             (default) = sequential, 0 = one per core. The output is byte-identical \
+             either way.")
+  in
+  let parse_phases s =
+    List.filter_map
+      (fun phase ->
+        match
+          List.filter (fun id -> id <> "") (String.split_on_char ',' (String.trim phase))
+        with
+        | [] -> None
+        | ids -> Some (List.map String.trim ids))
+      (String.split_on_char ';' s)
+  in
+  let run image_path profile phases_spec threshold half_life_ms check_every min_dwell_ms
+      min_window sample_every seed json metrics jobs =
+    if jobs < 0 then begin
+      Printf.eprintf "error: --jobs must be >= 0\n";
+      exit 1
+    end;
+    let phases = parse_phases phases_spec in
+    if phases = [] then begin
+      Printf.eprintf "error: --phases needs at least one non-empty phase\n";
+      exit 1
+    end;
+    fun network ->
+      let image = Binary_image.load image_path in
+      let pool, owned =
+        match jobs with
+        | 1 -> (None, None)
+        | 0 -> (Some (Parallel.default ()), None)
+        | n ->
+            let p = Parallel.create ~domains:(n - 1) () in
+            (Some p, Some p)
+      in
+      let registry = if metrics then Some (Coign_obs.Metrics.registry ()) else None in
+      let result =
+        try
+          Coign_sim.Watchsim.run ?pool ?metrics:registry ~threshold ~check_every
+            ~min_dwell_us:(min_dwell_ms *. 1e3) ~min_window
+            ~half_life_us:(half_life_ms *. 1e3) ~sample_every ~seed:(Int64.of_int seed)
+            ~profile_mix:profile ~phases ~image ~network ()
+        with Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      in
+      Option.iter Parallel.shutdown owned;
+      if json then print_endline (Jsonu.to_string (Coign_sim.Watchsim.to_json result))
+      else Format.printf "%a@." Coign_sim.Watchsim.pp_text result;
+      Option.iter
+        (fun reg -> print_string (Coign_obs.Metrics.prometheus reg))
+        registry
+  in
+  let term =
+    Term.(
+      const run $ image_arg $ profile_arg $ phases_arg $ threshold_arg $ half_life_arg
+      $ check_every_arg $ min_dwell_arg $ min_window_arg $ sample_every_arg $ seed_arg
+      $ json_arg $ metrics_arg $ jobs_arg $ network_arg)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Close the partitioning loop online: profile a scenario mix, deploy its cut, \
+          then replay a phased schedule whose usage shifts mid-run with the RTE's drift \
+          watch attached — a streaming sample tap feeds an exponentially-decayed \
+          observation window, and when the window's usage signature drifts from the \
+          profile's the session is re-priced and the placement switched live, \
+          migrating instances over the network. Reports the drift timeline and \
+          per-phase communication time against the never-revisited stale cut and the \
+          post-shift offline oracle. Deterministic: equal seeds give byte-identical \
+          reports, across any number of jobs.")
+    term
+
 (* list ------------------------------------------------------------- *)
 
 let list_cmd =
@@ -1136,6 +1285,6 @@ let () =
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
           [
             instrument_cmd; profile_cmd; combine_cmd; lint_cmd; verify_cmd; analyze_cmd; sweep_cmd;
-            faultsim_cmd; resilience_cmd; load_cmd; trace_cmd; metrics_cmd; show_cmd; run_cmd;
-            list_cmd;
+            faultsim_cmd; resilience_cmd; load_cmd; watch_cmd; trace_cmd; metrics_cmd;
+            show_cmd; run_cmd; list_cmd;
           ]))

@@ -174,11 +174,19 @@ type exec_stats = {
   es_stranded_calls : int;
   es_rescued_calls : int;
   es_final_rung : int;
+  (* Watch counters — zero (similarity 1) unless a watch ran. *)
+  es_drift_checks : int;
+  es_drift_detections : int;
+  es_repartitions : int;
+  es_watch_migrations : int;
+  es_unchanged_cuts : int;
+  es_rejected_cuts : int;
+  es_last_similarity : float;
 }
 
 let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy ~network
     ?(jitter = 0.) ?(seed = 0x5EEDL) ?faults ?(retry = Coign_netsim.Fault.default_retry)
-    ?resilience scenario =
+    ?resilience ?watch scenario =
   let ctx = Runtime.create_ctx registry in
   let rte =
     Rte.install_distributed ?loggers ?tracer ?metrics ~classifier
@@ -191,6 +199,7 @@ let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy 
           dc_faults = faults;
           dc_retry = retry;
           dc_resilience = resilience;
+          dc_watch = watch;
         }
       ctx
   in
@@ -236,10 +245,17 @@ let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy 
     es_stranded_calls = st.Rte.st_stranded_calls;
     es_rescued_calls = st.Rte.st_rescued_calls;
     es_final_rung = st.Rte.st_final_rung;
+    es_drift_checks = st.Rte.st_drift_checks;
+    es_drift_detections = st.Rte.st_drift_detections;
+    es_repartitions = st.Rte.st_repartitions;
+    es_watch_migrations = st.Rte.st_watch_migrations;
+    es_unchanged_cuts = st.Rte.st_unchanged_cuts;
+    es_rejected_cuts = st.Rte.st_rejected_cuts;
+    es_last_similarity = st.Rte.st_last_similarity;
   }
 
 let execute ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?faults ?retry
-    ?resilience scenario =
+    ?resilience ?watch scenario =
   let config = config_of image in
   if Config_record.mode config <> Config_record.Distributed then
     invalid_arg "Adps.execute: image is not in distributed mode";
@@ -248,7 +264,7 @@ let execute ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?f
   | Some (classifier, distribution) ->
       execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier
         ~policy:(Factory.By_classification distribution) ~network ?jitter ?seed ?faults ?retry
-        ?resilience scenario
+        ?resilience ?watch scenario
 
 (* Build the resilience ladder for a profiled image: rung 0 is the
    image's stored distribution when it has one (so failback restores
@@ -259,3 +275,13 @@ let fallback_ladder ?algorithm ?profiler ?metrics ?pool ?modes ~image ~net () =
   let session = analysis_session ?profiler image in
   let primary = Option.map snd (load_distribution image) in
   Fallback.compute ?algorithm ?profiler ?metrics ?pool ?modes ?primary session ~net ()
+
+(* Build a watch for a profiled image: the drift loop re-prices the
+   same session the offline analyzer would use, under the same merged
+   constraints, so a re-cut is exactly what a fresh analyze of the
+   shifted usage would choose. *)
+let watch ?profiler ?extra_constraints ?threshold ?check_every ?min_dwell_us ?min_window
+    ?half_life_us ?sample_every ?tap ~image ~net () =
+  let session = analysis_session ?profiler ?extra_constraints image in
+  Rte.watch ?threshold ?check_every ?min_dwell_us ?min_window ?half_life_us ?sample_every
+    ?tap ~net session

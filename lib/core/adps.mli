@@ -152,6 +152,13 @@ type exec_stats = {
   es_stranded_calls : int;   (** calls that waited on an open breaker *)
   es_rescued_calls : int;    (** failed calls completed locally *)
   es_final_rung : int;       (** rung installed when the run ended *)
+  es_drift_checks : int;       (** drift checks run (zero without a watch) *)
+  es_drift_detections : int;   (** checks that crossed the threshold *)
+  es_repartitions : int;       (** placement switches the watch installed *)
+  es_watch_migrations : int;   (** instances moved by those switches *)
+  es_unchanged_cuts : int;     (** detections whose re-cut kept the placement *)
+  es_rejected_cuts : int;      (** candidate cuts failing validation *)
+  es_last_similarity : float;  (** similarity at the last check (1 without) *)
 }
 
 val execute :
@@ -164,6 +171,7 @@ val execute :
   ?jitter:float -> ?seed:int64 ->
   ?faults:Coign_netsim.Fault.spec -> ?retry:Coign_netsim.Fault.retry_policy ->
   ?resilience:Rte.resilience_config ->
+  ?watch:Rte.watch_config ->
   scenario ->
   exec_stats
 (** Run a scenario under the distribution stored in the image (which
@@ -171,7 +179,8 @@ val execute :
     network); [faults] defaults to none and [retry] to
     {!Coign_netsim.Fault.default_retry}. [loggers], [tracer], and
     [metrics] are forwarded to {!Rte.install_distributed} and change
-    nothing when absent. *)
+    nothing when absent. With [watch] (see {!watch}), the RTE monitors
+    usage drift online and re-partitions when it fires. *)
 
 val execute_with_policy :
   ?loggers:Logger.t list ->
@@ -184,10 +193,32 @@ val execute_with_policy :
   ?jitter:float -> ?seed:int64 ->
   ?faults:Coign_netsim.Fault.spec -> ?retry:Coign_netsim.Fault.retry_policy ->
   ?resilience:Rte.resilience_config ->
+  ?watch:Rte.watch_config ->
   scenario ->
   exec_stats
 (** Run under an explicit placement policy — used to measure the
     application's default (developer-chosen) distribution. *)
+
+val watch :
+  ?profiler:Coign_obs.Profiler.t ->
+  ?extra_constraints:Constraints.t ->
+  ?threshold:float ->
+  ?check_every:int ->
+  ?min_dwell_us:float ->
+  ?min_window:float ->
+  ?half_life_us:float ->
+  ?sample_every:int ->
+  ?tap:Coign_obs.Tap.sink ->
+  image:Coign_image.Binary_image.t ->
+  net:Coign_netsim.Net_profiler.t ->
+  unit ->
+  Rte.watch_config
+(** The watch configuration for a profiled image: an
+    {!analysis_session} built from the image's accumulated profile and
+    merged constraints, wrapped by {!Rte.watch}. Because the drift loop
+    re-prices that same session, a re-cut is exactly what a fresh
+    offline analyze of the shifted usage would choose. Raises
+    [Invalid_argument] if the image holds no profile. *)
 
 val fallback_ladder :
   ?algorithm:Coign_flowgraph.Mincut.algorithm ->

@@ -62,7 +62,8 @@ module Session = struct
     s_stack : int array;
     s_server_side : bool array;
     s_pricing : Icc_graph.pricing;
-    mutable s_cost_cache : (Net_profiler.t * float array) list;
+    (* cost table + zero-byte message cost, one entry per seen net *)
+    mutable s_cost_cache : (Net_profiler.t * (float array * float)) list;
   }
 
   type t = session
@@ -263,20 +264,22 @@ module Session = struct
   let cost_table_for t net =
     let rec find = function
       | [] ->
-          let cost = Icc_graph.cost_table t.s_graph (Net_profiler.compile net) in
+          let compiled = Net_profiler.compile net in
+          let cost = Icc_graph.cost_table t.s_graph compiled in
+          let zero = Net_profiler.predict_compiled_us compiled ~bytes:0 in
           let cache = t.s_cost_cache in
           let cache =
             if List.length cache >= cost_cache_cap then
               List.filteri (fun i _ -> i < cost_cache_cap - 1) cache
             else cache
           in
-          t.s_cost_cache <- (net, cost) :: cache;
-          cost
-      | (key, cost) :: rest -> if key == net then cost else find rest
+          t.s_cost_cache <- (net, (cost, zero)) :: cache;
+          (cost, zero)
+      | (key, entry) :: rest -> if key == net then entry else find rest
     in
     find t.s_cost_cache
 
-  let solve ?(algorithm = Mincut.Relabel_to_front) ?profiler ?metrics t ~net =
+  let solve ?(algorithm = Mincut.Relabel_to_front) ?profiler ?metrics ?scale t ~net =
     let timed name f =
       match profiler with None -> f () | Some p -> Coign_obs.Profiler.time p name f
     in
@@ -285,7 +288,15 @@ module Session = struct
     let pricing =
       timed "pricing" (fun () ->
           let pricing = t.s_pricing in
-          Icc_graph.price_into graph ~cost:(cost_table_for t net) pricing;
+          (* With ?scale, an observation window rescales each pair's
+             profiled traffic before pricing (online re-partitioning);
+             without it, the pricing loop is untouched and its floats
+             are bit for bit the offline engine's. *)
+          (match scale with
+          | None -> Icc_graph.price_into graph ~cost:(fst (cost_table_for t net)) pricing
+          | Some scale ->
+              let cost, zero_us = cost_table_for t net in
+              Icc_graph.price_scaled_into graph ~cost ~zero_us ~scale pricing);
           (* Reprice: write every non-fixed pair's capacity straight
              into its preallocated arena slots (clamped exactly as the
              legacy Hashtbl path clamped). Zero-cost pairs leave

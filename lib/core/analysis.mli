@@ -59,6 +59,7 @@ module Session : sig
     ?algorithm:Coign_flowgraph.Mincut.algorithm ->
     ?profiler:Coign_obs.Profiler.t ->
     ?metrics:Coign_obs.Metrics.registry ->
+    ?scale:Icc_graph.scale ->
     t ->
     net:Coign_netsim.Net_profiler.t ->
     distribution
@@ -69,7 +70,15 @@ module Session : sig
       With [profiler], pricing and cutting record under the ["pricing"]
       and ["cut"] phases; with [metrics], each solve updates the
       [coign_analysis_*] instruments. Neither changes the
-      distribution. *)
+      distribution.
+
+      With [scale] (arrays of length {!Icc_graph.pair_count} of
+      {!graph}), each pair's profiled traffic is rescaled before
+      pricing ({!Icc_graph.price_scaled_into}) — the online
+      re-partitioning path, where a decayed observation window
+      reweights the profile's per-pair message counts and byte volumes
+      while keeping its message-size mix. Omitted, pricing is
+      bit-identical to the offline engine. *)
 
   val solve_many :
     ?algorithm:Coign_flowgraph.Mincut.algorithm ->

@@ -22,6 +22,20 @@ let of_icc icc =
     icc ();
   t
 
+let of_weights weights =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun (pair, w) ->
+      if w > 0. then begin
+        let cur = Option.value ~default:0. (Hashtbl.find_opt t pair) in
+        Hashtbl.replace t pair (cur +. w)
+      end)
+    weights;
+  t
+
+let entries t =
+  List.sort compare (Hashtbl.fold (fun pair w acc -> (pair, w) :: acc) t [])
+
 let similarity a b =
   let dot = ref 0. and na = ref 0. and nb = ref 0. in
   Hashtbl.iter

@@ -21,6 +21,15 @@ val of_icc : Icc.t -> signature
 val of_counts : ((int * int) * int) list -> signature
 (** A run-time signature from {!Rte.call_counts}. *)
 
+val of_weights : ((int * int) * float) list -> signature
+(** A signature from fractional per-pair weights — the shape produced by
+    an exponentially-decayed observation window. Non-positive weights
+    are dropped; duplicate pairs accumulate. *)
+
+val entries : signature -> ((int * int) * float) list
+(** The signature's (pair, weight) cells, sorted by pair — a
+    deterministic inverse of {!of_weights}. *)
+
 val similarity : signature -> signature -> float
 (** Cosine similarity of the two count distributions, in [0, 1]. Two
     empty signatures are fully similar. *)

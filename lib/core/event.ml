@@ -36,6 +36,20 @@ type t =
       from_loc : string;
       to_loc : string;
     }
+  | Drift_detected of {
+      at_us : int;
+      similarity : float;
+      threshold : float;
+      window_pairs : int;
+    }
+  | Repartitioned of {
+      at_us : int;
+      similarity : float;
+      from_servers : int;
+      to_servers : int;
+      migrated : int;
+      left : int;
+    }
 
 let kind_name = function
   | Component_instantiated _ -> "component_instantiated"
@@ -50,6 +64,8 @@ let kind_name = function
   | Failover _ -> "failover"
   | Failback _ -> "failback"
   | Instance_migrated _ -> "instance_migrated"
+  | Drift_detected _ -> "drift_detected"
+  | Repartitioned _ -> "repartitioned"
 
 let fields = function
   | Component_instantiated { inst; cname; classification; creator } ->
@@ -125,6 +141,22 @@ let fields = function
         ("from_loc", Jsonu.Str from_loc);
         ("to_loc", Jsonu.Str to_loc);
       ]
+  | Drift_detected { at_us; similarity; threshold; window_pairs } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("similarity", Jsonu.Float similarity);
+        ("threshold", Jsonu.Float threshold);
+        ("window_pairs", Jsonu.Int window_pairs);
+      ]
+  | Repartitioned { at_us; similarity; from_servers; to_servers; migrated; left } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("similarity", Jsonu.Float similarity);
+        ("from_servers", Jsonu.Int from_servers);
+        ("to_servers", Jsonu.Int to_servers);
+        ("migrated", Jsonu.Int migrated);
+        ("left", Jsonu.Int left);
+      ]
 
 let to_json e = Jsonu.Obj (("event", Jsonu.Str (kind_name e)) :: fields e)
 
@@ -152,6 +184,12 @@ let of_json j =
     match field k with
     | Jsonu.Bool b -> b
     | _ -> raise (Bad ("field " ^ k ^ " is not a bool"))
+  in
+  let float k =
+    match field k with
+    | Jsonu.Float f -> f
+    | Jsonu.Int i -> float_of_int i
+    | _ -> raise (Bad ("field " ^ k ^ " is not a number"))
   in
   try
     match field "event" with
@@ -232,6 +270,26 @@ let of_json j =
                from_loc = str "from_loc";
                to_loc = str "to_loc";
              })
+    | Jsonu.Str "drift_detected" ->
+        Ok
+          (Drift_detected
+             {
+               at_us = int "at_us";
+               similarity = float "similarity";
+               threshold = float "threshold";
+               window_pairs = int "window_pairs";
+             })
+    | Jsonu.Str "repartitioned" ->
+        Ok
+          (Repartitioned
+             {
+               at_us = int "at_us";
+               similarity = float "similarity";
+               from_servers = int "from_servers";
+               to_servers = int "to_servers";
+               migrated = int "migrated";
+               left = int "left";
+             })
     | Jsonu.Str other -> Error ("unknown event kind " ^ other)
     | _ -> Error "event tag is not a string"
   with Bad msg -> Error msg
@@ -265,3 +323,9 @@ let pp ppf = function
   | Instance_migrated { at_us; inst; classification; from_loc; to_loc } ->
       Format.fprintf ppf "migrate @%dus #%d c%d %s -> %s" at_us inst classification from_loc
         to_loc
+  | Drift_detected { at_us; similarity; threshold; window_pairs } ->
+      Format.fprintf ppf "drift @%dus similarity %.3f < %.3f over %d pair(s)" at_us similarity
+        threshold window_pairs
+  | Repartitioned { at_us; similarity; from_servers; to_servers; migrated; left } ->
+      Format.fprintf ppf "repartition @%dus similarity %.3f, %d -> %d server-side, %d migrated, %d left"
+        at_us similarity from_servers to_servers migrated left

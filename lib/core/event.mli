@@ -68,6 +68,24 @@ type t =
     }
       (** one instance moved machines during a rung switch — emitted per
           instance, after the aggregate {!Failover}/{!Failback} event *)
+  | Drift_detected of {
+      at_us : int;
+      similarity : float;  (** window-vs-baseline cosine similarity *)
+      threshold : float;
+      window_pairs : int;  (** distinct pairs carrying window mass *)
+    }
+      (** the observation window's usage signature fell below the drift
+          threshold against the last-adopted profile baseline *)
+  | Repartitioned of {
+      at_us : int;
+      similarity : float;  (** the similarity that triggered the re-cut *)
+      from_servers : int;  (** server-side classifications before *)
+      to_servers : int;
+      migrated : int;  (** instances moved to their new machine *)
+      left : int;  (** unsafe instances left where they were *)
+    }
+      (** the watch loop re-priced the window through the analysis
+          session and atomically installed the new placement *)
 
 val kind_name : t -> string
 (** Stable lowercase tag for each constructor — the key under which

@@ -136,6 +136,61 @@ let price_into t ~cost pricing =
     pricing.seg_us.(s) <- !total
   done
 
+type scale = { sc_messages : float array; sc_bytes : float array }
+
+let price_scaled_into t ~cost ~zero_us ~scale pricing =
+  (* [price_into] with each pair's traffic rescaled: segment s's
+     per-message fixed cost (count · zero_us) follows the pair's
+     message multiplier, the size-dependent remainder follows its byte
+     multiplier. Equal multipliers collapse to one multiply of the
+     profiled total, so an all-ones scale reproduces [price_into] bit
+     for bit (×1.0 is exact); the unscaled path still keeps its own
+     loop. *)
+  if
+    Array.length scale.sc_messages <> Array.length t.pair_a
+    || Array.length scale.sc_bytes <> Array.length t.pair_a
+  then invalid_arg "Icc_graph.price_scaled_into: scale length <> pair count";
+  Array.fill pricing.pair_us 0 (Array.length pricing.pair_us) 0.;
+  for s = 0 to Array.length t.seg_pair - 1 do
+    let total = ref 0. and msgs = ref 0. in
+    for i = t.seg_first.(s) to t.seg_first.(s + 1) - 1 do
+      total := !total +. (t.item_count.(i) *. cost.(t.item_size.(i)));
+      msgs := !msgs +. t.item_count.(i)
+    done;
+    let pid = t.seg_pair.(s) in
+    let ms = scale.sc_messages.(pid) and bs = scale.sc_bytes.(pid) in
+    let scaled =
+      if ms = bs then !total *. ms
+      else
+        let fixed = !msgs *. zero_us in
+        (ms *. fixed) +. (bs *. (!total -. fixed))
+    in
+    pricing.pair_us.(pid) <- pricing.pair_us.(pid) +. scaled;
+    pricing.seg_us.(s) <- scaled
+  done
+
+let pair_messages t =
+  let m = Array.make (Array.length t.pair_a) 0. in
+  for s = 0 to Array.length t.seg_pair - 1 do
+    let total = ref 0. in
+    for i = t.seg_first.(s) to t.seg_first.(s + 1) - 1 do
+      total := !total +. t.item_count.(i)
+    done;
+    m.(t.seg_pair.(s)) <- m.(t.seg_pair.(s)) +. !total
+  done;
+  m
+
+let pair_bytes t =
+  let m = Array.make (Array.length t.pair_a) 0. in
+  for s = 0 to Array.length t.seg_pair - 1 do
+    let total = ref 0. in
+    for i = t.seg_first.(s) to t.seg_first.(s + 1) - 1 do
+      total := !total +. (t.item_count.(i) *. float_of_int t.sizes.(t.item_size.(i)))
+    done;
+    m.(t.seg_pair.(s)) <- m.(t.seg_pair.(s)) +. !total
+  done;
+  m
+
 let make_pricing t =
   {
     pair_us = Array.make (Array.length t.pair_a) 0.;

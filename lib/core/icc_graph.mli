@@ -80,6 +80,38 @@ val price_into : t -> cost:float array -> pricing -> unit
     one dot product per segment, no allocation. The float summation
     order is identical to {!price}'s, so results are bit-identical. *)
 
+type scale = {
+  sc_messages : float array;  (** per-pair message-count multiplier *)
+  sc_bytes : float array;     (** per-pair byte-volume multiplier *)
+}
+(** An observation window's per-pair traffic, relative to the profile:
+    how many times the profiled message count (and byte volume) is
+    flowing now. Both arrays are indexed by pair id. *)
+
+val price_scaled_into :
+  t -> cost:float array -> zero_us:float -> scale:scale -> pricing -> unit
+(** [price_into] with each pair's traffic volume rescaled by [scale] —
+    how an observation window re-prices the profiled graph in place:
+    the profile supplies the per-pair message-size mix, the window
+    supplies how much of it is flowing now. A message's cost splits
+    into a fixed per-message part ([zero_us], the predicted cost of a
+    zero-byte message) and a size-dependent remainder; the former
+    scales with [sc_messages], the latter with [sc_bytes], so a window
+    that saw the profiled call rate but fatter payloads prices the
+    extra bytes without inventing extra calls. When a pair's two
+    multipliers are equal the whole segment cost is multiplied once,
+    which keeps an all-ones scale bit-identical to {!price_into}.
+    Raises [Invalid_argument] when either array is not [pair_count]
+    long. *)
+
+val pair_messages : t -> float array
+(** Total profiled message count per pair id (the scale denominators
+    for window-relative re-pricing; calls record two messages each). *)
+
+val pair_bytes : t -> float array
+(** Total profiled byte volume per pair id (the [sc_bytes]
+    denominators). *)
+
 val predicted_us : t -> pricing -> separated:(int -> bool) -> float
 (** Total cost of the segments whose pair the placement separates,
     summed in segment order — the [predicted_comm_us] of a cut. *)

@@ -15,7 +15,7 @@ let profiling ~icc ~inst_comm =
     | Event.Interface_instantiated _ | Event.Interface_destroyed _
     | Event.Call_retried _ | Event.Instantiation_degraded _ | Event.Breaker_opened _
     | Event.Breaker_closed _ | Event.Failover _ | Event.Failback _
-    | Event.Instance_migrated _ ->
+    | Event.Instance_migrated _ | Event.Drift_detected _ | Event.Repartitioned _ ->
         ()
   in
   { logger_name = "profiling"; log }

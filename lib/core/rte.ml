@@ -4,6 +4,7 @@ open Coign_com
 open Coign_netsim
 module Trace = Coign_obs.Trace
 module Metrics = Coign_obs.Metrics
+module Tap = Coign_obs.Tap
 
 (* Registry instruments, resolved once at install time so the hot path
    never does a name lookup. *)
@@ -114,6 +115,120 @@ type resilience_config = {
 let resilience ?(health = Health.default_policy) ?(max_probe_rounds = 8) ladder =
   { rc_ladder = ladder; rc_health = health; rc_max_probe_rounds = max_probe_rounds }
 
+(* Watch instruments, separate for the same reason as the resilience
+   set: a run without a watch exposes exactly the metrics it always
+   did. *)
+type watch_instruments = {
+  wi_similarity : Metrics.gauge;
+  wi_window_pairs : Metrics.gauge;
+  wi_window_mass : Metrics.gauge;
+  wi_checks : Metrics.counter;
+  wi_detections : Metrics.counter;
+  wi_repartitions : Metrics.counter;
+  wi_migrations : Metrics.counter;
+  wi_unchanged : Metrics.counter;
+  wi_rejected : Metrics.counter;
+}
+
+let make_watch_instruments reg =
+  let open Metrics in
+  {
+    wi_similarity =
+      gauge reg ~help:"Window-vs-baseline usage similarity at the last drift check."
+        "coign_drift_similarity";
+    wi_window_pairs =
+      gauge reg ~help:"Distinct pairs carrying window mass at the last drift check."
+        "coign_drift_window_pairs";
+    wi_window_mass =
+      gauge reg ~help:"Decayed observation mass in the window at the last drift check."
+        "coign_drift_window_mass";
+    wi_checks = counter reg ~help:"Drift checks performed." "coign_drift_checks_total";
+    wi_detections =
+      counter reg ~help:"Drift checks that crossed the threshold." "coign_drift_detections_total";
+    wi_repartitions =
+      counter reg ~help:"Placement switches installed by the watch loop."
+        "coign_watch_repartitions_total";
+    wi_migrations =
+      counter reg ~help:"Instances migrated live by watch re-partitions."
+        "coign_watch_migrated_instances_total";
+    wi_unchanged =
+      counter reg ~help:"Drift detections whose re-cut chose the installed placement."
+        "coign_watch_unchanged_cuts_total";
+    wi_rejected =
+      counter reg ~help:"Candidate cuts rejected by constraint validation."
+        "coign_watch_rejected_cuts_total";
+  }
+
+type watch_config = {
+  wc_session : Analysis.Session.t;
+  wc_net : Net_profiler.t;
+  wc_threshold : float;
+  wc_check_every : int;
+  wc_min_dwell_us : float;
+  wc_min_window : float;
+  wc_half_life_us : float;
+  wc_sample_every : int;
+  wc_tap : Tap.sink option;
+}
+
+let watch ?(threshold = 0.90) ?(check_every = 256) ?(min_dwell_us = 50_000.)
+    ?(min_window = 32.) ?(half_life_us = 200_000.) ?(sample_every = 16) ?tap ~net session =
+  if not (threshold >= 0. && threshold <= 1.) then
+    invalid_arg "Rte.watch: threshold must be in [0, 1]";
+  if check_every < 1 then invalid_arg "Rte.watch: check_every must be >= 1";
+  {
+    wc_session = session;
+    wc_net = net;
+    wc_threshold = threshold;
+    wc_check_every = check_every;
+    wc_min_dwell_us = min_dwell_us;
+    wc_min_window = min_window;
+    wc_half_life_us = half_life_us;
+    wc_sample_every = sample_every;
+    wc_tap = tap;
+  }
+
+type watch_action =
+  | W_steady
+  | W_unchanged
+  | W_repartitioned of { wa_migrated : int; wa_left : int; wa_servers : int }
+  | W_rejected of int  (* constraint violations in the candidate cut *)
+
+type watch_checkpoint = {
+  wk_at_us : float;
+  wk_similarity : float;
+  wk_window_pairs : int;
+  wk_action : watch_action;
+}
+
+(* Mutable watch state: window, adopted baseline, installed cut. *)
+type watch = {
+  w_config : watch_config;
+  w_window : Window.t;
+  (* Always present: besides feeding the optional sink, the tap's
+     seeded sampler decides which observations get their message sizes
+     measured — the window's byte dimension. *)
+  w_tap : Tap.t;
+  w_obs : watch_instruments option;
+  w_safe : bool array;          (* per-classification migration safety *)
+  w_prof_share : float array;   (* profile's per-pair message share *)
+  w_prof_byte_share : float array;  (* profile's per-pair byte share *)
+  w_scale : Icc_graph.scale;    (* scratch scale vectors, pair-id order *)
+  mutable w_baseline : Drift.signature;        (* message counts *)
+  mutable w_baseline_bytes : Drift.signature;  (* byte volumes *)
+  mutable w_current : Analysis.distribution;
+  mutable w_last_switch_us : float;
+  mutable w_since_check : int;
+  mutable w_checks : int;
+  mutable w_detections : int;
+  mutable w_repartitions : int;
+  mutable w_migrations : int;
+  mutable w_unchanged : int;
+  mutable w_rejected : int;
+  mutable w_last_similarity : float;
+  mutable w_timeline : watch_checkpoint list;  (* reversed *)
+}
+
 (* Mutable resilience state: breaker, current rung, counters. *)
 type resil = {
   r_ladder : Fallback.t;
@@ -141,6 +256,7 @@ type mode =
       m_retry : Fault.retry_policy;
       m_retry_rng : Prng.t;    (* backoff jitter: its own stream *)
       m_resil : resil option;
+      m_watch : watch option;
     }
 
 type t = {
@@ -186,6 +302,7 @@ type distributed_config = {
   dc_faults : Fault.spec option;
   dc_retry : Fault.retry_policy;
   dc_resilience : resilience_config option;
+  dc_watch : watch_config option;
 }
 
 (* One master seed, one stream per stochastic concern. The jitter
@@ -196,6 +313,7 @@ type distributed_config = {
 let jitter_seed seed = seed
 let retry_seed seed = Prng.stream seed 1
 let fault_seed seed = Prng.stream seed 2
+let watch_seed seed = Prng.stream seed 3
 
 let classification_of t inst =
   if inst = Runtime.main_instance then -1
@@ -219,13 +337,20 @@ let resil_span t ~name ~at_us args =
       let id = Trace.open_span tr ~name ~cat:"resilience" ~at_us in
       Trace.close_span tr ~args id ~at_us
 
-(* Switch the placement map to another rung of the fallback ladder and
-   migrate the instances the static remotability facts mark safe; the
-   rest stay where they are (their calls may strand on the breaker). *)
-let switch_rung t m_factory r ~to_rung ~at_us =
-  let from_rung = r.r_rung in
-  let rung = Fallback.rung r.r_ladder to_rung in
-  let dist = rung.Fallback.rg_distribution in
+(* Zero-duration marker span for a watch-loop decision. *)
+let watch_span t ~name ~at_us args =
+  match t.obs_tracer with
+  | None -> ()
+  | Some tr ->
+      let id = Trace.open_span tr ~name ~cat:"watch" ~at_us in
+      Trace.close_span tr ~args id ~at_us
+
+(* Atomically install [dist] as the factory policy and migrate every
+   live instance the safety predicate allows to its new home; the rest
+   stay where they are. Shared by failover rung switches and watch
+   re-partitions. Returns (migrated, left behind, moves in instance
+   order). *)
+let migrate_instances t m_factory ~safe ~dist =
   Factory.set_policy m_factory (Factory.By_classification dist);
   let migrated = ref 0 and left = ref 0 and moved = ref [] in
   List.iter
@@ -237,7 +362,7 @@ let switch_rung t m_factory r ~to_rung ~at_us =
           else machine
         in
         if target <> machine then
-          if Fallback.migration_safe r.r_ladder c then begin
+          if safe c then begin
             Factory.record_instance m_factory ~inst target;
             moved := (inst, c, machine, target) :: !moved;
             incr migrated
@@ -245,12 +370,39 @@ let switch_rung t m_factory r ~to_rung ~at_us =
           else incr left
       end)
     (Factory.instances m_factory);
+  (!migrated, !left, List.rev !moved)
+
+(* Per-instance migration events, after the aggregate event. *)
+let log_migrations t ~at_int moved =
+  List.iter
+    (fun (inst, c, machine, target) ->
+      t.logger.Logger.log
+        (Event.Instance_migrated
+           {
+             at_us = at_int;
+             inst;
+             classification = c;
+             from_loc = Constraints.location_name machine;
+             to_loc = Constraints.location_name target;
+           }))
+    moved
+
+(* Switch the placement map to another rung of the fallback ladder and
+   migrate the instances the static remotability facts mark safe; the
+   rest stay where they are (their calls may strand on the breaker). *)
+let switch_rung t m_factory r ~to_rung ~at_us =
+  let from_rung = r.r_rung in
+  let rung = Fallback.rung r.r_ladder to_rung in
+  let dist = rung.Fallback.rg_distribution in
+  let migrated, left, moved =
+    migrate_instances t m_factory ~safe:(Fallback.migration_safe r.r_ladder) ~dist
+  in
   r.r_rung <- to_rung;
-  r.r_migrations <- r.r_migrations + !migrated;
+  r.r_migrations <- r.r_migrations + migrated;
   (match r.r_obs with
   | None -> ()
   | Some ri ->
-      Metrics.inc_int ri.ri_migrations !migrated;
+      Metrics.inc_int ri.ri_migrations migrated;
       Metrics.set ri.ri_rung (float_of_int to_rung));
   let at_int = int_of_float at_us in
   if to_rung > from_rung then begin
@@ -263,15 +415,15 @@ let switch_rung t m_factory r ~to_rung ~at_us =
            rung = rung.Fallback.rg_name;
            from_rung;
            to_rung;
-           migrated = !migrated;
-           stranded = !left;
+           migrated;
+           stranded = left;
          });
     resil_span t ~name:"failover" ~at_us
       [
         ("from_rung", Jsonu.Int from_rung);
         ("to_rung", Jsonu.Int to_rung);
-        ("migrated", Jsonu.Int !migrated);
-        ("stranded", Jsonu.Int !left);
+        ("migrated", Jsonu.Int migrated);
+        ("stranded", Jsonu.Int left);
       ]
   end
   else begin
@@ -284,27 +436,16 @@ let switch_rung t m_factory r ~to_rung ~at_us =
            rung = rung.Fallback.rg_name;
            from_rung;
            to_rung;
-           migrated = !migrated;
+           migrated;
          });
     resil_span t ~name:"failback" ~at_us
       [
         ("from_rung", Jsonu.Int from_rung);
         ("to_rung", Jsonu.Int to_rung);
-        ("migrated", Jsonu.Int !migrated);
+        ("migrated", Jsonu.Int migrated);
       ]
   end;
-  List.iter
-    (fun (inst, c, machine, target) ->
-      t.logger.Logger.log
-        (Event.Instance_migrated
-           {
-             at_us = at_int;
-             inst;
-             classification = c;
-             from_loc = Constraints.location_name machine;
-             to_loc = Constraints.location_name target;
-           }))
-    (List.rev !moved)
+  log_migrations t ~at_int moved
 
 (* React to a breaker transition: count it, log it, and move along the
    ladder — down a rung when the breaker opens, back to the primary
@@ -343,6 +484,183 @@ let resil_on_transition t m_factory r (tr : Health.transition) =
            { at_us = at_int; probes = (Health.policy r.r_health).Health.hp_probe_successes });
       resil_span t ~name:"breaker.close" ~at_us [];
       if r.r_rung <> 0 then switch_rung t m_factory r ~to_rung:0 ~at_us
+
+(* The window said usage drifted: re-price the profiled graph with the
+   window's per-pair volumes, validate the candidate cut, and — when it
+   differs from the installed one — atomically switch the factory and
+   migrate the statically-safe instances. Either way the window
+   snapshot becomes the new comparison baseline, so similarity snaps
+   back to 1 and the loop cannot flap on the same shift. *)
+let watch_repartition t m_factory w ~now ~similarity =
+  let cfg = w.w_config in
+  let adopt_baseline () =
+    w.w_baseline <- Window.signature_at w.w_window ~now_us:now;
+    w.w_baseline_bytes <- Window.byte_signature_at w.w_window ~now_us:now;
+    w.w_last_switch_us <- now
+  in
+  let counts = Window.counts_at w.w_window ~now_us:now in
+  let win_total = Window.total_at w.w_window ~now_us:now in
+  let bytes = Window.bytes_at w.w_window ~now_us:now in
+  let byte_total = Window.byte_total_at w.w_window ~now_us:now in
+  for p = 0 to Array.length w.w_scale.Icc_graph.sc_messages - 1 do
+    let ms = counts.(p) /. win_total /. w.w_prof_share.(p) in
+    w.w_scale.Icc_graph.sc_messages.(p) <- ms;
+    (* Pairs the profile priced by count alone (no measured bytes), or
+       a window that has not yet seen a remote payload, fall back to
+       the message multiplier: the byte dimension carries no signal. *)
+    w.w_scale.Icc_graph.sc_bytes.(p) <-
+      (if byte_total = 0. || w.w_prof_byte_share.(p) = 0. then ms
+       else bytes.(p) /. byte_total /. w.w_prof_byte_share.(p))
+  done;
+  let candidate = Analysis.Session.solve cfg.wc_session ~scale:w.w_scale ~net:cfg.wc_net in
+  let violations =
+    Analysis.validate
+      ~classifier:(Analysis.Session.classifier cfg.wc_session)
+      ~constraints:(Analysis.Session.constraints cfg.wc_session)
+      candidate
+  in
+  if violations <> [] then begin
+    (* Cannot happen for a cut the session itself computed (the
+       constraint edges are infinite), but the lint gate is cheap and
+       keeps a bad candidate from ever reaching the factory. *)
+    w.w_rejected <- w.w_rejected + 1;
+    (match w.w_obs with None -> () | Some wi -> Metrics.inc wi.wi_rejected);
+    w.w_last_switch_us <- now;
+    W_rejected (List.length violations)
+  end
+  else if candidate.Analysis.placement = w.w_current.Analysis.placement then begin
+    w.w_unchanged <- w.w_unchanged + 1;
+    (match w.w_obs with None -> () | Some wi -> Metrics.inc wi.wi_unchanged);
+    adopt_baseline ();
+    W_unchanged
+  end
+  else begin
+    let from_servers = w.w_current.Analysis.server_count in
+    let migrated, left, moved =
+      migrate_instances t m_factory
+        ~safe:(fun c -> c >= 0 && c < Array.length w.w_safe && w.w_safe.(c))
+        ~dist:candidate
+    in
+    w.w_repartitions <- w.w_repartitions + 1;
+    w.w_migrations <- w.w_migrations + migrated;
+    (match w.w_obs with
+    | None -> ()
+    | Some wi ->
+        Metrics.inc wi.wi_repartitions;
+        Metrics.inc_int wi.wi_migrations migrated);
+    let at_int = int_of_float now in
+    t.logger.Logger.log
+      (Event.Repartitioned
+         {
+           at_us = at_int;
+           similarity;
+           from_servers;
+           to_servers = candidate.Analysis.server_count;
+           migrated;
+           left;
+         });
+    watch_span t ~name:"repartition" ~at_us:now
+      [
+        ("similarity", Jsonu.Float similarity);
+        ("migrated", Jsonu.Int migrated);
+        ("left", Jsonu.Int left);
+        ("servers", Jsonu.Int candidate.Analysis.server_count);
+      ];
+    log_migrations t ~at_int moved;
+    w.w_current <- candidate;
+    adopt_baseline ();
+    W_repartitioned
+      { wa_migrated = migrated; wa_left = left; wa_servers = candidate.Analysis.server_count }
+  end
+
+(* One drift check on the virtual clock: compare the decayed window
+   signature against the adopted baseline; below the threshold — with
+   enough evidence in the window and outside the dwell period — re-cut. *)
+let watch_check t m_factory w ~now =
+  let cfg = w.w_config in
+  w.w_checks <- w.w_checks + 1;
+  let signature = Window.signature_at w.w_window ~now_us:now in
+  (* Drift in either dimension is drift: a usage shift that keeps the
+     call mix but fattens payloads only moves the byte signature. The
+     byte dimension is built from the tap's subsample, so it only
+     speaks once enough sampled sizes back it. *)
+  let count_sim = Drift.similarity w.w_baseline signature in
+  let similarity =
+    if float_of_int (Window.byte_observed w.w_window) < cfg.wc_min_window then count_sim
+    else
+      Float.min count_sim
+        (Drift.similarity w.w_baseline_bytes
+           (Window.byte_signature_at w.w_window ~now_us:now))
+  in
+  let window_pairs = Drift.pair_count signature in
+  let mass = Window.total_at w.w_window ~now_us:now in
+  w.w_last_similarity <- similarity;
+  (match w.w_obs with
+  | None -> ()
+  | Some wi ->
+      Metrics.inc wi.wi_checks;
+      Metrics.set wi.wi_similarity similarity;
+      Metrics.set wi.wi_window_pairs (float_of_int window_pairs);
+      Metrics.set wi.wi_window_mass mass);
+  let drifted =
+    similarity < cfg.wc_threshold
+    && mass >= cfg.wc_min_window
+    && now -. w.w_last_switch_us >= cfg.wc_min_dwell_us
+  in
+  let action =
+    if not drifted then W_steady
+    else begin
+      w.w_detections <- w.w_detections + 1;
+      (match w.w_obs with None -> () | Some wi -> Metrics.inc wi.wi_detections);
+      t.logger.Logger.log
+        (Event.Drift_detected
+           { at_us = int_of_float now; similarity; threshold = cfg.wc_threshold; window_pairs });
+      watch_span t ~name:"drift" ~at_us:now
+        [
+          ("similarity", Jsonu.Float similarity);
+          ("threshold", Jsonu.Float cfg.wc_threshold);
+          ("window_pairs", Jsonu.Int window_pairs);
+        ];
+      watch_repartition t m_factory w ~now ~similarity
+    end
+  in
+  w.w_timeline <-
+    { wk_at_us = now; wk_similarity = similarity; wk_window_pairs = window_pairs;
+      wk_action = action }
+    :: w.w_timeline
+
+(* Feed one observation into the window (and the tap's sink, when one
+   is attached), and run a drift check every [wc_check_every]
+   observations. Counts are exact — every observation lands in the
+   window — but message sizes are walked only for the tap's seeded
+   1-in-k subsample ([measure] runs solely for selected observations),
+   local and remote calls alike, so the window's per-pair byte shares
+   estimate the full traffic without per-call measurement cost.
+   Called before the observed call is routed, so a re-cut applies to
+   the very call that triggered it — the staleness bound. *)
+let watch_observe t m_factory w ~kind ~caller_cls ~callee_cls ~measure =
+  let now = sim_now t in
+  let bytes =
+    if Tap.accept w.w_tap then begin
+      let b = measure () in
+      Tap.emit w.w_tap
+        {
+          Tap.ob_at_us = now;
+          ob_kind = kind;
+          ob_caller = caller_cls;
+          ob_callee = callee_cls;
+          ob_bytes = b;
+        };
+      b
+    end
+    else 0
+  in
+  Window.observe w.w_window ~at_us:now ~caller:caller_cls ~callee:callee_cls ~bytes;
+  w.w_since_check <- w.w_since_check + 1;
+  if w.w_since_check >= w.w_config.wc_check_every then begin
+    w.w_since_check <- 0;
+    watch_check t m_factory w ~now
+  end
 
 (* Mint (or reuse) the Coign-instrumented wrapper for a raw handle. *)
 let rec wrap t raw_h =
@@ -443,8 +761,17 @@ and intercept_run t raw_h ~meth args =
              request_bytes = sizes.Informer.request_bytes;
              reply_bytes = sizes.Informer.reply_bytes;
            })
-  | M_distributed { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng; m_resil }
+  | M_distributed
+      { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng; m_resil; m_watch }
     ->
+      (match m_watch with
+      | None -> ()
+      | Some w ->
+          watch_observe t m_factory w ~kind:Tap.Call
+            ~caller_cls:(classification_of t caller) ~callee_cls:callee_classification
+            ~measure:(fun () ->
+              let sizes = Informer.measure_call itype ~meth ~ins:args ~outs ~ret in
+              sizes.Informer.request_bytes + sizes.Informer.reply_bytes));
       let src = Factory.machine_of m_factory caller in
       let dst = Factory.machine_of m_factory callee in
       if src <> dst then begin
@@ -654,8 +981,19 @@ and on_create_run t (req : Runtime.create_request) =
   in
   (match t.mode with
   | M_profiling -> ()
-  | M_distributed { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng; m_resil }
+  | M_distributed
+      { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng; m_resil; m_watch }
     ->
+      (match m_watch with
+      | None -> ()
+      | Some w ->
+          (* An instantiation request costs a fixed-size round trip
+             (see [forwarded] below) whether or not it crosses
+             machines; that pair of messages is its measured size. *)
+          watch_observe t m_factory w ~kind:Tap.Create
+            ~caller_cls:(classification_of t creator) ~callee_cls:classification
+            ~measure:(fun () ->
+              (2 * Marshal_size.scalar_overhead) + (2 * 16) + Marshal_size.objref_size));
       let creator_machine = Factory.machine_of m_factory creator in
       let machine = Factory.decide m_factory ~classification ~cname ~creator_machine in
       let machine =
@@ -835,9 +1173,78 @@ let install_profiling ?loggers ?tracer ?metrics ~classifier ctx =
   install ?loggers ?tracer ?metrics ~classifier ~mode:M_profiling ctx
 
 let install_distributed ?loggers ?tracer ?metrics ~classifier ~config ctx =
+  (match (config.dc_watch, config.dc_resilience) with
+  | Some _, Some _ ->
+      (* Both layers drive the factory policy; arbitrating between a
+         failover rung and a freshly-cut placement is out of scope. *)
+      invalid_arg "Rte.install_distributed: dc_watch and dc_resilience cannot be combined"
+  | _ -> ());
   (* The main program lives on the client. *)
   let factory = Factory.create ?metrics config.dc_factory_policy in
   Factory.record_instance factory ~inst:Runtime.main_instance Constraints.Client;
+  let watch_state =
+    Option.map
+      (fun wc ->
+        let dist =
+          match config.dc_factory_policy with
+          | Factory.By_classification d -> d
+          | _ ->
+              invalid_arg
+                "Rte.install_distributed: dc_watch requires a By_classification policy"
+        in
+        let graph = Analysis.Session.graph wc.wc_session in
+        let main = Icc_graph.main_node graph in
+        let cls v = if v = main then -1 else v in
+        (* Graph pairs in pair-id order, mapped from node space to
+           unordered classification space — the window's slot layout,
+           so a window snapshot is directly a scale vector. *)
+        let pairs =
+          Array.init (Icc_graph.pair_count graph) (fun p ->
+              let a, b = Icc_graph.pair graph p in
+              let ca = cls a and cb = cls b in
+              (min ca cb, max ca cb))
+        in
+        let msgs = Icc_graph.pair_messages graph in
+        let total = Array.fold_left ( +. ) 0. msgs in
+        let pbytes = Icc_graph.pair_bytes graph in
+        let byte_total = Array.fold_left ( +. ) 0. pbytes in
+        {
+          w_config = wc;
+          w_window = Window.create ~half_life_us:wc.wc_half_life_us ~pairs;
+          w_tap =
+            Tap.create ~sample_every:wc.wc_sample_every ~seed:(watch_seed config.dc_seed)
+              (Option.value ~default:Tap.null_sink wc.wc_tap);
+          w_obs = Option.map make_watch_instruments metrics;
+          w_safe = Analysis.Session.migration_safety wc.wc_session;
+          w_prof_share = Array.map (fun m -> m /. total) msgs;
+          w_prof_byte_share =
+            (if byte_total = 0. then Array.map (fun _ -> 0.) pbytes
+             else Array.map (fun b -> b /. byte_total) pbytes);
+          w_scale =
+            {
+              Icc_graph.sc_messages = Array.make (Icc_graph.pair_count graph) 1.;
+              sc_bytes = Array.make (Icc_graph.pair_count graph) 1.;
+            };
+          w_baseline =
+            Drift.of_weights
+              (Array.to_list (Array.mapi (fun p key -> (key, msgs.(p))) pairs));
+          w_baseline_bytes =
+            Drift.of_weights
+              (Array.to_list (Array.mapi (fun p key -> (key, pbytes.(p))) pairs));
+          w_current = dist;
+          w_last_switch_us = 0.;
+          w_since_check = 0;
+          w_checks = 0;
+          w_detections = 0;
+          w_repartitions = 0;
+          w_migrations = 0;
+          w_unchanged = 0;
+          w_rejected = 0;
+          w_last_similarity = 1.;
+          w_timeline = [];
+        })
+      config.dc_watch
+  in
   let resil =
     Option.map
       (fun rc ->
@@ -872,6 +1279,7 @@ let install_distributed ?loggers ?tracer ?metrics ~classifier ~config ctx =
            m_retry = config.dc_retry;
            m_retry_rng = Prng.create (retry_seed config.dc_seed);
            m_resil = resil;
+           m_watch = watch_state;
          })
     ctx
 
@@ -909,6 +1317,20 @@ let resil_of t =
 let link_health t = Option.map (fun r -> r.r_health) (resil_of t)
 let current_rung t = match resil_of t with None -> 0 | Some r -> r.r_rung
 
+let watch_of t =
+  match t.mode with
+  | M_profiling | M_distributed { m_watch = None; _ } -> None
+  | M_distributed { m_watch = Some w; _ } -> Some w
+
+let watch_timeline t = match watch_of t with None -> [] | Some w -> List.rev w.w_timeline
+let watch_placement t = Option.map (fun w -> w.w_current) (watch_of t)
+
+let watch_window_signature t =
+  Option.map (fun w -> Window.signature_at w.w_window ~now_us:(sim_now t)) (watch_of t)
+
+let watch_tap_counts t =
+  Option.map (fun w -> (Tap.offered w.w_tap, Tap.sampled w.w_tap)) (watch_of t)
+
 type stats = {
   st_comm_us : float;
   st_remote_calls : int;
@@ -930,11 +1352,22 @@ type stats = {
   st_stranded_calls : int;
   st_rescued_calls : int;
   st_final_rung : int;
+  (* Watch counters — all zero (similarity 1) unless a watch was
+     installed. *)
+  st_drift_checks : int;
+  st_drift_detections : int;
+  st_repartitions : int;
+  st_watch_migrations : int;
+  st_unchanged_cuts : int;
+  st_rejected_cuts : int;
+  st_last_similarity : float;
 }
 
 let stats t =
   let r = resil_of t in
   let ri f = match r with None -> 0 | Some r -> f r in
+  let w = watch_of t in
+  let wi f = match w with None -> 0 | Some w -> f w in
   {
     st_comm_us = t.comm;
     st_remote_calls = t.n_remote_calls;
@@ -954,4 +1387,11 @@ let stats t =
     st_stranded_calls = ri (fun r -> r.r_stranded);
     st_rescued_calls = ri (fun r -> r.r_rescued);
     st_final_rung = ri (fun r -> r.r_rung);
+    st_drift_checks = wi (fun w -> w.w_checks);
+    st_drift_detections = wi (fun w -> w.w_detections);
+    st_repartitions = wi (fun w -> w.w_repartitions);
+    st_watch_migrations = wi (fun w -> w.w_migrations);
+    st_unchanged_cuts = wi (fun w -> w.w_unchanged);
+    st_rejected_cuts = wi (fun w -> w.w_rejected);
+    st_last_similarity = (match w with None -> 1. | Some w -> w.w_last_similarity);
   }

@@ -60,6 +60,56 @@ val resilience :
 (** Convenience constructor: {!Coign_netsim.Health.default_policy} and
     8 probe rounds unless overridden. *)
 
+type watch_config = {
+  wc_session : Analysis.Session.t;
+      (** the analysis session the re-cut re-prices — its classifier
+          must be the one the RTE runs under *)
+  wc_net : Coign_netsim.Net_profiler.t;
+      (** network profile candidate cuts are priced against *)
+  wc_threshold : float;  (** drift fires below this similarity *)
+  wc_check_every : int;  (** observations between drift checks *)
+  wc_min_dwell_us : float;
+      (** minimum virtual time between placement decisions — the
+          staleness bound, and half the anti-flap hysteresis *)
+  wc_min_window : float;
+      (** minimum decayed window mass before drift is trusted *)
+  wc_half_life_us : float;  (** window decay half-life *)
+  wc_sample_every : int;    (** tap thinning: expect 1-in-k offered *)
+  wc_tap : Coign_obs.Tap.sink option;
+      (** where sampled observations stream; [None] detaches the tap
+          entirely *)
+}
+
+val watch :
+  ?threshold:float ->
+  ?check_every:int ->
+  ?min_dwell_us:float ->
+  ?min_window:float ->
+  ?half_life_us:float ->
+  ?sample_every:int ->
+  ?tap:Coign_obs.Tap.sink ->
+  net:Coign_netsim.Net_profiler.t ->
+  Analysis.Session.t ->
+  watch_config
+(** Convenience constructor: threshold 0.90, a check every 256
+    observations, 50 ms dwell, window mass 32, 200 ms half-life,
+    1-in-16 tap sampling. Raises on a threshold outside [0, 1] or a
+    non-positive check cadence. *)
+
+(** One drift-check outcome in the watch timeline. *)
+type watch_action =
+  | W_steady        (** no drift (or gated by dwell/mass) *)
+  | W_unchanged     (** drifted, but the re-cut chose the installed placement *)
+  | W_repartitioned of { wa_migrated : int; wa_left : int; wa_servers : int }
+  | W_rejected of int  (** candidate cut failed constraint validation *)
+
+type watch_checkpoint = {
+  wk_at_us : float;        (** virtual time of the check *)
+  wk_similarity : float;
+  wk_window_pairs : int;
+  wk_action : watch_action;
+}
+
 type distributed_config = {
   dc_factory_policy : Factory.policy;
   dc_network : Coign_netsim.Network.t;   (** ground-truth network *)
@@ -79,6 +129,15 @@ type distributed_config = {
                             ladder; [None] (the default everywhere)
                             runs the PR 3 retry-only path, bit for
                             bit *)
+  dc_watch : watch_config option;
+                        (** online drift watch and bounded-staleness
+                            re-partitioning; [None] (the default
+                            everywhere) runs the static placement, bit
+                            for bit. Mutually exclusive with
+                            [dc_resilience] — both drive the factory
+                            policy — and requires a
+                            [Factory.By_classification] policy as the
+                            initial placement *)
 }
 
 val install_distributed :
@@ -119,7 +178,27 @@ val install_distributed :
     logged ({!Event.Breaker_opened} etc.), traced (category
     ["resilience"]) and counted ([coign_resilience_*] metrics and
     {!stats}). With [dc_resilience = None] the run is bit-identical to
-    one without the resilience layer compiled in. *)
+    one without the resilience layer compiled in.
+
+    With [dc_watch], every intercepted call and create also feeds an
+    exponentially-decayed observation window ({!Window}) and, when a
+    tap sink is attached, a seeded 1-in-k sample stream
+    ({!Coign_obs.Tap} on {!Coign_util.Prng.stream} 3 of [dc_seed] —
+    attaching or detaching the tap never perturbs jitter, backoff or
+    fault draws). Every [wc_check_every] observations the RTE compares
+    the window signature against the adopted baseline
+    ({!Drift.similarity}); below [wc_threshold] it logs
+    {!Event.Drift_detected}, re-prices the analysis session with the
+    window's per-pair volumes ([Session.solve ~scale]), lint-validates
+    the candidate cut, and — when the placement actually changes —
+    atomically switches the factory and migrates the statically-safe
+    instances, logging {!Event.Repartitioned} and per-instance
+    {!Event.Instance_migrated}. The window snapshot then becomes the
+    new baseline and a [wc_min_dwell_us] dwell starts, so the loop
+    cannot flap on the shift it just absorbed. Checks run on the
+    virtual clock before the observed call is routed, so a re-cut
+    applies to the very call that triggered it. With [dc_watch = None]
+    the run is bit-identical to one without the watch compiled in. *)
 
 val uninstall : t -> unit
 (** Remove all hooks; the context reverts to plain local execution. *)
@@ -175,6 +254,13 @@ type stats = {
   st_rescued_calls : int;  (** failed calls completed locally after
                                failover *)
   st_final_rung : int;     (** rung installed when the run ended *)
+  st_drift_checks : int;       (** drift checks run (zero without a watch) *)
+  st_drift_detections : int;   (** checks that crossed the threshold *)
+  st_repartitions : int;       (** placement switches the watch installed *)
+  st_watch_migrations : int;   (** instances moved by those switches *)
+  st_unchanged_cuts : int;     (** detections whose re-cut kept the placement *)
+  st_rejected_cuts : int;      (** candidate cuts failing validation *)
+  st_last_similarity : float;  (** similarity at the last check (1 without) *)
 }
 
 val stats : t -> stats
@@ -185,6 +271,21 @@ val link_health : t -> Coign_netsim.Health.t option
 
 val current_rung : t -> int
 (** Fallback rung currently installed (0 without resilience). *)
+
+val watch_timeline : t -> watch_checkpoint list
+(** Every drift check the watch ran, in virtual-time order (empty
+    without a watch). *)
+
+val watch_placement : t -> Analysis.distribution option
+(** The distribution the watch currently has installed — the initial
+    policy's until the first repartition. *)
+
+val watch_window_signature : t -> Drift.signature option
+(** The observation window's decayed signature as of {!sim_now}. *)
+
+val watch_tap_counts : t -> (int * int) option
+(** [(offered, sampled)] tap counts, when a watch with an attached tap
+    is installed. *)
 
 val machine_of_instance : t -> int -> Constraints.location
 

@@ -97,9 +97,28 @@ let histogram_sum = Exp_bucket.total_bytes
 
 (* --- exposition ---------------------------------------------------- *)
 
+(* The Prometheus text format is not JSON: label values escape exactly
+   backslash, double-quote, and line-feed; HELP text escapes backslash
+   and line-feed (it is not quoted, so quotes stay raw). Anything else
+   — tabs included — passes through as-is. *)
+let prometheus_escape ~quote v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf {|\\|}
+      | '"' when quote -> Buffer.add_string buf {|\"|}
+      | '\n' -> Buffer.add_string buf {|\n|}
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_label_value = prometheus_escape ~quote:true
+let escape_help = prometheus_escape ~quote:false
+
 let label_body labels =
   String.concat ","
-    (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (Jsonu.escape v)) labels)
+    (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
 
 let labeled name labels =
   if labels = [] then name else Printf.sprintf "%s{%s}" name (label_body labels)
@@ -119,7 +138,8 @@ let prometheus reg =
   List.iter
     (fun fa ->
       if fa.fa_help <> "" then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" fa.fa_name fa.fa_help);
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" fa.fa_name (escape_help fa.fa_help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fa.fa_name fa.fa_kind);
       List.iter
         (fun se ->

@@ -55,6 +55,16 @@ val observe : histogram -> int -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> int
 
+val escape_label_value : string -> string
+(** Prometheus text-format escaping for a quoted label value: exactly
+    backslash, double-quote, and line-feed gain a backslash; every
+    other byte — tabs included — passes through raw. The format is not
+    JSON; JSON escaping would corrupt values a scraper reads back. *)
+
+val escape_help : string -> string
+(** Escaping for [# HELP] text, which is unquoted: backslash and
+    line-feed only — a double-quote stays raw. *)
+
 val prometheus : registry -> string
 (** Text exposition: [# HELP] / [# TYPE] headers and one
     [name{labels} value] line per series; histograms render cumulative

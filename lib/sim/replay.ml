@@ -107,7 +107,7 @@ let replay ?faults ?(retry = Fault.default_retry) ~events ~placement ~network ()
       | Event.Component_destroyed _ | Event.Interface_instantiated _
       | Event.Interface_destroyed _ | Event.Call_retried _ | Event.Instantiation_degraded _
       | Event.Breaker_opened _ | Event.Breaker_closed _ | Event.Failover _ | Event.Failback _
-      | Event.Instance_migrated _
+      | Event.Instance_migrated _ | Event.Drift_detected _ | Event.Repartitioned _
         ->
           ())
     events;

@@ -138,6 +138,30 @@ let test_load_golden_octarine () =
              ]);
         Alcotest.(check string) "load text golden" (read_file golden) (read_file out))
 
+let test_watch_golden_octarine () =
+  let golden = "golden/watch_octarine.txt" in
+  if not (Sys.file_exists exe && Sys.file_exists golden) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let img = Filename.concat dir "oct.img" in
+        let out1 = Filename.concat dir "watch1.txt" in
+        let out4 = Filename.concat dir "watch4.txt" in
+        check_ok "instrument" (run_cmd [ "instrument"; "--app"; "octarine"; "-o"; img ]);
+        let watch_args jobs out =
+          run_cmd_to out
+            [
+              "watch"; img; "--profile"; "o_oldwp0"; "--phases";
+              "o_oldwp0;o_oldwp7,o_oldwp7,o_oldwp7;o_oldwp7,o_oldwp7,o_oldwp7";
+              "--jobs"; jobs;
+            ]
+        in
+        check_ok "watch" (watch_args "1" out1);
+        Alcotest.(check string) "watch text golden" (read_file golden) (read_file out1);
+        (* The three regimes evaluate on separate domains without
+           changing a byte of the report. *)
+        check_ok "watch --jobs 4" (watch_args "4" out4);
+        Alcotest.(check string) "jobs byte-identical" (read_file out1) (read_file out4))
+
 let test_load_golden_ingest () =
   let golden = "golden/load_ingest.txt" in
   if not (Sys.file_exists exe && Sys.file_exists golden) then Alcotest.skip ()
@@ -181,4 +205,5 @@ let suite =
     Alcotest.test_case "cli trace/metrics json" `Slow test_trace_chrome_and_metrics_parse;
     Alcotest.test_case "cli load golden octarine" `Slow test_load_golden_octarine;
     Alcotest.test_case "cli load golden ingest" `Slow test_load_golden_ingest;
+    Alcotest.test_case "cli watch golden octarine" `Slow test_watch_golden_octarine;
   ]

@@ -268,6 +268,59 @@ let test_constraints_of_image () =
   Alcotest.(check (option bool)) "free unpinned" None
     (Option.map (fun l -> l = Constraints.Client) (Constraints.class_pin c ~cname:"Free.Thing"))
 
+(* --- Drift signatures ----------------------------------------------- *)
+
+let test_drift_similarity_hand_computed () =
+  (* cos(a, b) = a·b / (|a||b|), computed by hand for small vectors. *)
+  let sig_of l = Drift.of_counts l in
+  let a = sig_of [ ((0, 1), 3); ((1, 2), 4) ] in
+  Alcotest.(check (float 1e-12)) "identical" 1. (Drift.similarity a a);
+  let scaled = sig_of [ ((0, 1), 30); ((1, 2), 40) ] in
+  Alcotest.(check (float 1e-12)) "scale invariant" 1. (Drift.similarity a scaled);
+  let orthogonal = sig_of [ ((2, 3), 7) ] in
+  Alcotest.(check (float 1e-12)) "disjoint pairs" 0. (Drift.similarity a orthogonal);
+  (* (3,4)·(4,3) / 25 = 24/25 *)
+  let b = sig_of [ ((0, 1), 4); ((1, 2), 3) ] in
+  Alcotest.(check (float 1e-12)) "24/25" 0.96 (Drift.similarity a b);
+  (* (1,0)·(1,1) / (1·sqrt 2) = 1/sqrt 2 *)
+  let unit = sig_of [ ((0, 1), 1) ] in
+  let diag = sig_of [ ((0, 1), 1); ((1, 2), 1) ] in
+  Alcotest.(check (float 1e-12)) "1/sqrt2" (1. /. sqrt 2.) (Drift.similarity unit diag);
+  Alcotest.(check (float 1e-12)) "both empty" 1. (Drift.similarity (sig_of []) (sig_of []));
+  Alcotest.(check (float 1e-12)) "empty vs non-empty" 0. (Drift.similarity (sig_of []) a);
+  Alcotest.(check bool) "drifted below threshold" true
+    (Drift.drifted ~threshold:0.97 ~profile:a b);
+  Alcotest.(check bool) "not drifted above threshold" false
+    (Drift.drifted ~threshold:0.95 ~profile:a b)
+
+let gen_signature =
+  QCheck.Gen.(
+    list_size (int_bound 12)
+      (pair (pair (int_bound 6) (int_bound 6)) (int_range 1 1000))
+    >|= Drift.of_counts)
+
+let arb_signature =
+  QCheck.make
+    ~print:(fun s ->
+      String.concat ";"
+        (List.map
+           (fun ((a, b), w) -> Printf.sprintf "(%d,%d)=%g" a b w)
+           (Drift.entries s)))
+    gen_signature
+
+let qcheck_drift_symmetric =
+  QCheck.Test.make ~name:"drift similarity is symmetric" ~count:300
+    (QCheck.pair arb_signature arb_signature)
+    (fun (a, b) -> Float.abs (Drift.similarity a b -. Drift.similarity b a) < 1e-12)
+
+let qcheck_drift_unit_interval =
+  QCheck.Test.make ~name:"drift similarity lies in [0,1], self = 1" ~count:300
+    (QCheck.pair arb_signature arb_signature)
+    (fun (a, b) ->
+      let s = Drift.similarity a b in
+      s >= 0. && s <= 1. +. 1e-12
+      && (Drift.pair_count a = 0 || Float.abs (Drift.similarity a a -. 1.) < 1e-12))
+
 let suite =
   [
     Alcotest.test_case "shadow stack order" `Quick test_shadow_stack_order;
@@ -290,4 +343,8 @@ let suite =
     Alcotest.test_case "constraints merge conflict" `Quick test_constraints_merge_conflict;
     Alcotest.test_case "constraints colocate dedup" `Quick test_constraints_colocate_dedup;
     Alcotest.test_case "constraints of image" `Quick test_constraints_of_image;
+    Alcotest.test_case "drift similarity hand computed" `Quick
+      test_drift_similarity_hand_computed;
+    qtest qcheck_drift_symmetric;
+    qtest qcheck_drift_unit_interval;
   ]

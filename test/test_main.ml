@@ -18,6 +18,7 @@ let () =
       ("apps", Test_apps.suite);
       ("sim", Test_sim.suite);
       ("loadsim", Test_loadsim.suite);
+      ("watch", Test_watch.suite);
       ("extensions", Test_extensions.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);

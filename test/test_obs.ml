@@ -82,6 +82,16 @@ let all_event_shapes =
     Event.Failback { at_us = 28_500; rung = "primary"; from_rung = 1; to_rung = 0; migrated = 0 };
     Event.Instance_migrated
       { at_us = 9_000; inst = 3; classification = 1; from_loc = "server0"; to_loc = "client" };
+    Event.Drift_detected { at_us = 848_137; similarity = 0.714; threshold = 0.9; window_pairs = 78 };
+    Event.Repartitioned
+      {
+        at_us = 848_137;
+        similarity = 0.714;
+        from_servers = 2;
+        to_servers = 3;
+        migrated = 2;
+        left = 0;
+      };
   ]
 
 let test_event_json_roundtrip_all_constructors () =
@@ -174,6 +184,20 @@ let gen_event =
         s >>= fun from_loc ->
         s >>= fun to_loc ->
         return (Event.Instance_migrated { at_us; inst; classification; from_loc; to_loc }) );
+      ( i >>= fun at_us ->
+        float_bound_inclusive 1. >>= fun similarity ->
+        float_bound_inclusive 1. >>= fun threshold ->
+        i >>= fun window_pairs ->
+        return (Event.Drift_detected { at_us; similarity; threshold; window_pairs }) );
+      ( i >>= fun at_us ->
+        float_bound_inclusive 1. >>= fun similarity ->
+        i >>= fun from_servers ->
+        i >>= fun to_servers ->
+        i >>= fun migrated ->
+        i >>= fun left ->
+        return
+          (Event.Repartitioned { at_us; similarity; from_servers; to_servers; migrated; left })
+      );
     ]
 
 let qcheck_event_roundtrip =
@@ -251,6 +275,7 @@ let test_tally_key_stability () =
       ("call_retried", 1);
       ("component_destroyed", 1);
       ("component_instantiated", 1);
+      ("drift_detected", 1);
       ("failback", 1);
       ("failover", 1);
       ("instance_migrated", 1);
@@ -258,6 +283,7 @@ let test_tally_key_stability () =
       ("interface_call", 1);
       ("interface_destroyed", 1);
       ("interface_instantiated", 1);
+      ("repartitioned", 1);
     ]
     (read ())
 
@@ -334,6 +360,53 @@ let test_metrics_exposition_deterministic () =
   Alcotest.(check bool) "cumulative +Inf bucket" true
     (contains "coign_bytes_bucket{dir=\"request\",le=\"+Inf\"} 2");
   Alcotest.(check bool) "histogram sum" true (contains "coign_bytes_sum{dir=\"request\"} 90100")
+
+let test_prometheus_escaping () =
+  (* The exposition format escapes exactly three characters in quoted
+     label values — not JSON's repertoire. Per character: *)
+  Alcotest.(check string) "backslash" {|a\\b|} (Metrics.escape_label_value {|a\b|});
+  Alcotest.(check string) "double quote" {|a\"b|} (Metrics.escape_label_value {|a"b|});
+  Alcotest.(check string) "line feed" {|a\nb|} (Metrics.escape_label_value "a\nb");
+  Alcotest.(check string) "tab passes raw" "a\tb" (Metrics.escape_label_value "a\tb");
+  Alcotest.(check string) "carriage return passes raw" "a\rb"
+    (Metrics.escape_label_value "a\rb");
+  Alcotest.(check string) "high byte passes raw" "caf\xc3\xa9"
+    (Metrics.escape_label_value "caf\xc3\xa9");
+  Alcotest.(check string) "empty" "" (Metrics.escape_label_value "");
+  (* HELP text is unquoted: backslash and line feed only. *)
+  Alcotest.(check string) "help backslash" {|a\\b|} (Metrics.escape_help {|a\b|});
+  Alcotest.(check string) "help line feed" {|a\nb|} (Metrics.escape_help "a\nb");
+  Alcotest.(check string) "help quote stays raw" {|a"b|} (Metrics.escape_help {|a"b|})
+
+let test_prometheus_escaping_end_to_end () =
+  (* The tricky characters, pushed through the full exposition. *)
+  let reg = Metrics.registry () in
+  let c =
+    Metrics.counter reg ~help:"line1\nline2 back\\slash \"quoted\""
+      ~labels:[ ("path", "C:\\tmp\n\"x\"\ttail") ]
+      "coign_esc_total"
+  in
+  Metrics.inc c;
+  let text = Metrics.prometheus reg in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.equal (String.sub text i n) sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "label value escaped" true
+    (contains "path=\"C:\\\\tmp\\n\\\"x\\\"\ttail\"");
+  Alcotest.(check bool) "help escaped, quotes raw" true
+    (contains "# HELP coign_esc_total line1\\nline2 back\\\\slash \"quoted\"");
+  (* The multi-line help and label value must not smuggle raw line
+     feeds into the exposition: every line still starts as a comment or
+     a series sample. *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        Alcotest.(check bool) "line starts with # or the family name" true
+          (String.length line >= 1
+          && (line.[0] = '#' || String.length line >= 9 && String.sub line 0 9 = "coign_esc")))
+    (String.split_on_char '\n' text)
 
 let test_metrics_json_parses () =
   let j = Jsonu.parse_exn (Metrics.to_json_string (sample_registry ())) in
@@ -589,6 +662,9 @@ let suite =
     Alcotest.test_case "metrics histogram" `Quick test_metrics_histogram;
     Alcotest.test_case "metrics exposition deterministic" `Quick
       test_metrics_exposition_deterministic;
+    Alcotest.test_case "prometheus escaping per character" `Quick test_prometheus_escaping;
+    Alcotest.test_case "prometheus escaping end to end" `Quick
+      test_prometheus_escaping_end_to_end;
     Alcotest.test_case "metrics json parses" `Quick test_metrics_json_parses;
     Alcotest.test_case "trace nesting and emission order" `Quick
       test_trace_nesting_and_emission_order;

@@ -193,6 +193,7 @@ let discover =
              dc_faults = None;
              dc_retry = fixed_retry;
              dc_resilience = None;
+             dc_watch = None;
            }
          ctx
      in
@@ -249,6 +250,7 @@ let run_resil ?faults ?resilience ?(policy = None) ~rounds () =
           dc_faults = faults;
           dc_retry = fixed_retry;
           dc_resilience = resilience;
+          dc_watch = None;
         }
       ctx
   in

@@ -155,6 +155,7 @@ let distributed_config policy =
     dc_faults = None;
     dc_retry = Coign_netsim.Fault.default_retry;
     dc_resilience = None;
+    dc_watch = None;
   }
 
 let run_distributed policy rounds =
@@ -201,6 +202,7 @@ let test_jitter_perturbs () =
             dc_faults = None;
             dc_retry = Coign_netsim.Fault.default_retry;
             dc_resilience = None;
+            dc_watch = None;
           }
         ctx
     in

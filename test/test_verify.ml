@@ -402,6 +402,7 @@ let vdiscover =
              dc_faults = None;
              dc_retry = fixed_retry;
              dc_resilience = None;
+             dc_watch = None;
            }
          ctx
      in
@@ -472,6 +473,7 @@ let test_rte_unsafe_migration_faults () =
           dc_faults = Some { Fault.zero with Fault.fs_partitions_us = [ (4_000., 1e9) ] };
           dc_retry = fixed_retry;
           dc_resilience = Some (Rte.resilience ~health:breaker_policy ladder);
+          dc_watch = None;
         }
       ctx
   in
