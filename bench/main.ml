@@ -6,7 +6,7 @@
    Usage: dune exec bench/main.exe [-- section ...] [--json FILE]
    Sections: table1 table2 table3 fig4 fig5 fig6 fig7 fig8 table4
              table5 overhead adaptive multiway drift whatif session
-             micro faultsim obs resilience verify load watch
+             micro faultsim obs resilience verify load watch fleet
              (default: all).
 
    --json FILE additionally writes the machine-readable results of the
@@ -673,6 +673,7 @@ let drift () =
             dc_faults = None;
             dc_retry = Coign_netsim.Fault.default_retry;
             dc_resilience = None;
+            dc_fleet = None;
             dc_watch = None;
           }
         ctx
@@ -1238,6 +1239,7 @@ let watch_bench () =
             dc_faults = None;
             dc_retry = Coign_netsim.Fault.default_retry;
             dc_resilience = None;
+            dc_fleet = None;
             dc_watch = wc;
           }
         ctx
@@ -1331,6 +1333,104 @@ let watch_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+let fleet_bench () =
+  section_header "Extension: Replicated Server Fleet"
+    "ISSUE 10 (k-way pool, replica failover, pool-elastic ladder) acceptance criterion";
+  let netw = Coign_netsim.Network.ethernet_10 in
+  let apps =
+    [ (Octarine.app, "o_oldwp0"); (Photodraw.app, "p_oldmsr"); (Benefits.app, "b_vueone") ]
+  in
+  let grids =
+    List.map
+      (fun (app, sc_id) ->
+        let sc = App.scenario app sc_id in
+        let registry = app.App.app_registry in
+        let image = Adps.instrument app.App.app_image in
+        let image, _ = Adps.profile ~image ~registry sc.App.sc_run in
+        let grid = Fleetsim.run ~seed:0x5EEDL ~image ~registry ~network:netw sc.App.sc_run in
+        (app.App.app_name, sc_id, grid))
+      apps
+  in
+  let t =
+    Tablefmt.create
+      [
+        ("App / scenario", Tablefmt.Left); ("Pool", Tablefmt.Right);
+        ("Serve (ladder)", Tablefmt.Right); ("Serve (fleet)", Tablefmt.Right);
+        ("Promos", Tablefmt.Right); ("Splits", Tablefmt.Right); ("Resizes", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun (name, sc_id, grid) ->
+      List.iter
+        (fun c ->
+          if c.Fleetsim.fr_regime = Fleetsim.Crash && c.Fleetsim.fr_pool > 1 then
+            Tablefmt.add_row t
+              [
+                Printf.sprintf "%s %s" name sc_id; string_of_int c.Fleetsim.fr_pool;
+                Tablefmt.cell_float ~decimals:3 (Fleetsim.served grid c.Fleetsim.fr_baseline);
+                Tablefmt.cell_float ~decimals:3 (Fleetsim.served grid c.Fleetsim.fr_fleet);
+                string_of_int c.Fleetsim.fr_fleet_stats.Rte.fs_promotions;
+                string_of_int c.Fleetsim.fr_fleet_stats.Rte.fs_splits;
+                string_of_int c.Fleetsim.fr_fleet_stats.Rte.fs_resizes;
+              ])
+        grid.Fleetsim.fg_cells)
+    grids;
+  print_string (Tablefmt.render t);
+  (* Gate 1: every pool-of-one cell is bit-identical to the two-host
+     resilience path — the install-time identity rewrite did fire. *)
+  let all_identical =
+    List.for_all
+      (fun (_, _, grid) ->
+        List.for_all
+          (fun c -> c.Fleetsim.fr_pool <> 1 || c.Fleetsim.fr_identical = Some true)
+          grid.Fleetsim.fg_cells)
+      grids
+  in
+  (* Gate 2: under the single-host crash, every replicated pool serves
+     strictly more of its remote calls than the two-host ladder, on at
+     least two of the three applications. *)
+  let improved =
+    List.length
+      (List.filter
+         (fun (_, _, grid) ->
+           let crash =
+             List.filter
+               (fun c -> c.Fleetsim.fr_regime = Fleetsim.Crash && c.Fleetsim.fr_pool > 1)
+               grid.Fleetsim.fg_cells
+           in
+           crash <> []
+           && List.for_all
+                (fun c ->
+                  Fleetsim.served grid c.Fleetsim.fr_fleet
+                  > Fleetsim.served grid c.Fleetsim.fr_baseline)
+                crash)
+         grids)
+  in
+  Printf.printf
+    "pool-of-one runs %s with the two-host ladder; under a 500 ms single-host\n\
+     crash the replicated pool serves strictly more remote calls on %d of %d\n\
+     applications.\n"
+    (if all_identical then "bit-identical" else "DIFFER (BUG)")
+    improved (List.length grids);
+  add_json "fleet"
+    (Printf.sprintf
+       "{\"all_pool1_identical\": %b, \"crash_improved_apps\": %d, \"apps\": [%s]}"
+       all_identical improved
+       (String.concat ", "
+          (List.map
+             (fun (name, sc_id, grid) ->
+               Printf.sprintf "{\"app\": \"%s\", \"scenario\": \"%s\", \"grid\": %s}"
+                 (json_escape name) (json_escape sc_id) (Fleetsim.to_json grid))
+             grids)));
+  if not all_identical then exit 3;
+  if improved < 2 then exit 3;
+  note
+    "Expected shape: a pool of one is rewritten at install time into the plain\n\
+     resilience configuration, so those rows tie bit for bit; wider pools ride\n\
+     out the crash by promoting the dead host's shards onto standing replicas,\n\
+     so the fleet keeps serving remotely while the ladder has already retreated\n\
+     to its all-client rung.\n"
+
 let sections =
   [
     ("table1", table1); ("table2", table2); ("table3", table3); ("fig4", fig4);
@@ -1339,7 +1439,7 @@ let sections =
     ("multiway", multiway); ("drift", drift); ("whatif", whatif);
     ("session", session_bench); ("micro", micro); ("faultsim", faultsim_bench);
     ("obs", obs_bench); ("resilience", resilience_bench); ("verify", verify_bench);
-    ("load", load_bench); ("watch", watch_bench);
+    ("load", load_bench); ("watch", watch_bench); ("fleet", fleet_bench);
   ]
 
 let () =

@@ -162,6 +162,21 @@ let watch_gates fresh =
             (Printf.sprintf "%.0fus -> %.0fus" stale watched)
       | _ -> skip "watch: steady-state comm reduced" "fields missing")
 
+let fleet_gates fresh =
+  match section "fleet" fresh with
+  | None -> skip "fleet: replicated-pool gates" "no fleet section in NEW"
+  | Some s ->
+      (match J.member "all_pool1_identical" s with
+      | Some (J.Bool b) ->
+          check "fleet: pool-of-one bit-identical to the ladder" b
+            (Printf.sprintf "all_pool1_identical=%b" b)
+      | _ -> skip "fleet: pool-of-one bit-identical to the ladder" "field missing");
+      (match number (J.member "crash_improved_apps" s) with
+      | Some n ->
+          check "fleet: crash served-ratio strictly better on >=2 apps" (n >= 2.)
+            (Printf.sprintf "improved on %.0f apps" n)
+      | None -> skip "fleet: crash served-ratio strictly better on >=2 apps" "field missing")
+
 let within_gates ~min_speedup fresh =
   (match session_fields fresh with
   | None -> skip "session: identical" "no session section in NEW"
@@ -183,7 +198,8 @@ let within_gates ~min_speedup fresh =
       check "micro: rtf within 8x of dinic" (r <= 8.)
         (Printf.sprintf "rtf/dinic=%.2fx" r));
   load_gates fresh;
-  watch_gates fresh
+  watch_gates fresh;
+  fleet_gates fresh
 
 let cross_gates ~tolerance ~old_path fresh old =
   Printf.printf "-- comparing against %s (tolerance %.0f%%)\n" old_path

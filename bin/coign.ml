@@ -283,9 +283,23 @@ let verify_cmd =
             "Domains exploring initial-event subtrees concurrently: 1 (default) = \
              sequential, 0 = one per core. The output is identical either way.")
   in
-  let run image_path network depth jobs json strict =
+  let pool_size_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pool" ] ~docv:"K"
+          ~doc:
+            "Verify the pool-elastic ladder at this widest pool size (at most 3): the model \
+             gains a host dimension and the explorer interleaves replica promotions and \
+             pool resizes alongside failovers. 1 (default) checks the classic two-host \
+             ladder.")
+  in
+  let run image_path network depth jobs pool_size json strict =
     if depth < 1 then begin
       Printf.eprintf "error: --depth must be >= 1\n";
+      exit 1
+    end;
+    if pool_size < 1 || pool_size > V.Model.max_pool_size then begin
+      Printf.eprintf "error: --pool must be in [1, %d]\n" V.Model.max_pool_size;
       exit 1
     end;
     if jobs < 0 then begin
@@ -315,9 +329,42 @@ let verify_cmd =
           let p = Parallel.create ~domains:(n - 1) () in
           (Some p, Some p)
     in
-    let ladder = Adps.fallback_ladder ?pool ~image ~net () in
+    let base_ladder = Adps.fallback_ladder ?pool ~image ~net () in
+    (* With --pool > 1, the checked ladder is the pool-elastic one:
+       every pool rung contributes its underlying two-way cut, and the
+       model carries each rung's host count so the explorer can
+       interleave promotions and resizes. At --pool 1 this is exactly
+       the base ladder. *)
+    let ladder, pool_sizes =
+      if pool_size = 1 then (base_ladder, None)
+      else begin
+        let pl =
+          try
+            Fallback.pool_ladder ~hosts:pool_size session
+              ~net:(Net_profiler.exact network) base_ladder
+          with Invalid_argument msg | Fallback.Invalid msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        in
+        let k = Fallback.pool_rung_count pl in
+        let rungs =
+          List.init k (fun i ->
+              let pr = Fallback.pool_rung_at pl i in
+              { Fallback.rg_name = pr.Fallback.pr_name;
+                rg_distribution = pr.Fallback.pr_distribution })
+        in
+        let sizes =
+          List.init k (fun i ->
+              (Fallback.pool_rung_at pl i).Fallback.pr_shape.Coign_core.Pool.sh_hosts)
+        in
+        ( Fallback.of_rungs
+            ~migration_safe:(Fallback.migration_safety_table (Fallback.pool_base pl))
+            rungs,
+          Some sizes )
+      end
+    in
     let truth = Fallback.migration_safety session in
-    let model = V.Model.build ~classifier ~icc ~ladder ~truth () in
+    let model = V.Model.build ?pool_sizes ~classifier ~icc ~ladder ~truth () in
     let result = V.Explore.run ?pool ~depth model in
     Option.iter Parallel.shutdown owned;
     (* I2: every rung honours the static constraints.  The terminal
@@ -430,7 +477,8 @@ let verify_cmd =
   in
   let term =
     Term.(
-      const run $ image_arg $ network_arg $ depth_arg $ jobs_arg $ json_arg $ strict_arg)
+      const run $ image_arg $ network_arg $ depth_arg $ jobs_arg $ pool_size_arg $ json_arg
+      $ strict_arg)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -832,6 +880,156 @@ let resilience_cmd =
           scenario both ways and tabulates availability, communication delta, breaker \
           activity, and the final fallback rung. Deterministic: the seed fixes the whole \
           schedule, across any number of jobs.")
+    term
+
+(* fleet ------------------------------------------------------------ *)
+
+let fleet_cmd =
+  let pool_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Largest pool size in the grid; every size from 1 to $(docv) is run. Size 1 is \
+             the PR 5 two-host resilience path bit for bit, and the grid checks that.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Live replicas per migration-safe shard (clamped to each rung's host count). \
+             Replicated shards survive a host loss by promotion instead of a pool resize.")
+  in
+  let fault_len_arg =
+    Arg.(
+      value & opt float 500.
+      & info [ "fault-ms" ] ~docv:"MS"
+          ~doc:
+            "Length in milliseconds of the fault window the crash and partition regimes \
+             apply (crash: one host's link; partition: the whole network).")
+  in
+  let fault_start_arg =
+    Arg.(
+      value & opt float 50.
+      & info [ "fault-start-ms" ] ~docv:"MS"
+          ~doc:"Where the fault window opens on the run's virtual clock.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0x5EED
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Master seed; jitter, backoff, fault verdicts, and each pool host's fault \
+             stream derive their own substream.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "jitter" ] ~docv:"R" ~doc:"Relative stddev of per-message time noise.")
+  in
+  let cooloff_arg =
+    Arg.(
+      value
+      & opt float (Coign_netsim.Health.default_policy.Coign_netsim.Health.hp_cooloff_us /. 1e3)
+      & info [ "cooloff-ms" ] ~docv:"MS"
+          ~doc:"Initial circuit-breaker cooloff in milliseconds (virtual clock).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt int Coign_netsim.Health.default_policy.Coign_netsim.Health.hp_failure_threshold
+      & info [ "failure-threshold" ] ~docv:"N"
+          ~doc:"Consecutive link failures that trip a host's breaker.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the grid as a JSON array.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains running grid cells concurrently: 1 = sequential, 0 (default) = one per \
+             core. The output is identical either way.")
+  in
+  let run image_path scenario_id network pool_size replicas fault_ms start_ms seed jitter
+      cooloff_ms threshold json jobs self_profile =
+    if pool_size < 1 || replicas < 1 then begin
+      Printf.eprintf "error: --pool and --replicas must be >= 1\n";
+      exit 1
+    end;
+    if fault_ms <= 0. || start_ms < 0. then begin
+      Printf.eprintf "error: --fault-ms must be > 0 and --fault-start-ms >= 0\n";
+      exit 1
+    end;
+    if jobs < 0 then begin
+      Printf.eprintf "error: --jobs must be >= 0\n";
+      exit 1
+    end;
+    if cooloff_ms <= 0. || threshold < 1 then begin
+      Printf.eprintf "error: --cooloff-ms must be > 0 and --failure-threshold >= 1\n";
+      exit 1
+    end;
+    let image = Binary_image.load image_path in
+    let app = app_of_image image in
+    let sc = scenario_of app scenario_id in
+    let health =
+      {
+        Coign_netsim.Health.default_policy with
+        Coign_netsim.Health.hp_failure_threshold = threshold;
+        hp_cooloff_us = cooloff_ms *. 1e3;
+      }
+    in
+    let pool, owned =
+      match jobs with
+      | 1 -> (None, None)
+      | 0 -> (Some (Parallel.default ()), None)
+      | n ->
+          let p = Parallel.create ~domains:(n - 1) () in
+          (Some p, Some p)
+    in
+    let profiler = if self_profile then Some (Coign_obs.Profiler.create ()) else None in
+    let grid =
+      try
+        Coign_sim.Fleetsim.run ?pool ?profiler ~seed:(Int64.of_int seed) ~jitter ~health
+          ~replicas
+          ~pools:(List.init pool_size (fun i -> i + 1))
+          ~fault_window_us:(start_ms *. 1e3, (start_ms +. fault_ms) *. 1e3)
+          ~image ~registry:app.App.app_registry ~network sc.App.sc_run
+      with
+      | Invalid_argument msg | Coign_core.Fallback.Invalid msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      | Coign_core.Fallback.Decode_error e ->
+          Printf.eprintf "error: %s\n" (Coign_core.Fallback.decode_error_message e);
+          exit 1
+      | Lint.Rejected diags ->
+          Format.eprintf "%a" Lint.pp_text diags;
+          Printf.eprintf "error: distribution rejected by the static validator\n";
+          exit 1
+    in
+    Option.iter Parallel.shutdown owned;
+    if json then print_string (Coign_sim.Fleetsim.to_json grid)
+    else Format.printf "@[<v>%a@]@?" Coign_sim.Fleetsim.pp_text grid;
+    Option.iter print_self_profile profiler
+  in
+  let term =
+    Term.(
+      const run $ image_arg $ scenario_arg $ network_arg $ pool_arg $ replicas_arg
+      $ fault_len_arg $ fault_start_arg $ seed_arg $ jitter_arg $ cooloff_arg $ threshold_arg
+      $ json_arg $ jobs_arg $ self_profile_arg)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Compare a replicated server pool (k-way sharding, per-replica circuit breakers, \
+          hot-shard splitting, pool-elastic fallback rungs) against the two-host resilience \
+          ladder across an availability grid: for each pool size and fault regime (clean, \
+          single-host crash, global partition) the scenario runs both ways and the grid \
+          tabulates availability, the served-remote ratio, and promotion/split/resize \
+          activity. A pool of one must match the resilience path bit for bit. \
+          Deterministic: the seed fixes the whole schedule, across any number of jobs.")
     term
 
 (* trace ------------------------------------------------------------ *)
@@ -1285,6 +1483,6 @@ let () =
           (Cmd.info "coign" ~version:"1.0.0" ~doc)
           [
             instrument_cmd; profile_cmd; combine_cmd; lint_cmd; verify_cmd; analyze_cmd; sweep_cmd;
-            faultsim_cmd; resilience_cmd; load_cmd; watch_cmd; trace_cmd; metrics_cmd;
+            faultsim_cmd; resilience_cmd; fleet_cmd; load_cmd; watch_cmd; trace_cmd; metrics_cmd;
             show_cmd; run_cmd; list_cmd;
           ]))

@@ -39,6 +39,7 @@ let run_distributed image (app : App.t) (sc : App.scenario) =
           dc_faults = None;
           dc_retry = Fault.default_retry;
           dc_resilience = None;
+          dc_fleet = None;
           dc_watch = None;
         }
       ctx

@@ -184,9 +184,9 @@ type exec_stats = {
   es_last_similarity : float;
 }
 
-let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy ~network
+let execute_with_policy_full ?loggers ?tracer ?metrics ~registry ~classifier ~policy ~network
     ?(jitter = 0.) ?(seed = 0x5EEDL) ?faults ?(retry = Coign_netsim.Fault.default_retry)
-    ?resilience ?watch scenario =
+    ?resilience ?watch ?fleet scenario =
   let ctx = Runtime.create_ctx registry in
   let rte =
     Rte.install_distributed ?loggers ?tracer ?metrics ~classifier
@@ -200,6 +200,7 @@ let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy 
           dc_retry = retry;
           dc_resilience = resilience;
           dc_watch = watch;
+          dc_fleet = fleet;
         }
       ctx
   in
@@ -216,6 +217,7 @@ let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy 
   let st = Rte.stats rte in
   let comm = st.Rte.st_comm_us in
   let compute = Runtime.compute_us ctx in
+  let stats =
   {
     es_comm_us = comm;
     es_compute_us = compute;
@@ -253,6 +255,14 @@ let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy 
     es_rejected_cuts = st.Rte.st_rejected_cuts;
     es_last_similarity = st.Rte.st_last_similarity;
   }
+  in
+  (stats, Rte.fleet_stats rte)
+
+let execute_with_policy ?loggers ?tracer ?metrics ~registry ~classifier ~policy ~network
+    ?jitter ?seed ?faults ?retry ?resilience ?watch scenario =
+  fst
+    (execute_with_policy_full ?loggers ?tracer ?metrics ~registry ~classifier ~policy ~network
+       ?jitter ?seed ?faults ?retry ?resilience ?watch scenario)
 
 let execute ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?faults ?retry
     ?resilience ?watch scenario =
@@ -266,6 +276,47 @@ let execute ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?f
         ~policy:(Factory.By_classification distribution) ~network ?jitter ?seed ?faults ?retry
         ?resilience ?watch scenario
 
+(* Pool runs report fleet counters alongside the shared stats. When
+   the install-time identity gate rewrote a pool of one into the plain
+   resilience path, the RTE holds no fleet state — synthesize the
+   counters from the shared set (promotions, splits and resizes are
+   structurally zero with a single host). *)
+let execute_fleet ?loggers ?tracer ?metrics ~image ~registry ~network ?jitter ?seed ?faults
+    ?retry ~fleet scenario =
+  let config = config_of image in
+  if Config_record.mode config <> Config_record.Distributed then
+    invalid_arg "Adps.execute_fleet: image is not in distributed mode";
+  match load_distribution image with
+  | None -> invalid_arg "Adps.execute_fleet: image holds no distribution"
+  | Some (classifier, distribution) ->
+      let stats, fs =
+        execute_with_policy_full ?loggers ?tracer ?metrics ~registry ~classifier
+          ~policy:(Factory.By_classification distribution) ~network ?jitter ?seed ?faults
+          ?retry ~fleet scenario
+      in
+      let fs =
+        match fs with
+        | Some fs -> fs
+        | None ->
+            {
+              Rte.fs_breaker_opens = stats.es_breaker_opens;
+              fs_breaker_closes = stats.es_breaker_closes;
+              fs_failovers = stats.es_failovers;
+              fs_failbacks = stats.es_failbacks;
+              fs_migrations = stats.es_migrations;
+              fs_stranded_calls = stats.es_stranded_calls;
+              fs_rescued_calls = stats.es_rescued_calls;
+              fs_promotions = 0;
+              fs_splits = 0;
+              fs_resizes = 0;
+              fs_inter_host_calls = 0;
+              fs_final_rung = stats.es_final_rung;
+              fs_final_hosts = 1;
+              fs_final_shards = 1;
+            }
+      in
+      (stats, fs)
+
 (* Build the resilience ladder for a profiled image: rung 0 is the
    image's stored distribution when it has one (so failback restores
    exactly the analyzed cut) and a fresh solve of the same session
@@ -275,6 +326,16 @@ let fallback_ladder ?algorithm ?profiler ?metrics ?pool ?modes ~image ~net () =
   let session = analysis_session ?profiler image in
   let primary = Option.map snd (load_distribution image) in
   Fallback.compute ?algorithm ?profiler ?metrics ?pool ?modes ?primary session ~net ()
+
+(* Build the pool-elastic ladder for a profiled image: the two-host
+   ladder above widened to [hosts] machines, sharded and priced over
+   the same analysis session. *)
+let pool_fallback_ladder ?algorithm ?profiler ?metrics ?pool ?modes ?replicas ?map ~hosts
+    ~image ~net () =
+  let session = analysis_session ?profiler image in
+  let primary = Option.map snd (load_distribution image) in
+  let base = Fallback.compute ?algorithm ?profiler ?metrics ?pool ?modes ?primary session ~net () in
+  Fallback.pool_ladder ?replicas ?map ~hosts session ~net base
 
 (* Build a watch for a profiled image: the drift loop re-prices the
    same session the offline analyzer would use, under the same merged

@@ -199,6 +199,26 @@ val execute_with_policy :
 (** Run under an explicit placement policy — used to measure the
     application's default (developer-chosen) distribution. *)
 
+val execute_fleet :
+  ?loggers:Logger.t list ->
+  ?tracer:Coign_obs.Trace.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
+  image:Coign_image.Binary_image.t ->
+  registry:Coign_com.Runtime.registry ->
+  network:Coign_netsim.Network.t ->
+  ?jitter:float -> ?seed:int64 ->
+  ?faults:Coign_netsim.Fault.spec -> ?retry:Coign_netsim.Fault.retry_policy ->
+  fleet:Rte.fleet_config ->
+  scenario ->
+  exec_stats * Rte.fleet_stats
+(** {!execute} under a replicated server pool ({!Rte.fleet_config}),
+    returning the pool counters alongside the shared stats. When the
+    install-time identity gate rewrote a pool of one into the plain
+    resilience path, the fleet counters are synthesized from the
+    shared set (promotions, splits and resizes zero, one host, one
+    shard) — the run itself is bit-identical to {!execute} with the
+    equivalent [resilience]. *)
+
 val watch :
   ?profiler:Coign_obs.Profiler.t ->
   ?extra_constraints:Constraints.t ->
@@ -236,3 +256,21 @@ val fallback_ladder :
     re-price the same analysis session under the failure-mode profiles
     of [net] ({!Fallback.compute}). Raises [Invalid_argument] if the
     image holds no profile. *)
+
+val pool_fallback_ladder :
+  ?algorithm:Coign_flowgraph.Mincut.algorithm ->
+  ?profiler:Coign_obs.Profiler.t ->
+  ?metrics:Coign_obs.Metrics.registry ->
+  ?pool:Coign_util.Parallel.t ->
+  ?modes:(string * Coign_netsim.Net_profiler.t) list ->
+  ?replicas:int ->
+  ?map:Pool.shard_map ->
+  hosts:int ->
+  image:Coign_image.Binary_image.t ->
+  net:Coign_netsim.Net_profiler.t ->
+  unit ->
+  Fallback.pool_ladder
+(** The pool-elastic ladder for a profiled image: {!fallback_ladder}
+    widened to [hosts] machines ({!Fallback.pool_ladder}), sharded and
+    priced over the same analysis session. Raises [Invalid_argument]
+    if the image holds no profile. *)

@@ -50,6 +50,15 @@ type t =
       migrated : int;
       left : int;
     }
+  | Replica_promoted of { at_us : int; shard : int; from_host : int; to_host : int }
+  | Shard_split of { at_us : int; shard : int; new_shard : int; moved : int; to_host : int }
+  | Pool_resized of {
+      at_us : int;
+      from_hosts : int;
+      to_hosts : int;
+      shards : int;
+      migrated : int;
+    }
 
 let kind_name = function
   | Component_instantiated _ -> "component_instantiated"
@@ -66,6 +75,9 @@ let kind_name = function
   | Instance_migrated _ -> "instance_migrated"
   | Drift_detected _ -> "drift_detected"
   | Repartitioned _ -> "repartitioned"
+  | Replica_promoted _ -> "replica_promoted"
+  | Shard_split _ -> "shard_split"
+  | Pool_resized _ -> "pool_resized"
 
 let fields = function
   | Component_instantiated { inst; cname; classification; creator } ->
@@ -156,6 +168,29 @@ let fields = function
         ("to_servers", Jsonu.Int to_servers);
         ("migrated", Jsonu.Int migrated);
         ("left", Jsonu.Int left);
+      ]
+  | Replica_promoted { at_us; shard; from_host; to_host } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("shard", Jsonu.Int shard);
+        ("from_host", Jsonu.Int from_host);
+        ("to_host", Jsonu.Int to_host);
+      ]
+  | Shard_split { at_us; shard; new_shard; moved; to_host } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("shard", Jsonu.Int shard);
+        ("new_shard", Jsonu.Int new_shard);
+        ("moved", Jsonu.Int moved);
+        ("to_host", Jsonu.Int to_host);
+      ]
+  | Pool_resized { at_us; from_hosts; to_hosts; shards; migrated } ->
+      [
+        ("at_us", Jsonu.Int at_us);
+        ("from_hosts", Jsonu.Int from_hosts);
+        ("to_hosts", Jsonu.Int to_hosts);
+        ("shards", Jsonu.Int shards);
+        ("migrated", Jsonu.Int migrated);
       ]
 
 let to_json e = Jsonu.Obj (("event", Jsonu.Str (kind_name e)) :: fields e)
@@ -290,6 +325,35 @@ let of_json j =
                migrated = int "migrated";
                left = int "left";
              })
+    | Jsonu.Str "replica_promoted" ->
+        Ok
+          (Replica_promoted
+             {
+               at_us = int "at_us";
+               shard = int "shard";
+               from_host = int "from_host";
+               to_host = int "to_host";
+             })
+    | Jsonu.Str "shard_split" ->
+        Ok
+          (Shard_split
+             {
+               at_us = int "at_us";
+               shard = int "shard";
+               new_shard = int "new_shard";
+               moved = int "moved";
+               to_host = int "to_host";
+             })
+    | Jsonu.Str "pool_resized" ->
+        Ok
+          (Pool_resized
+             {
+               at_us = int "at_us";
+               from_hosts = int "from_hosts";
+               to_hosts = int "to_hosts";
+               shards = int "shards";
+               migrated = int "migrated";
+             })
     | Jsonu.Str other -> Error ("unknown event kind " ^ other)
     | _ -> Error "event tag is not a string"
   with Bad msg -> Error msg
@@ -329,3 +393,11 @@ let pp ppf = function
   | Repartitioned { at_us; similarity; from_servers; to_servers; migrated; left } ->
       Format.fprintf ppf "repartition @%dus similarity %.3f, %d -> %d server-side, %d migrated, %d left"
         at_us similarity from_servers to_servers migrated left
+  | Replica_promoted { at_us; shard; from_host; to_host } ->
+      Format.fprintf ppf "promote @%dus shard %d host %d -> %d" at_us shard from_host to_host
+  | Shard_split { at_us; shard; new_shard; moved; to_host } ->
+      Format.fprintf ppf "split @%dus shard %d -> +%d (%d moved) on host %d" at_us shard
+        new_shard moved to_host
+  | Pool_resized { at_us; from_hosts; to_hosts; shards; migrated } ->
+      Format.fprintf ppf "resize @%dus pool %d -> %d hosts (%d shards), %d migrated" at_us
+        from_hosts to_hosts shards migrated

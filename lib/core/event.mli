@@ -86,6 +86,32 @@ type t =
     }
       (** the watch loop re-priced the window through the analysis
           session and atomically installed the new placement *)
+  | Replica_promoted of {
+      at_us : int;
+      shard : int;  (** the shard whose active host changed *)
+      from_host : int;  (** pool host whose breaker opened *)
+      to_host : int;  (** healthy replica host now serving the shard *)
+    }
+      (** a shard's reads and writes were redirected to a standing
+          replica because the active host's breaker opened *)
+  | Shard_split of {
+      at_us : int;
+      shard : int;  (** the hot shard that was split *)
+      new_shard : int;  (** id of the shard carved out of it *)
+      moved : int;  (** classifications moved to the new shard *)
+      to_host : int;  (** pool host the new shard was placed on *)
+    }
+      (** deterministic hot-shard detection split a shard whose decayed
+          traffic share exceeded the split threshold *)
+  | Pool_resized of {
+      at_us : int;
+      from_hosts : int;
+      to_hosts : int;
+      shards : int;  (** shard count after the resize *)
+      migrated : int;  (** instances moved to their new host *)
+    }
+      (** the fleet moved along the pool-elastic fallback ladder,
+          shrinking or growing the server pool *)
 
 val kind_name : t -> string
 (** Stable lowercase tag for each constructor — the key under which

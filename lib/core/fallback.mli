@@ -72,7 +72,94 @@ val migration_safety_table : t -> bool array
     truth) to detect stale or hand-edited tables. *)
 
 val encode : t -> string
+
+type decode_error =
+  | Truncated  (** fewer than header + safety-table lines *)
+  | Bad_header of string  (** header line is not ["k n"] with [k >= 1] *)
+  | Safety_mismatch of { expected : int; got : int }
+      (** safety-table line length disagrees with the header *)
+  | Truncated_rung of int  (** rung [i] is missing lines *)
+  | Bad_rung of { rung : int; msg : string }
+      (** rung [i]'s distribution failed {!Analysis.decode} *)
+  | Rung_node_count of { rung : int; expected : int; got : int }
+      (** rung [i] places a different classification range than the
+          safety table covers — its placement indexes classifications
+          the table knows nothing about *)
+  | Duplicate_placement of { rung : int; first : int }
+      (** rung [i] repeats the placement of an earlier rung — a ladder
+          {!compute} can never produce, and one the RTE's
+          rung-switching logic must not be handed *)
+
+val decode_error_message : decode_error -> string
+
+exception Decode_error of decode_error
+
 val decode : string -> t
-(** Round-trips rung names, distributions and the safety table. *)
+(** Inverse of {!encode}.  Raises {!Decode_error} on malformed input —
+    including duplicate rung placements and rungs whose node count
+    falls outside the safety table's classification range, which older
+    decoders accepted silently. *)
+
+(** {1 Pool-elastic ladder}
+
+    The two-host ladder above degrades by moving classifications
+    between {e two} machines.  A pool ladder generalizes each rung
+    into a {!Pool.shape}: the top rung runs the primary cut's server
+    side sharded across [hosts] machines, intermediate rungs shrink
+    the pool one host at a time, and the final rungs are exactly the
+    base ladder at pool size 1 — so a pool of one is the PR 5
+    resilience path, bit for bit.  Sharding is by component (connected
+    groups under non-remotable edges and co-location constraints, keyed
+    by the component's smallest classification), migration-unsafe
+    components are pinned to shard 0 and never replicated, and each
+    rung is priced through the same abstract-graph pricing as the
+    two-way engine ({!Multiway_analysis.predicted_assignment_us}) with
+    hosts as machines. *)
+
+type pool_rung = {
+  pr_name : string;  (** ["pool-3"], ..., then the base rung's name *)
+  pr_distribution : Analysis.distribution;  (** underlying two-way cut *)
+  pr_shape : Pool.shape;
+  pr_shard_of : int array;
+      (** classification -> shard id, [-1] for client-side (and thus
+          unsharded) classifications *)
+  pr_shard_count : int;
+  pr_replicated : bool array;
+      (** by shard: whether every member is migration-safe, i.e. the
+          shard may keep live replicas and be promoted between hosts *)
+  pr_predicted_us : float;
+      (** priced communication time of the sharded placement: the
+          client/server cut plus inter-host server-server traffic *)
+}
+
+type pool_ladder
+
+val pool_ladder :
+  ?replicas:int ->
+  ?map:Pool.shard_map ->
+  hosts:int ->
+  Analysis.Session.t ->
+  net:Coign_netsim.Net_profiler.t ->
+  t ->
+  pool_ladder
+(** Build the pool ladder over a base (two-host) ladder: rungs
+    [pool-hosts, pool-(hosts-1), ..., pool-2] over the base's primary
+    distribution, then every base rung at pool size 1.  The shard map
+    (default [Hash hosts]) is fixed across the whole ladder — only the
+    host count varies, with shards folding onto fewer hosts modulo the
+    pool size — so a key's shard never changes as the pool breathes.
+    [replicas] (default 2) is clamped to each rung's host count.
+    Raises {!Invalid} on [hosts < 1] or [replicas < 1]. *)
+
+val pool_rung_count : pool_ladder -> int
+val pool_rung_at : pool_ladder -> int -> pool_rung
+val pool_base : pool_ladder -> t
+(** The base ladder the pool ladder was built over (rung names,
+    migration-safety table). *)
+
+val pool_components : pool_ladder -> int array
+(** Classification -> component representative (smallest member).  The
+    granularity below which the RTE must never split a shard. *)
 
 val pp : Format.formatter -> t -> unit
+val pp_pool : Format.formatter -> pool_ladder -> unit

@@ -15,7 +15,8 @@ let profiling ~icc ~inst_comm =
     | Event.Interface_instantiated _ | Event.Interface_destroyed _
     | Event.Call_retried _ | Event.Instantiation_degraded _ | Event.Breaker_opened _
     | Event.Breaker_closed _ | Event.Failover _ | Event.Failback _
-    | Event.Instance_migrated _ | Event.Drift_detected _ | Event.Repartitioned _ ->
+    | Event.Instance_migrated _ | Event.Drift_detected _ | Event.Repartitioned _
+    | Event.Replica_promoted _ | Event.Shard_split _ | Event.Pool_resized _ ->
         ()
   in
   { logger_name = "profiling"; log }

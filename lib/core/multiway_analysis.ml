@@ -9,6 +9,11 @@ type t = {
 
 let ns_of_us us = int_of_float (Float.round (us *. 1000.))
 
+let predicted_assignment_us graph pricing ~assignment =
+  Icc_graph.predicted_us graph pricing ~separated:(fun p ->
+      let a, b = Icc_graph.pair graph p in
+      assignment a <> assignment b)
+
 let choose ~classifier ~icc ~machines ~pins ~net () =
   let machines = Array.of_list machines in
   let k = Array.length machines in
@@ -74,11 +79,7 @@ let choose ~classifier ~icc ~machines ~pins ~net () =
   in
   (* Abstract-graph nodes >= n (the main program) live on machine 0. *)
   let machine_of_node v = if v < 0 || v >= n then 0 else assignment.(v) in
-  let predicted_comm_us =
-    Icc_graph.predicted_us graph pricing ~separated:(fun p ->
-        let a, b = Icc_graph.pair graph p in
-        machine_of_node a <> machine_of_node b)
-  in
+  let predicted_comm_us = predicted_assignment_us graph pricing ~assignment:machine_of_node in
   { machines; assignment; cost_ns = partition.Multiway.cost; predicted_comm_us }
 
 let machine_of t c =

@@ -115,6 +115,61 @@ type resilience_config = {
 let resilience ?(health = Health.default_policy) ?(max_probe_rounds = 8) ladder =
   { rc_ladder = ladder; rc_health = health; rc_max_probe_rounds = max_probe_rounds }
 
+(* Fleet instruments, separate from both base and resilience sets: a
+   run without a pool exposes exactly the metrics it always did. *)
+type fleet_instruments = {
+  fi_promotions : Metrics.counter;
+  fi_splits : Metrics.counter;
+  fi_resizes : Metrics.counter;
+  fi_inter_host : Metrics.counter;
+  fi_hosts : Metrics.gauge;
+  fi_shards : Metrics.gauge;
+}
+
+let make_fleet_instruments reg =
+  let open Metrics in
+  {
+    fi_promotions =
+      counter reg ~help:"Shards redirected to a standing replica on breaker open."
+        "coign_fleet_promotions_total";
+    fi_splits =
+      counter reg ~help:"Hot shards split by the decayed-load detector."
+        "coign_fleet_shard_splits_total";
+    fi_resizes =
+      counter reg ~help:"Pool size changes along the pool-elastic ladder."
+        "coign_fleet_resizes_total";
+    fi_inter_host =
+      counter reg ~help:"Completed server-to-server calls between pool hosts."
+        "coign_fleet_inter_host_calls_total";
+    fi_hosts = gauge reg ~help:"Pool hosts currently serving." "coign_fleet_pool_hosts";
+    fi_shards = gauge reg ~help:"Shards currently mapped." "coign_fleet_shards";
+  }
+
+type fleet_config = {
+  fc_ladder : Fallback.pool_ladder;
+  fc_health : Health.policy;
+  fc_max_probe_rounds : int;
+  fc_split_share : float;
+  fc_check_every : int;
+  fc_half_life_us : float;
+  fc_host_faults : (int * Fault.spec) list;
+}
+
+let fleet ?(health = Health.default_policy) ?(max_probe_rounds = 8) ?(split_share = 0.6)
+    ?(check_every = 64) ?(half_life_us = 200_000.) ?(host_faults = []) ladder =
+  if not (split_share > 0. && split_share <= 1.) then
+    invalid_arg "Rte.fleet: split_share must be in (0, 1]";
+  if check_every < 1 then invalid_arg "Rte.fleet: check_every must be >= 1";
+  {
+    fc_ladder = ladder;
+    fc_health = health;
+    fc_max_probe_rounds = max_probe_rounds;
+    fc_split_share = split_share;
+    fc_check_every = check_every;
+    fc_half_life_us = half_life_us;
+    fc_host_faults = host_faults;
+  }
+
 (* Watch instruments, separate for the same reason as the resilience
    set: a run without a watch exposes exactly the metrics it always
    did. *)
@@ -245,6 +300,36 @@ type resil = {
   mutable r_rescued : int; (* failed calls completed locally after failover *)
 }
 
+(* Mutable fleet state: per-host breakers and fault models, the dynamic
+   shard table (splits grow it), per-shard active hosts, counters. *)
+type fleet = {
+  f_config : fleet_config;
+  f_ladder : Fallback.pool_ladder;
+  f_health : Health.t array; (* one breaker per pool host link *)
+  f_faults : Fault.t option array; (* one fault model per host link *)
+  f_obs : fleet_instruments option;
+  f_safe : bool array; (* per-classification migration safety *)
+  f_component : int array; (* classification -> component representative *)
+  f_comp_safe : bool array; (* by representative: all members safe *)
+  f_window : Window.t; (* per-shard decayed remote-call load *)
+  mutable f_rung : int;
+  mutable f_shard_of : int array; (* classification -> shard (splits update it) *)
+  mutable f_active : int array; (* shard -> host currently serving it *)
+  mutable f_replicated : bool array; (* shard -> may promote to a replica *)
+  mutable f_since_check : int;
+  mutable f_opens : int;
+  mutable f_closes : int;
+  mutable f_failovers : int;
+  mutable f_failbacks : int;
+  mutable f_migrations : int;
+  mutable f_stranded : int;
+  mutable f_rescued : int;
+  mutable f_promotions : int;
+  mutable f_splits : int;
+  mutable f_resizes : int;
+  mutable f_inter_host : int;
+}
+
 type mode =
   | M_profiling
   | M_distributed of {
@@ -257,6 +342,7 @@ type mode =
       m_retry_rng : Prng.t;    (* backoff jitter: its own stream *)
       m_resil : resil option;
       m_watch : watch option;
+      m_fleet : fleet option;
     }
 
 type t = {
@@ -303,6 +389,7 @@ type distributed_config = {
   dc_retry : Fault.retry_policy;
   dc_resilience : resilience_config option;
   dc_watch : watch_config option;
+  dc_fleet : fleet_config option;
 }
 
 (* One master seed, one stream per stochastic concern. The jitter
@@ -314,6 +401,10 @@ let jitter_seed seed = seed
 let retry_seed seed = Prng.stream seed 1
 let fault_seed seed = Prng.stream seed 2
 let watch_seed seed = Prng.stream seed 3
+
+(* Per-host fault-verdict streams for the fleet: streams 8, 9, ... so
+   adding hosts never perturbs the jitter/retry/fault/watch draws. *)
+let host_fault_seed seed h = Prng.stream seed (8 + h)
 
 let classification_of t inst =
   if inst = Runtime.main_instance then -1
@@ -484,6 +575,306 @@ let resil_on_transition t m_factory r (tr : Health.transition) =
            { at_us = at_int; probes = (Health.policy r.r_health).Health.hp_probe_successes });
       resil_span t ~name:"breaker.close" ~at_us [];
       if r.r_rung <> 0 then switch_rung t m_factory r ~to_rung:0 ~at_us
+
+(* --- fleet: k-way pool execution ----------------------------------- *)
+
+let fleet_shape f = (Fallback.pool_rung_at f.f_ladder f.f_rung).Fallback.pr_shape
+
+(* Shard serving a classification: the dynamic table where it speaks,
+   shard 0 for anything outside it (main, run-time classifications,
+   instances stranded server-side by an unsafe migration). *)
+let fleet_shard f c =
+  let s =
+    if c >= 0 && c < Array.length f.f_shard_of && f.f_shard_of.(c) >= 0 then f.f_shard_of.(c)
+    else 0
+  in
+  if s < Array.length f.f_active then s else 0
+
+let fleet_host f c = f.f_active.(fleet_shard f c)
+
+(* The pool host link a remote call rides: the server-side endpoint's
+   active host; for server-to-server traffic, the callee's. *)
+let fleet_link f ~src ~dst ~caller_cls ~callee_cls =
+  match (src, dst) with
+  | Constraints.Client, Constraints.Client -> None
+  | _, Constraints.Server ->
+      let h = fleet_host f callee_cls in
+      if src = Constraints.Server && fleet_host f caller_cls = h then None else Some h
+  | Constraints.Server, Constraints.Client -> Some (fleet_host f caller_cls)
+
+(* Re-home every shard for the current shape: its primary host, unless
+   that breaker is open and a standing replica is healthy — then the
+   first healthy replica in ring order. Deterministic: shards ascend,
+   replica rings are fixed by the shape. *)
+let fleet_reset_actives f ~now =
+  let shape = fleet_shape f in
+  let k = shape.Pool.sh_hosts in
+  Array.iteri
+    (fun s _ ->
+      let primary = s mod k in
+      let serving =
+        if Health.allows f.f_health.(primary) ~now_us:now then primary
+        else if not f.f_replicated.(s) then primary
+        else
+          let rec pick i =
+            if i >= shape.Pool.sh_replicas then primary
+            else
+              let h = (primary + i) mod k in
+              if Health.allows f.f_health.(h) ~now_us:now then h else pick (i + 1)
+          in
+          pick 1
+      in
+      f.f_active.(s) <- serving)
+    f.f_active
+
+(* Switch the pool along the ladder: install the rung's distribution,
+   migrate the statically-safe instances, re-home every shard onto the
+   new host count. Event order matches the two-host path — aggregate
+   Failover/Failback first, then Pool_resized when the host count
+   changed, then the per-instance migrations. *)
+let fleet_switch_rung t m_factory f ~to_rung ~at_us =
+  let from_rung = f.f_rung in
+  let pr = Fallback.pool_rung_at f.f_ladder to_rung in
+  let dist = pr.Fallback.pr_distribution in
+  let from_hosts = (fleet_shape f).Pool.sh_hosts in
+  let to_hosts = pr.Fallback.pr_shape.Pool.sh_hosts in
+  let safe c = c >= 0 && c < Array.length f.f_safe && f.f_safe.(c) in
+  let migrated, left, moved = migrate_instances t m_factory ~safe ~dist in
+  f.f_rung <- to_rung;
+  f.f_migrations <- f.f_migrations + migrated;
+  let at_int = int_of_float at_us in
+  if to_rung > from_rung then begin
+    f.f_failovers <- f.f_failovers + 1;
+    t.logger.Logger.log
+      (Event.Failover
+         {
+           at_us = at_int;
+           rung = pr.Fallback.pr_name;
+           from_rung;
+           to_rung;
+           migrated;
+           stranded = left;
+         });
+    resil_span t ~name:"failover" ~at_us
+      [
+        ("from_rung", Jsonu.Int from_rung);
+        ("to_rung", Jsonu.Int to_rung);
+        ("migrated", Jsonu.Int migrated);
+        ("stranded", Jsonu.Int left);
+      ]
+  end
+  else begin
+    f.f_failbacks <- f.f_failbacks + 1;
+    t.logger.Logger.log
+      (Event.Failback
+         { at_us = at_int; rung = pr.Fallback.pr_name; from_rung; to_rung; migrated });
+    resil_span t ~name:"failback" ~at_us
+      [
+        ("from_rung", Jsonu.Int from_rung);
+        ("to_rung", Jsonu.Int to_rung);
+        ("migrated", Jsonu.Int migrated);
+      ]
+  end;
+  if from_hosts <> to_hosts then begin
+    f.f_resizes <- f.f_resizes + 1;
+    (match f.f_obs with
+    | None -> ()
+    | Some fi ->
+        Metrics.inc fi.fi_resizes;
+        Metrics.set fi.fi_hosts (float_of_int to_hosts));
+    t.logger.Logger.log
+      (Event.Pool_resized
+         {
+           at_us = at_int;
+           from_hosts;
+           to_hosts;
+           shards = Array.length f.f_active;
+           migrated;
+         });
+    resil_span t ~name:"pool.resize" ~at_us
+      [ ("from_hosts", Jsonu.Int from_hosts); ("to_hosts", Jsonu.Int to_hosts) ]
+  end;
+  fleet_reset_actives f ~now:at_us;
+  log_migrations t ~at_int moved
+
+(* React to a per-host breaker transition. An open promotes every shard
+   the host was serving to a healthy replica; a shard with none (or one
+   that may not replicate) forces the whole pool down a rung. A close
+   climbs back to the top rung and re-homes the shards. *)
+let fleet_on_transition t m_factory f ~host (tr : Health.transition) =
+  let at_us = tr.Health.tr_at_us in
+  let at_int = int_of_float at_us in
+  match tr.Health.tr_to with
+  | Health.Half_open ->
+      resil_span t ~name:"breaker.half_open" ~at_us
+        [
+          ("host", Jsonu.Int host);
+          ("cooloff_us", Jsonu.Float (Health.cooloff_us f.f_health.(host)));
+        ]
+  | Health.Open ->
+      f.f_opens <- f.f_opens + 1;
+      t.logger.Logger.log
+        (Event.Breaker_opened
+           {
+             at_us = at_int;
+             failures = Health.consecutive_failures f.f_health.(host);
+             drops = t.n_drops;
+             spikes = t.n_spikes;
+           });
+      resil_span t ~name:"breaker.open" ~at_us
+        [
+          ("host", Jsonu.Int host);
+          ("failures", Jsonu.Int (Health.consecutive_failures f.f_health.(host)));
+        ];
+      let shape = fleet_shape f in
+      let k = shape.Pool.sh_hosts in
+      let stuck = ref false in
+      if k > 1 then
+        Array.iteri
+          (fun s serving ->
+            if serving = host then
+              if not f.f_replicated.(s) then stuck := true
+              else begin
+                let primary = s mod k in
+                let rec pick i =
+                  if i >= shape.Pool.sh_replicas then None
+                  else
+                    let h = (primary + i) mod k in
+                    if h <> host && Health.allows f.f_health.(h) ~now_us:at_us then Some h
+                    else pick (i + 1)
+                in
+                match pick 0 with
+                | Some h ->
+                    f.f_active.(s) <- h;
+                    f.f_promotions <- f.f_promotions + 1;
+                    (match f.f_obs with
+                    | None -> ()
+                    | Some fi -> Metrics.inc fi.fi_promotions);
+                    t.logger.Logger.log
+                      (Event.Replica_promoted
+                         { at_us = at_int; shard = s; from_host = host; to_host = h });
+                    resil_span t ~name:"replica.promote" ~at_us
+                      [
+                        ("shard", Jsonu.Int s);
+                        ("from_host", Jsonu.Int host);
+                        ("to_host", Jsonu.Int h);
+                      ]
+                | None -> stuck := true
+              end)
+          f.f_active
+      else stuck := true;
+      if !stuck then begin
+        let bottom = Fallback.pool_rung_count f.f_ladder - 1 in
+        let next = min (f.f_rung + 1) bottom in
+        if next <> f.f_rung then fleet_switch_rung t m_factory f ~to_rung:next ~at_us
+      end
+  | Health.Closed ->
+      f.f_closes <- f.f_closes + 1;
+      t.logger.Logger.log
+        (Event.Breaker_closed
+           {
+             at_us = at_int;
+             probes = (Health.policy f.f_health.(host)).Health.hp_probe_successes;
+           });
+      resil_span t ~name:"breaker.close" ~at_us [ ("host", Jsonu.Int host) ];
+      if f.f_rung <> 0 then fleet_switch_rung t m_factory f ~to_rung:0 ~at_us
+      else fleet_reset_actives f ~now:at_us
+
+(* Deterministic hot-shard check: when one shard carries more than
+   [fc_split_share] of the window's decayed remote-call mass and holds
+   at least two components, carve off the upper half of its movable
+   (migration-safe) components into a fresh shard on the least-loaded
+   host. Pure arithmetic over the window snapshot — no randomness. *)
+let fleet_maybe_split t f ~now =
+  let shape = fleet_shape f in
+  let k = shape.Pool.sh_hosts in
+  if k > 1 then begin
+    let shard_count = Array.length f.f_active in
+    let counts = Window.counts_at f.f_window ~now_us:now in
+    let extras = Window.extras_at f.f_window ~now_us:now in
+    let load = Array.make shard_count 0. in
+    Array.iteri (fun s c -> if s < shard_count then load.(s) <- c) counts;
+    List.iter
+      (fun ((a, b), c) -> if a = b && a >= 0 && a < shard_count then load.(a) <- load.(a) +. c)
+      extras;
+    let total = Array.fold_left ( +. ) 0. load in
+    if total > 0. then begin
+      let top = ref 0 in
+      Array.iteri (fun s l -> if l > load.(!top) then top := s) load;
+      if load.(!top) /. total > f.f_config.fc_split_share then begin
+        let s_top = !top in
+        (* Components currently in the hot shard, ascending representative. *)
+        let reps = Hashtbl.create 8 in
+        Array.iteri
+          (fun c sh -> if sh = s_top then Hashtbl.replace reps f.f_component.(c) ())
+          f.f_shard_of;
+        let all = List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) reps []) in
+        let movable = List.filter (fun r -> f.f_comp_safe.(r)) all in
+        let half = List.length movable / 2 in
+        let keep_at_least_one = List.length all - half >= 1 in
+        if List.length all >= 2 && half >= 1 && keep_at_least_one then begin
+          let moving =
+            List.filteri (fun i _ -> i >= List.length movable - half) movable
+          in
+          let new_shard = shard_count in
+          (* Least-loaded host by shard count, ties to the lowest id. *)
+          let per_host = Array.make k 0 in
+          Array.iter (fun h -> if h < k then per_host.(h) <- per_host.(h) + 1) f.f_active;
+          let to_host = ref 0 in
+          Array.iteri (fun h n -> if n < per_host.(!to_host) then to_host := h) per_host;
+          let to_host = !to_host in
+          let moved = ref 0 in
+          Array.iteri
+            (fun c sh ->
+              if sh = s_top && List.mem f.f_component.(c) moving then begin
+                f.f_shard_of.(c) <- new_shard;
+                incr moved
+              end)
+            f.f_shard_of;
+          f.f_active <- Array.append f.f_active [| to_host |];
+          f.f_replicated <- Array.append f.f_replicated [| true |];
+          f.f_active.(new_shard) <- to_host;
+          f.f_splits <- f.f_splits + 1;
+          (match f.f_obs with
+          | None -> ()
+          | Some fi ->
+              Metrics.inc fi.fi_splits;
+              Metrics.set fi.fi_shards (float_of_int (Array.length f.f_active)));
+          t.logger.Logger.log
+            (Event.Shard_split
+               {
+                 at_us = int_of_float now;
+                 shard = s_top;
+                 new_shard;
+                 moved = !moved;
+                 to_host;
+               });
+          resil_span t ~name:"shard.split" ~at_us:now
+            [
+              ("shard", Jsonu.Int s_top);
+              ("new_shard", Jsonu.Int new_shard);
+              ("moved", Jsonu.Int !moved);
+              ("to_host", Jsonu.Int to_host);
+            ]
+        end
+      end
+    end
+  end
+
+(* Feed one served remote call into the per-shard load window; check
+   for a hot shard every [fc_check_every] observations. Skipped
+   entirely at pool size 1 — the identity gate's zero-cost half. *)
+let fleet_observe t f ~callee_cls ~bytes =
+  if (fleet_shape f).Pool.sh_hosts > 1 then begin
+    let now = sim_now t in
+    let s = fleet_shard f callee_cls in
+    Window.observe f.f_window ~at_us:now ~caller:s ~callee:s ~bytes;
+    f.f_since_check <- f.f_since_check + 1;
+    if f.f_since_check >= f.f_config.fc_check_every then begin
+      f.f_since_check <- 0;
+      fleet_maybe_split t f ~now
+    end
+  end
 
 (* The window said usage drifted: re-price the profiled graph with the
    window's per-pair volumes, validate the candidate cut, and — when it
@@ -762,8 +1153,18 @@ and intercept_run t raw_h ~meth args =
              reply_bytes = sizes.Informer.reply_bytes;
            })
   | M_distributed
-      { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng; m_resil; m_watch }
-    ->
+      {
+        m_factory;
+        m_network;
+        m_jitter;
+        m_rng;
+        m_faults;
+        m_retry;
+        m_retry_rng;
+        m_resil;
+        m_watch;
+        m_fleet;
+      } ->
       (match m_watch with
       | None -> ()
       | Some w ->
@@ -774,7 +1175,21 @@ and intercept_run t raw_h ~meth args =
               sizes.Informer.request_bytes + sizes.Informer.reply_bytes));
       let src = Factory.machine_of m_factory caller in
       let dst = Factory.machine_of m_factory callee in
-      if src <> dst then begin
+      let caller_classification = classification_of t caller in
+      (* A call crosses the wire when the endpoints live on different
+         machines — or, under a pool, on different pool hosts. With no
+         fleet (or a pool of one) the condition is exactly [src <> dst],
+         so the pre-fleet paths run the same instructions they always
+         did. *)
+      let crosses =
+        match m_fleet with
+        | None -> src <> dst
+        | Some f ->
+            fleet_link f ~src ~dst ~caller_cls:caller_classification
+              ~callee_cls:callee_classification
+            <> None
+      in
+      if crosses then begin
         let sizes = Informer.measure_call itype ~meth ~ins:args ~outs ~ret in
         if not sizes.Informer.remotable then
           Hresult.fail
@@ -790,10 +1205,11 @@ and intercept_run t raw_h ~meth args =
            outcome, so fault-free runs are bit-identical either way.
            Virtual send time: communication so far plus the compute the
            application has charged — the clock fault windows are
-           expressed against. *)
-        let simulate () =
+           expressed against. [model] defaults to the global link fault
+           model; the fleet passes each call's pool-host model. *)
+        let simulate ?(model = m_faults) () =
           let oc =
-            Fault.call ?model:m_faults ~retry:m_retry ~rng:m_retry_rng
+            Fault.call ?model ~retry:m_retry ~rng:m_retry_rng
               ~now_us:(t.comm +. Runtime.compute_us t.ctx)
               ~request_bytes:sizes.Informer.request_bytes
               ~reply_bytes:sizes.Informer.reply_bytes
@@ -849,12 +1265,80 @@ and intercept_run t raw_h ~meth args =
               Metrics.inc_int i.i_remote_bytes
                 (sizes.Informer.request_bytes + sizes.Informer.reply_bytes)
         in
-        match m_resil with
-        | None ->
+        match (m_resil, m_fleet) with
+        | None, None ->
             let oc = simulate () in
             if not oc.Fault.oc_ok then fail_unreachable dst;
             count_remote ()
-        | Some r ->
+        | None, Some f ->
+            (* Route the call over the callee's pool-host link, with
+               that host's breaker and fault model. The loop mirrors
+               the two-host resilience path call for call: a breaker
+               transition may promote replicas or move the whole pool
+               along the ladder, after which the link is re-read — the
+               call may then complete locally, on a promoted replica,
+               or on the shrunken pool. *)
+            let rounds = ref 0 in
+            let stranded_counted = ref false in
+            let rec go () =
+              let src = Factory.machine_of m_factory caller in
+              let dst = Factory.machine_of m_factory callee in
+              match
+                fleet_link f ~src ~dst ~caller_cls:caller_classification
+                  ~callee_cls:callee_classification
+              with
+              | None -> if !rounds > 0 then f.f_rescued <- f.f_rescued + 1
+              | Some h ->
+                  let hb = f.f_health.(h) in
+                  let now = sim_now t in
+                  (match Health.observe hb ~now_us:now with
+                  | Some tr -> fleet_on_transition t m_factory f ~host:h tr
+                  | None -> ());
+                  if not (Health.allows hb ~now_us:now) then begin
+                    if not !stranded_counted then begin
+                      stranded_counted := true;
+                      f.f_stranded <- f.f_stranded + 1
+                    end;
+                    let wait = Health.cooloff_expires_at hb -. now in
+                    t.comm <- t.comm +. wait;
+                    t.fault_us <- t.fault_us +. wait;
+                    (match t.obs with
+                    | None -> ()
+                    | Some i ->
+                        Metrics.inc ~by:wait i.i_comm_us;
+                        Metrics.inc ~by:wait i.i_fault_us);
+                    go ()
+                  end
+                  else if !rounds >= f.f_config.fc_max_probe_rounds then fail_unreachable dst
+                  else begin
+                    let oc = simulate ~model:f.f_faults.(h) () in
+                    let now' = sim_now t in
+                    if oc.Fault.oc_ok then begin
+                      (match Health.record_success hb ~now_us:now' with
+                      | Some tr -> fleet_on_transition t m_factory f ~host:h tr
+                      | None -> ());
+                      count_remote ();
+                      if src = Constraints.Server && dst = Constraints.Server then begin
+                        f.f_inter_host <- f.f_inter_host + 1;
+                        match f.f_obs with
+                        | None -> ()
+                        | Some fi -> Metrics.inc fi.fi_inter_host
+                      end;
+                      if dst = Constraints.Server then
+                        fleet_observe t f ~callee_cls:callee_classification
+                          ~bytes:(sizes.Informer.request_bytes + sizes.Informer.reply_bytes)
+                    end
+                    else begin
+                      incr rounds;
+                      (match Health.record_failure hb ~now_us:now' with
+                      | Some tr -> fleet_on_transition t m_factory f ~host:h tr
+                      | None -> ());
+                      go ()
+                    end
+                  end
+            in
+            go ()
+        | Some r, _ ->
             (* Route the call through the breaker. Failures feed the
                health tracker; when it opens, the transition handler
                fails over to the next rung, after which the endpoints
@@ -982,8 +1466,18 @@ and on_create_run t (req : Runtime.create_request) =
   (match t.mode with
   | M_profiling -> ()
   | M_distributed
-      { m_factory; m_network; m_jitter; m_rng; m_faults; m_retry; m_retry_rng; m_resil; m_watch }
-    ->
+      {
+        m_factory;
+        m_network;
+        m_jitter;
+        m_rng;
+        m_faults;
+        m_retry;
+        m_retry_rng;
+        m_resil;
+        m_watch;
+        m_fleet;
+      } ->
       (match m_watch with
       | None -> ()
       | Some w ->
@@ -1008,9 +1502,9 @@ and on_create_run t (req : Runtime.create_request) =
           in
           let request = Marshal_size.scalar_overhead + (2 * 16) in
           let reply = Marshal_size.scalar_overhead + Marshal_size.objref_size in
-          let simulate () =
+          let simulate ?(model = m_faults) () =
             let oc =
-              Fault.call ?model:m_faults ~retry:m_retry ~rng:m_retry_rng
+              Fault.call ?model ~retry:m_retry ~rng:m_retry_rng
                 ~now_us:(t.comm +. Runtime.compute_us t.ctx)
                 ~request_bytes:request ~reply_bytes:reply
                 ~request_us:(fun () -> jittered (Network.message_us m_network ~bytes:request))
@@ -1056,9 +1550,38 @@ and on_create_run t (req : Runtime.create_request) =
             t.logger.Logger.log (Event.Instantiation_degraded { cname; classification });
             creator_machine
           in
-          match m_resil with
-          | None -> if (simulate ()).Fault.oc_ok then forwarded () else degraded creator_machine
-          | Some r ->
+          match (m_resil, m_fleet) with
+          | None, None ->
+              if (simulate ()).Fault.oc_ok then forwarded () else degraded creator_machine
+          | None, Some f ->
+              (* Forward over the pool-host link the new instance's
+                 shard lives on (the creator's host when the request
+                 travels pool-to-client). *)
+              let h =
+                if machine = Constraints.Server then fleet_host f classification
+                else fleet_host f (classification_of t creator)
+              in
+              let hb = f.f_health.(h) in
+              let now = sim_now t in
+              (match Health.observe hb ~now_us:now with
+              | Some tr -> fleet_on_transition t m_factory f ~host:h tr
+              | None -> ());
+              if not (Health.allows hb ~now_us:now) then
+                degraded (Factory.machine_of m_factory creator)
+              else begin
+                let oc = simulate ~model:f.f_faults.(h) () in
+                let now' = sim_now t in
+                let transition =
+                  if oc.Fault.oc_ok then Health.record_success hb ~now_us:now'
+                  else Health.record_failure hb ~now_us:now'
+                in
+                (match transition with
+                | Some tr -> fleet_on_transition t m_factory f ~host:h tr
+                | None -> ());
+                if oc.Fault.oc_ok then forwarded ()
+                else degraded (Factory.machine_of m_factory creator)
+              end
+          | Some r, _ ->
               let now = sim_now t in
               (match Health.observe r.r_health ~now_us:now with
               | Some tr -> resil_on_transition t m_factory r tr
@@ -1179,6 +1702,34 @@ let install_distributed ?loggers ?tracer ?metrics ~classifier ~config ctx =
          failover rung and a freshly-cut placement is out of scope. *)
       invalid_arg "Rte.install_distributed: dc_watch and dc_resilience cannot be combined"
   | _ -> ());
+  (match (config.dc_fleet, config.dc_resilience, config.dc_watch) with
+  | Some _, Some _, _ ->
+      invalid_arg "Rte.install_distributed: dc_fleet and dc_resilience cannot be combined"
+  | Some _, _, Some _ ->
+      invalid_arg "Rte.install_distributed: dc_fleet and dc_watch cannot be combined"
+  | _ -> ());
+  (* Identity gate: a pool of one with no per-host fault overlays IS
+     the two-host resilience path — install that path, so the fleet
+     layer is not merely equivalent but literally absent: zero cost,
+     bit-identical output by construction. *)
+  let config =
+    match config.dc_fleet with
+    | Some fc
+      when (Fallback.pool_rung_at fc.fc_ladder 0).Fallback.pr_shape.Pool.sh_hosts = 1
+           && fc.fc_host_faults = [] ->
+        {
+          config with
+          dc_fleet = None;
+          dc_resilience =
+            Some
+              {
+                rc_ladder = Fallback.pool_base fc.fc_ladder;
+                rc_health = fc.fc_health;
+                rc_max_probe_rounds = fc.fc_max_probe_rounds;
+              };
+        }
+    | _ -> config
+  in
   (* The main program lives on the client. *)
   let factory = Factory.create ?metrics config.dc_factory_policy in
   Factory.record_instance factory ~inst:Runtime.main_instance Constraints.Client;
@@ -1264,6 +1815,69 @@ let install_distributed ?loggers ?tracer ?metrics ~classifier ~config ctx =
         })
       config.dc_resilience
   in
+  let fleet_state =
+    Option.map
+      (fun fc ->
+        let pl = fc.fc_ladder in
+        let rung0 = Fallback.pool_rung_at pl 0 in
+        let hosts = rung0.Fallback.pr_shape.Pool.sh_hosts in
+        let base = Fallback.pool_base pl in
+        let safe = Fallback.migration_safety_table base in
+        let component = Fallback.pool_components pl in
+        let comp_safe = Array.make (max 1 (Array.length component)) true in
+        Array.iteri
+          (fun c rep ->
+            if not (c < Array.length safe && safe.(c)) then comp_safe.(rep) <- false)
+          component;
+        let shard_count = rung0.Fallback.pr_shard_count in
+        {
+          f_config = fc;
+          f_ladder = pl;
+          f_health = Array.init hosts (fun _ -> Health.create ~policy:fc.fc_health ());
+          f_faults =
+            Array.init hosts (fun h ->
+                let spec =
+                  match List.assoc_opt h fc.fc_host_faults with
+                  | Some sp -> Some sp
+                  | None -> config.dc_faults
+                in
+                Option.map
+                  (fun sp -> Fault.make ~seed:(host_fault_seed config.dc_seed h) sp)
+                  spec);
+          f_obs = Option.map make_fleet_instruments metrics;
+          f_safe = safe;
+          f_component = component;
+          f_comp_safe = comp_safe;
+          f_window =
+            Window.create ~half_life_us:fc.fc_half_life_us
+              ~pairs:(Array.init shard_count (fun s -> (s, s)));
+          f_rung = 0;
+          f_shard_of = Array.copy rung0.Fallback.pr_shard_of;
+          f_active = Array.init shard_count (fun s -> Pool.host_of rung0.Fallback.pr_shape s);
+          f_replicated = Array.copy rung0.Fallback.pr_replicated;
+          f_since_check = 0;
+          f_opens = 0;
+          f_closes = 0;
+          f_failovers = 0;
+          f_failbacks = 0;
+          f_migrations = 0;
+          f_stranded = 0;
+          f_rescued = 0;
+          f_promotions = 0;
+          f_splits = 0;
+          f_resizes = 0;
+          f_inter_host = 0;
+        })
+      config.dc_fleet
+  in
+  (match fleet_state with
+  | None -> ()
+  | Some f -> (
+      match f.f_obs with
+      | None -> ()
+      | Some fi ->
+          Metrics.set fi.fi_hosts (float_of_int (Array.length f.f_health));
+          Metrics.set fi.fi_shards (float_of_int (Array.length f.f_active))));
   install ?loggers ?tracer ?metrics ~classifier
     ~mode:
       (M_distributed
@@ -1280,6 +1894,7 @@ let install_distributed ?loggers ?tracer ?metrics ~classifier ~config ctx =
            m_retry_rng = Prng.create (retry_seed config.dc_seed);
            m_resil = resil;
            m_watch = watch_state;
+           m_fleet = fleet_state;
          })
     ctx
 
@@ -1331,6 +1946,52 @@ let watch_window_signature t =
 let watch_tap_counts t =
   Option.map (fun w -> (Tap.offered w.w_tap, Tap.sampled w.w_tap)) (watch_of t)
 
+let fleet_of t =
+  match t.mode with
+  | M_profiling | M_distributed { m_fleet = None; _ } -> None
+  | M_distributed { m_fleet = Some f; _ } -> Some f
+
+type fleet_stats = {
+  fs_breaker_opens : int;
+  fs_breaker_closes : int;
+  fs_failovers : int;
+  fs_failbacks : int;
+  fs_migrations : int;
+  fs_stranded_calls : int;
+  fs_rescued_calls : int;
+  fs_promotions : int;
+  fs_splits : int;
+  fs_resizes : int;
+  fs_inter_host_calls : int;
+  fs_final_rung : int;
+  fs_final_hosts : int;
+  fs_final_shards : int;
+}
+
+let fleet_stats t =
+  Option.map
+    (fun f ->
+      {
+        fs_breaker_opens = f.f_opens;
+        fs_breaker_closes = f.f_closes;
+        fs_failovers = f.f_failovers;
+        fs_failbacks = f.f_failbacks;
+        fs_migrations = f.f_migrations;
+        fs_stranded_calls = f.f_stranded;
+        fs_rescued_calls = f.f_rescued;
+        fs_promotions = f.f_promotions;
+        fs_splits = f.f_splits;
+        fs_resizes = f.f_resizes;
+        fs_inter_host_calls = f.f_inter_host;
+        fs_final_rung = f.f_rung;
+        fs_final_hosts = (fleet_shape f).Pool.sh_hosts;
+        fs_final_shards = Array.length f.f_active;
+      })
+    (fleet_of t)
+
+let fleet_shard_table t =
+  Option.map (fun f -> (Array.copy f.f_shard_of, Array.copy f.f_active)) (fleet_of t)
+
 type stats = {
   st_comm_us : float;
   st_remote_calls : int;
@@ -1365,7 +2026,14 @@ type stats = {
 
 let stats t =
   let r = resil_of t in
-  let ri f = match r with None -> 0 | Some r -> f r in
+  let fl = fleet_of t in
+  (* Breaker/ladder counters come from whichever layer is installed —
+     the two-host resilience path or the pool fleet (mutually
+     exclusive), so downstream consumers read one set of fields either
+     way. *)
+  let pick fr ff =
+    match (r, fl) with Some r, _ -> fr r | None, Some f -> ff f | None, None -> 0
+  in
   let w = watch_of t in
   let wi f = match w with None -> 0 | Some w -> f w in
   {
@@ -1379,14 +2047,14 @@ let stats t =
     st_fallbacks = t.n_fallbacks;
     st_unreachable = t.n_unreachable;
     st_fault_us = t.fault_us;
-    st_breaker_opens = ri (fun r -> r.r_breaker_opens);
-    st_breaker_closes = ri (fun r -> r.r_breaker_closes);
-    st_failovers = ri (fun r -> r.r_failovers);
-    st_failbacks = ri (fun r -> r.r_failbacks);
-    st_migrations = ri (fun r -> r.r_migrations);
-    st_stranded_calls = ri (fun r -> r.r_stranded);
-    st_rescued_calls = ri (fun r -> r.r_rescued);
-    st_final_rung = ri (fun r -> r.r_rung);
+    st_breaker_opens = pick (fun r -> r.r_breaker_opens) (fun f -> f.f_opens);
+    st_breaker_closes = pick (fun r -> r.r_breaker_closes) (fun f -> f.f_closes);
+    st_failovers = pick (fun r -> r.r_failovers) (fun f -> f.f_failovers);
+    st_failbacks = pick (fun r -> r.r_failbacks) (fun f -> f.f_failbacks);
+    st_migrations = pick (fun r -> r.r_migrations) (fun f -> f.f_migrations);
+    st_stranded_calls = pick (fun r -> r.r_stranded) (fun f -> f.f_stranded);
+    st_rescued_calls = pick (fun r -> r.r_rescued) (fun f -> f.f_rescued);
+    st_final_rung = pick (fun r -> r.r_rung) (fun f -> f.f_rung);
     st_drift_checks = wi (fun w -> w.w_checks);
     st_drift_detections = wi (fun w -> w.w_detections);
     st_repartitions = wi (fun w -> w.w_repartitions);

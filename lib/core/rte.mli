@@ -60,6 +60,42 @@ val resilience :
 (** Convenience constructor: {!Coign_netsim.Health.default_policy} and
     8 probe rounds unless overridden. *)
 
+type fleet_config = {
+  fc_ladder : Fallback.pool_ladder;
+      (** pool-elastic ladder; rung 0 is the widest pool, the tail is
+          the base two-host ladder at pool size 1 *)
+  fc_health : Coign_netsim.Health.policy;
+      (** breaker configuration, applied per replica link (one breaker
+          per pool host) *)
+  fc_max_probe_rounds : int;
+      (** failed attempt/probe rounds a single call endures before
+          raising [E_unreachable] *)
+  fc_split_share : float;
+      (** a shard carrying more than this share of the decayed window
+          load is hot and gets split, in (0, 1] *)
+  fc_check_every : int;  (** observations between hot-shard checks *)
+  fc_half_life_us : float;  (** shard-load window decay half-life *)
+  fc_host_faults : (int * Coign_netsim.Fault.spec) list;
+      (** per-host fault overlays (host index -> spec), replacing
+          [dc_faults] on that host's link; hosts not listed keep the
+          global model. Seeded {!Coign_util.Prng.stream} [8 + host] of
+          [dc_seed], so a pool run never perturbs the global streams *)
+}
+
+val fleet :
+  ?health:Coign_netsim.Health.policy ->
+  ?max_probe_rounds:int ->
+  ?split_share:float ->
+  ?check_every:int ->
+  ?half_life_us:float ->
+  ?host_faults:(int * Coign_netsim.Fault.spec) list ->
+  Fallback.pool_ladder ->
+  fleet_config
+(** Convenience constructor: {!Coign_netsim.Health.default_policy},
+    8 probe rounds, 0.6 split share, a check every 64 observations,
+    200 ms half-life, no per-host overlays. Raises on a split share
+    outside (0, 1] or a non-positive check cadence. *)
+
 type watch_config = {
   wc_session : Analysis.Session.t;
       (** the analysis session the re-cut re-prices — its classifier
@@ -138,6 +174,18 @@ type distributed_config = {
                             policy — and requires a
                             [Factory.By_classification] policy as the
                             initial placement *)
+  dc_fleet : fleet_config option;
+                        (** replicated server pool with per-replica
+                            breakers, hot-shard splitting and
+                            pool-elastic failover; [None] (the default
+                            everywhere) runs the single-server paths
+                            above, bit for bit. Mutually exclusive
+                            with [dc_resilience] and [dc_watch]. A
+                            pool of one with no host overlays is
+                            rewritten at install time into the exact
+                            [dc_resilience] configuration over the
+                            ladder's base — the fleet layer is then
+                            literally absent *)
 }
 
 val install_distributed :
@@ -198,7 +246,24 @@ val install_distributed :
     cannot flap on the shift it just absorbed. Checks run on the
     virtual clock before the observed call is routed, so a re-cut
     applies to the very call that triggered it. With [dc_watch = None]
-    the run is bit-identical to one without the watch compiled in. *)
+    the run is bit-identical to one without the watch compiled in.
+
+    With [dc_fleet], the logical server side runs as a pool: each
+    component shard lives on the host its rung's {!Pool.shape}
+    assigns, every host link carries its own circuit breaker, and
+    reads of a replicated shard survive a host loss by promotion — the
+    first healthy replica in ring order takes over the shard
+    ({!Event.Replica_promoted}) without touching the rest of the pool.
+    A breaker opening on a host whose shards cannot all be promoted
+    shrinks the pool one rung ({!Event.Pool_resized}), migrating only
+    the statically-safe instances, exactly as resilience failover
+    does; probe success on the degraded host fails back to the widest
+    rung. Per-link observation volume feeds a decayed window; a shard
+    exceeding [fc_split_share] of the load is split, its migration-safe
+    upper components moving to a fresh shard on the least-loaded host
+    ({!Event.Shard_split}). All decisions run on the virtual clock off
+    seeded streams, so runs are deterministic and independent of
+    domain-parallel execution. *)
 
 val uninstall : t -> unit
 (** Remove all hooks; the context reverts to plain local execution. *)
@@ -286,6 +351,36 @@ val watch_window_signature : t -> Drift.signature option
 val watch_tap_counts : t -> (int * int) option
 (** [(offered, sampled)] tap counts, when a watch with an attached tap
     is installed. *)
+
+type fleet_stats = {
+  fs_breaker_opens : int;   (** per-host breaker trips, summed *)
+  fs_breaker_closes : int;
+  fs_failovers : int;       (** switches down the pool ladder *)
+  fs_failbacks : int;       (** switches back up to the widest rung *)
+  fs_migrations : int;      (** instances moved live between hosts *)
+  fs_stranded_calls : int;  (** calls that waited on an open breaker *)
+  fs_rescued_calls : int;   (** failed calls completed locally after a
+                                pool change co-located their endpoints *)
+  fs_promotions : int;      (** replica promotions (shard kept serving
+                                through a host loss) *)
+  fs_splits : int;          (** hot shards split *)
+  fs_resizes : int;         (** pool size changes (up or down) *)
+  fs_inter_host_calls : int;  (** server-to-server calls that crossed
+                                  pool hosts *)
+  fs_final_rung : int;
+  fs_final_hosts : int;
+  fs_final_shards : int;
+}
+
+val fleet_stats : t -> fleet_stats option
+(** Pool counters, when a fleet is installed. [None] when the
+    install-time identity gate rewrote a pool of one into the plain
+    resilience path — the shared counters then live in {!stats}. *)
+
+val fleet_shard_table : t -> (int array * int array) option
+(** [(shard_of, active_host_of_shard)]: classification -> shard id
+    (-1 = client side) and shard -> currently serving host, as of now.
+    Copies; mutation-safe. *)
 
 val machine_of_instance : t -> int -> Constraints.location
 

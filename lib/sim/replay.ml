@@ -108,6 +108,7 @@ let replay ?faults ?(retry = Fault.default_retry) ~events ~placement ~network ()
       | Event.Interface_destroyed _ | Event.Call_retried _ | Event.Instantiation_degraded _
       | Event.Breaker_opened _ | Event.Breaker_closed _ | Event.Failover _ | Event.Failback _
       | Event.Instance_migrated _ | Event.Drift_detected _ | Event.Repartitioned _
+      | Event.Replica_promoted _ | Event.Shard_split _ | Event.Pool_resized _
         ->
           ())
     events;

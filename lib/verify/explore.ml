@@ -33,7 +33,7 @@ open Coign_util
 open Coign_core
 module Health = Coign_netsim.Health
 
-type event = Link_ok | Link_fail | Cooloff | Migrate of int | Migrate_rest
+type event = Link_ok | Link_fail | Cooloff | Migrate of int | Migrate_rest | Promote of int
 
 let event_id _m = function
   | Link_ok -> "link_ok"
@@ -41,6 +41,7 @@ let event_id _m = function
   | Cooloff -> "cooloff"
   | Migrate g -> Printf.sprintf "migrate:%d" g
   | Migrate_rest -> "migrate_rest"
+  | Promote g -> Printf.sprintf "promote:%d" g
 
 let event_of_id m s =
   match s with
@@ -50,9 +51,13 @@ let event_of_id m s =
   | "migrate_rest" -> Some Migrate_rest
   | _ ->
       (match String.index_opt s ':' with
-      | Some i when String.sub s 0 i = "migrate" -> (
+      | Some i -> (
+          let head = String.sub s 0 i in
           match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
-          | Some g when g >= 0 && g < Model.group_count m -> Some (Migrate g)
+          | Some g when g >= 0 && g < Model.group_count m ->
+              if head = "migrate" then Some (Migrate g)
+              else if head = "promote" then Some (Promote g)
+              else None
           | _ -> None)
       | _ -> None)
 
@@ -63,6 +68,8 @@ let pp_event m ppf = function
   | Migrate g ->
       Format.fprintf ppf "migrate(%s)" m.Model.m_groups.(g).Model.g_subject
   | Migrate_rest -> Format.pp_print_string ppf "migrate_rest"
+  | Promote g ->
+      Format.fprintf ppf "promote(%s)" m.Model.m_groups.(g).Model.g_subject
 
 let pp_trace m ppf trace =
   Format.pp_print_list
@@ -73,6 +80,7 @@ type state = {
   st_rung : int;
   st_snap : Health.snapshot;
   st_locs : Constraints.location array; (* per group *)
+  st_hosts : int array; (* per group; pool host, 0 on the client side *)
 }
 
 type violation = {
@@ -110,11 +118,15 @@ let canon (snap : Health.snapshot) =
       | _ -> 0);
   }
 
+let host_target m rung g =
+  if g.Model.g_targets.(rung) = Constraints.Server then Model.target_host m rung g else 0
+
 let init m =
   {
     st_rung = 0;
     st_snap = canon (Health.initial_snapshot m.Model.m_policy);
     st_locs = Array.map (fun g -> g.Model.g_targets.(0)) m.Model.m_groups;
+    st_hosts = Array.map (fun g -> host_target m 0 g) m.Model.m_groups;
   }
 
 let key m st =
@@ -133,20 +145,36 @@ let key m st =
     (fun loc ->
       Buffer.add_char b (match loc with Constraints.Client -> 'c' | Constraints.Server -> 's'))
     st.st_locs;
+  Buffer.add_char b '|';
+  Array.iter (fun h -> Buffer.add_char b (Char.chr (Char.code '0' + h))) st.st_hosts;
   Buffer.contents b
 
-let separated st (e : Model.edge) = st.st_locs.(e.Model.e_a) <> st.st_locs.(e.Model.e_b)
+(* Client/server separation drives the link breaker; for the I1
+   crossing check a pair is also separated when both endpoints are
+   server-side but on different pool hosts — an inter-host call
+   marshals exactly like a client-server one. *)
+let separated_loc st (e : Model.edge) = st.st_locs.(e.Model.e_a) <> st.st_locs.(e.Model.e_b)
+
+let separated st (e : Model.edge) =
+  separated_loc st e
+  || st.st_locs.(e.Model.e_a) = Constraints.Server
+     && st.st_hosts.(e.Model.e_a) <> st.st_hosts.(e.Model.e_b)
 
 (* The breaker only sees outcomes of calls that actually cross the
    machine boundary on a marshalable interface: non-remotable calls
    fault before reaching the link (that fault IS the I1 violation,
-   caught as a state invariant). *)
+   caught as a state invariant).  Host splits do not feed it — each
+   pool host has its own breaker in the RTE, and modeling the one
+   shared abstraction on client-server traffic keeps the breaker
+   dynamics identical to the two-host model's. *)
 let link_active m st =
-  Array.exists (fun e -> e.Model.e_remotable && separated st e) m.Model.m_edges
+  Array.exists (fun e -> e.Model.e_remotable && separated_loc st e) m.Model.m_edges
 
 let off_target m st g =
   let grp = m.Model.m_groups.(g) in
-  grp.Model.g_ladder_safe && st.st_locs.(g) <> grp.Model.g_targets.(st.st_rung)
+  grp.Model.g_ladder_safe
+  && (st.st_locs.(g) <> grp.Model.g_targets.(st.st_rung)
+     || st.st_hosts.(g) <> host_target m st.st_rung grp)
 
 let enabled m st =
   let migrations =
@@ -159,13 +187,32 @@ let enabled m st =
       m.Model.m_groups;
     List.rev !risky @ if !rest then [ Migrate_rest ] else []
   in
+  (* Replica promotion: a host loss moves a shard to the next host in
+     ring order.  Only risky groups are interleaved — promoting a
+     truth-safe group preserves every invariant (it has no
+     non-remotable incidence, CG009 needs a truth-unsafe subject, and
+     hosts feed neither the breaker nor any other group's
+     enabledness), so those interleavings are collapsed away exactly
+     like safe migrations. *)
+  let promotions =
+    if Model.pool_size m st.st_rung <= 1 then []
+    else
+      Array.to_list m.Model.m_groups
+      |> List.filter_map (fun grp ->
+             if
+               Model.risky grp
+               && st.st_locs.(grp.Model.g_id) = Constraints.Server
+               && not (off_target m st grp.Model.g_id)
+             then Some (Promote grp.Model.g_id)
+             else None)
+  in
   let breaker =
     match st.st_snap.Health.sn_state with
     | Health.Open -> [ Cooloff ]
     | Health.Closed | Health.Half_open ->
         if link_active m st then [ Link_ok; Link_fail ] else []
   in
-  breaker @ migrations
+  breaker @ migrations @ promotions
 
 (* Mirror of [Rte.resil_on_transition]'s ladder moves. *)
 let rung_after m rung = function
@@ -202,8 +249,9 @@ let apply m st ev =
             ] ))
   | Migrate g ->
       let grp = m.Model.m_groups.(g) in
-      let locs = Array.copy st.st_locs in
+      let locs = Array.copy st.st_locs and hosts = Array.copy st.st_hosts in
       locs.(g) <- grp.Model.g_targets.(st.st_rung);
+      hosts.(g) <- host_target m st.st_rung grp;
       let viols =
         if grp.Model.g_truth_safe then []
         else
@@ -216,15 +264,36 @@ let apply m st ev =
                 grp.Model.g_subject st.st_rung m.Model.m_rung_names.(st.st_rung) );
           ]
       in
-      ({ st with st_locs = locs }, viols)
+      ({ st with st_locs = locs; st_hosts = hosts }, viols)
   | Migrate_rest ->
-      let locs = Array.copy st.st_locs in
+      let locs = Array.copy st.st_locs and hosts = Array.copy st.st_hosts in
       Array.iter
         (fun grp ->
-          if (not (Model.risky grp)) && off_target m st grp.Model.g_id then
-            locs.(grp.Model.g_id) <- grp.Model.g_targets.(st.st_rung))
+          if (not (Model.risky grp)) && off_target m st grp.Model.g_id then begin
+            locs.(grp.Model.g_id) <- grp.Model.g_targets.(st.st_rung);
+            hosts.(grp.Model.g_id) <- host_target m st.st_rung grp
+          end)
         m.Model.m_groups;
-      ({ st with st_locs = locs }, [])
+      ({ st with st_locs = locs; st_hosts = hosts }, [])
+  | Promote g ->
+      let grp = m.Model.m_groups.(g) in
+      let hosts = Array.copy st.st_hosts in
+      hosts.(g) <- (st.st_hosts.(g) + 1) mod Model.pool_size m st.st_rung;
+      (* Only risky groups are ever promoted (see [enabled]), so the
+         step always manifests I4: the RTE would be moving a shard the
+         static facts say must not move between hosts live. *)
+      let viols =
+        [
+          ( "CG009",
+            Lint.Error,
+            grp.Model.g_subject,
+            Printf.sprintf
+              "ladder table promotes %s between pool hosts on rung %d (%s), but the static \
+               facts mark it unsafe"
+              grp.Model.g_subject st.st_rung m.Model.m_rung_names.(st.st_rung) );
+        ]
+      in
+      ({ st with st_hosts = hosts }, viols)
 
 (* I1: no reachable placement — transient mid-migration ones included —
    separates a non-remotable pair. *)
@@ -234,13 +303,21 @@ let state_violations m st =
          if e.Model.e_non_remotable && separated st e then
            let a = m.Model.m_groups.(e.Model.e_a).Model.g_subject
            and b = m.Model.m_groups.(e.Model.e_b).Model.g_subject in
-           Some
-             ( "CG008",
-               Lint.Error,
-               e.Model.e_iface,
+           let message =
+             if separated_loc st e then
                Printf.sprintf
                  "reachable placement separates %s and %s across non-remotable %s (rung %d, %s)"
-                 a b e.Model.e_iface st.st_rung m.Model.m_rung_names.(st.st_rung) )
+                 a b e.Model.e_iface st.st_rung m.Model.m_rung_names.(st.st_rung)
+             else
+               Printf.sprintf
+                 "reachable placement splits %s and %s across pool hosts %d/%d on \
+                  non-remotable %s (rung %d, %s)"
+                 a b
+                 st.st_hosts.(e.Model.e_a)
+                 st.st_hosts.(e.Model.e_b)
+                 e.Model.e_iface st.st_rung m.Model.m_rung_names.(st.st_rung)
+           in
+           Some ("CG008", Lint.Error, e.Model.e_iface, message)
          else None)
 
 (* --- The explorer ----------------------------------------------------- *)

@@ -28,6 +28,11 @@ type event =
   | Cooloff  (** the sim clock passes the open breaker's cooloff *)
   | Migrate of int  (** one risky group migrates to its rung target *)
   | Migrate_rest  (** all pending safe groups migrate atomically *)
+  | Promote of int
+      (** one risky group is promoted to the next pool host in ring
+          order — a host loss taking its shard's replica.  Only
+          enabled on rungs whose pool size exceeds 1; promoting safe
+          groups is collapsed away like safe migrations *)
 
 val event_id : Model.t -> event -> string
 (** Stable machine-readable id ([link_fail], [migrate:3], ...). *)
@@ -46,10 +51,15 @@ type state = {
   st_rung : int;
   st_snap : Coign_netsim.Health.snapshot;  (** canonical, see [canon] *)
   st_locs : Constraints.location array;  (** per group *)
+  st_hosts : int array;
+      (** per group: pool host, 0 on the client side.  Inert (all 0,
+          no promotions enabled) when every rung's pool size is 1, so
+          the classic two-host state space is unchanged *)
 }
 
 val init : Model.t -> state
-(** Rung 0, closed breaker, every group at its primary target. *)
+(** Rung 0, closed breaker, every group at its primary target (and
+    target host). *)
 
 val canon : Coign_netsim.Health.snapshot -> Coign_netsim.Health.snapshot
 (** Canonicalize a snapshot onto the finite grid: opened-at pinned to 0,

@@ -46,9 +46,22 @@ type t = {
   m_policy : Health.policy;
   m_cooloffs : float array; (* escalation chain, base to cap *)
   m_classifications : int; (* classifications folded in, incl. main *)
+  m_pool_sizes : int array; (* server pool hosts per rung; all 1 = two-host model *)
 }
 
 let rung_count m = Array.length m.m_rung_names
+let pool_size m r = m.m_pool_sizes.(r)
+
+(* The host a server-side group belongs on under a rung's pool.  The
+   RTE pins migration-unsafe components to shard 0 — host 0, which
+   survives every resize — and shards the rest by a fixed map folded
+   by modulo, so a group's host only changes when the pool size does.
+   The model reads the *ladder's* table here, exactly as the RTE does:
+   a lying table shards a truth-unsafe group onto a moving host, and
+   the explorer surfaces the resulting migrations as CG008/CG009. *)
+let target_host m r g =
+  let p = m.m_pool_sizes.(r) in
+  if p <= 1 || not g.g_ladder_safe then 0 else g.g_id mod p
 let group_count m = Array.length m.m_groups
 
 (* A group is risky when the ladder's table will migrate it but the
@@ -77,8 +90,28 @@ let cooloff_index m c =
   in
   find 0
 
-let build ?(policy = Health.default_policy) ~classifier ~icc ~ladder ~truth () =
+let max_pool_size = 3
+
+let build ?(policy = Health.default_policy) ?pool_sizes ~classifier ~icc ~ladder ~truth () =
   let rungs = Fallback.rung_count ladder in
+  let pool_sizes =
+    match pool_sizes with
+    | None -> Array.make rungs 1
+    | Some l ->
+        let a = Array.of_list l in
+        if Array.length a <> rungs then
+          invalid_arg "Verify.Model.build: pool_sizes length must match the rung count";
+        Array.iter
+          (fun p ->
+            if p < 1 || p > max_pool_size then
+              invalid_arg
+                (Printf.sprintf
+                   "Verify.Model.build: pool sizes must be in [1, %d] to keep exploration \
+                    bounded"
+                   max_pool_size))
+          a;
+        a
+  in
   let n = Array.length truth in
   let place r c =
     Analysis.location_of (Fallback.rung ladder r).Fallback.rg_distribution c
@@ -175,4 +208,5 @@ let build ?(policy = Health.default_policy) ~classifier ~icc ~ladder ~truth () =
     m_policy = policy;
     m_cooloffs = cooloff_chain policy;
     m_classifications = n + 1;
+    m_pool_sizes = pool_sizes;
   }

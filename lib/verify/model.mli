@@ -36,10 +36,29 @@ type t = {
   m_policy : Coign_netsim.Health.policy;
   m_cooloffs : float array;  (** escalation chain, base to cap *)
   m_classifications : int;  (** classifications folded in, incl. main *)
+  m_pool_sizes : int array;
+      (** server pool hosts per rung; all 1 is the classic two-host
+          model, and then the explorer's host dimension is inert *)
 }
 
 val rung_count : t -> int
 val group_count : t -> int
+
+val pool_size : t -> int -> int
+(** Pool hosts on a rung. *)
+
+val max_pool_size : int
+(** 3 — the bound {!build} enforces on [pool_sizes] so exploration
+    stays finite at useful depths. *)
+
+val target_host : t -> int -> group -> int
+(** The host a server-side group belongs on under a rung's pool:
+    host 0 for ladder-unsafe groups (the RTE pins their shard there,
+    and host 0 survives every resize), [g_id mod pool] for the rest —
+    the fixed-map-folded-by-modulo rule of the pool ladder. Reads the
+    {e ladder's} safety bit, exactly as the RTE does, so a lying table
+    shards a truth-unsafe group onto a moving host and the explorer
+    surfaces the consequences. *)
 
 val risky : group -> bool
 (** Ladder-safe but truth-unsafe: the migrations that can manifest
@@ -57,6 +76,7 @@ val cooloff_index : t -> float -> int
 
 val build :
   ?policy:Coign_netsim.Health.policy ->
+  ?pool_sizes:int list ->
   classifier:Classifier.t ->
   icc:Icc.t ->
   ladder:Fallback.t ->
@@ -66,4 +86,7 @@ val build :
 (** Compile the model.  [truth] is the freshly derived
     {!Fallback.migration_safety} table; the ladder's own table is read
     through {!Fallback.migration_safe} so a stale or hand-edited table
-    shows up as {!risky} groups. *)
+    shows up as {!risky} groups.  [pool_sizes] (default all 1) gives
+    each rung's server pool size, one entry per rung in [1,
+    {!max_pool_size}]; raises [Invalid_argument] on a length or range
+    mismatch. *)

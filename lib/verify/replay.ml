@@ -68,6 +68,17 @@ let run m trace =
         | Some { Health.tr_to = Health.Half_open; _ } -> ()
         | _ -> note "CG010")
     | Explore.Migrate g -> migrate g
+    | Explore.Promote g ->
+        (* The factory abstraction has one server machine, so a
+           promotion cannot move the instance anywhere observable —
+           replay confirms the gating instead: the ladder table must
+           claim the group safe for the RTE to promote it at all, and
+           a truth-unsafe subject is the I4 violation the trace was
+           reported for. *)
+        let grp = m.Model.m_groups.(g) in
+        if not grp.Model.g_ladder_safe then
+          fail (Printf.sprintf "trace promotes ladder-unsafe group %s" grp.Model.g_subject)
+        else if not grp.Model.g_truth_safe then note "CG009"
     | Explore.Migrate_rest ->
         Array.iter
           (fun grp ->

@@ -99,6 +99,7 @@ let test_factory_realizes_analysis_placement () =
           dc_faults = None;
           dc_retry = Fault.default_retry;
           dc_resilience = None;
+          dc_fleet = None;
           dc_watch = None;
         }
       ctx

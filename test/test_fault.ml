@@ -210,6 +210,7 @@ let run_split ?(jitter = 0.) ?(seed = 1L) ?faults ?(retry = fixed_retry) rounds 
           dc_faults = faults;
           dc_retry = retry;
           dc_resilience = None;
+          dc_fleet = None;
           dc_watch = None;
         }
       ctx
@@ -297,6 +298,7 @@ let test_rte_partition_mid_run_unreachable () =
           dc_faults = Some { Fault.zero with Fault.fs_partitions_us = [ (2_000., 1e9) ] };
           dc_retry = fixed_retry;
           dc_resilience = None;
+          dc_fleet = None;
           dc_watch = None;
         }
       ctx

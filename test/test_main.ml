@@ -14,6 +14,7 @@ let () =
       ("rte", Test_rte.suite);
       ("fault", Test_fault.suite);
       ("resilience", Test_resilience.suite);
+      ("fleet", Test_fleet.suite);
       ("adps", Test_adps.suite);
       ("apps", Test_apps.suite);
       ("sim", Test_sim.suite);

@@ -92,6 +92,9 @@ let all_event_shapes =
         migrated = 2;
         left = 0;
       };
+    Event.Replica_promoted { at_us = 61_000; shard = 2; from_host = 1; to_host = 2 };
+    Event.Shard_split { at_us = 120_500; shard = 0; new_shard = 3; moved = 4; to_host = 1 };
+    Event.Pool_resized { at_us = 61_000; from_hosts = 3; to_hosts = 2; shards = 4; migrated = 5 };
   ]
 
 let test_event_json_roundtrip_all_constructors () =
@@ -198,6 +201,23 @@ let gen_event =
         return
           (Event.Repartitioned { at_us; similarity; from_servers; to_servers; migrated; left })
       );
+      ( i >>= fun at_us ->
+        i >>= fun shard ->
+        i >>= fun from_host ->
+        i >>= fun to_host ->
+        return (Event.Replica_promoted { at_us; shard; from_host; to_host }) );
+      ( i >>= fun at_us ->
+        i >>= fun shard ->
+        i >>= fun new_shard ->
+        i >>= fun moved ->
+        i >>= fun to_host ->
+        return (Event.Shard_split { at_us; shard; new_shard; moved; to_host }) );
+      ( i >>= fun at_us ->
+        i >>= fun from_hosts ->
+        i >>= fun to_hosts ->
+        i >>= fun shards ->
+        i >>= fun migrated ->
+        return (Event.Pool_resized { at_us; from_hosts; to_hosts; shards; migrated }) );
     ]
 
 let qcheck_event_roundtrip =
@@ -283,7 +303,10 @@ let test_tally_key_stability () =
       ("interface_call", 1);
       ("interface_destroyed", 1);
       ("interface_instantiated", 1);
+      ("pool_resized", 1);
       ("repartitioned", 1);
+      ("replica_promoted", 1);
+      ("shard_split", 1);
     ]
     (read ())
 

@@ -155,6 +155,7 @@ let distributed_config policy =
     dc_faults = None;
     dc_retry = Coign_netsim.Fault.default_retry;
     dc_resilience = None;
+    dc_fleet = None;
     dc_watch = None;
   }
 
@@ -202,6 +203,7 @@ let test_jitter_perturbs () =
             dc_faults = None;
             dc_retry = Coign_netsim.Fault.default_retry;
             dc_resilience = None;
+            dc_fleet = None;
             dc_watch = None;
           }
         ctx

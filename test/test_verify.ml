@@ -60,15 +60,20 @@ let group id members subject targets ~ladder ~truth =
 let edge a b iface ~remotable ~non_remotable =
   { Model.e_a = a; e_b = b; e_iface = iface; e_remotable = remotable; e_non_remotable = non_remotable }
 
-let hand_model ?(policy = vpolicy) ~groups ~edges ~rungs () =
+let hand_model ?(policy = vpolicy) ?pool_sizes ~groups ~edges ~rungs () =
+  let rungs = Array.of_list rungs in
   {
     Model.m_groups = Array.of_list groups;
     m_edges = Array.of_list edges;
-    m_rung_names = Array.of_list rungs;
+    m_rung_names = rungs;
     m_policy = policy;
     m_cooloffs = Model.cooloff_chain policy;
     m_classifications =
       List.fold_left (fun a g -> a + List.length g.Model.g_members) 0 groups;
+    m_pool_sizes =
+      (match pool_sizes with
+      | None -> Array.make (Array.length rungs) 1
+      | Some l -> Array.of_list l);
   }
 
 let two_rung ~safe =
@@ -402,6 +407,7 @@ let vdiscover =
              dc_faults = None;
              dc_retry = fixed_retry;
              dc_resilience = None;
+             dc_fleet = None;
              dc_watch = None;
            }
          ctx
@@ -473,6 +479,7 @@ let test_rte_unsafe_migration_faults () =
           dc_faults = Some { Fault.zero with Fault.fs_partitions_us = [ (4_000., 1e9) ] };
           dc_retry = fixed_retry;
           dc_resilience = Some (Rte.resilience ~health:breaker_policy ladder);
+          dc_fleet = None;
           dc_watch = None;
         }
       ctx

@@ -187,6 +187,7 @@ let run_deployed ?watch ?loggers (app, profiled, session, net) ids =
           dc_faults = None;
           dc_retry = Fault.default_retry;
           dc_resilience = None;
+          dc_fleet = None;
           dc_watch = wc;
         }
       ctx
